@@ -1,0 +1,65 @@
+//! Collective-expansion microbenchmarks: cost of materializing the
+//! point-to-point trees at scale (this dominates schedule construction
+//! for the fine-grained workloads).
+
+use cesim_core::goal::builder::TagPool;
+use cesim_core::goal::collectives::{
+    allreduce_recursive_doubling, barrier_dissemination, bcast_binomial, reduce_binomial,
+    CollectiveCosts,
+};
+use cesim_core::goal::{Rank, ScheduleBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    for &n in &[256usize, 2048, 16_384] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("allreduce_rd", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut b = ScheduleBuilder::new(n);
+                let mut tags = TagPool::new();
+                let entry: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+                allreduce_recursive_doubling(
+                    &mut b,
+                    &mut tags,
+                    8,
+                    &CollectiveCosts::default(),
+                    &entry,
+                );
+                black_box(b.build())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("barrier", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut b = ScheduleBuilder::new(n);
+                let mut tags = TagPool::new();
+                let entry: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+                barrier_dissemination(&mut b, &mut tags, &entry);
+                black_box(b.build())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bcast+reduce", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut b = ScheduleBuilder::new(n);
+                let mut tags = TagPool::new();
+                let entry: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+                let mid = bcast_binomial(&mut b, &mut tags, Rank(0), 1024, &entry);
+                reduce_binomial(
+                    &mut b,
+                    &mut tags,
+                    Rank(0),
+                    1024,
+                    &CollectiveCosts::default(),
+                    &mid,
+                );
+                black_box(b.build())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

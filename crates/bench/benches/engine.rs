@@ -1,0 +1,102 @@
+//! Engine microbenchmarks: event-loop throughput on the communication
+//! patterns the study exercises.
+
+#![allow(clippy::needless_range_loop)]
+
+use cesim_core::engine::{simulate, NoNoise};
+use cesim_core::goal::builder::TagPool;
+use cesim_core::goal::collectives::{allreduce_recursive_doubling, CollectiveCosts};
+use cesim_core::goal::{Rank, Schedule, ScheduleBuilder, Tag};
+use cesim_core::model::{LogGopsParams, Span};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Ring of eager messages: stresses matching and the event queue.
+fn ring_schedule(n: usize, rounds: usize) -> Schedule {
+    let mut b = ScheduleBuilder::new(n);
+    let mut cur: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+    for round in 0..rounds {
+        let tag = Tag(round as u32);
+        for r in 0..n {
+            let rank = Rank::from(r);
+            let right = Rank::from((r + 1) % n);
+            let left = Rank::from((r + n - 1) % n);
+            let s = b.send(rank, right, 64, tag, &[cur[r]]);
+            let v = b.recv(rank, Some(left), 64, tag, &[cur[r]]);
+            cur[r] = b.join(rank, &[s, v]);
+        }
+    }
+    b.build()
+}
+
+/// Back-to-back allreduces: stresses the collective dependency trees.
+fn allreduce_schedule(n: usize, count: usize) -> Schedule {
+    let mut b = ScheduleBuilder::new(n);
+    let mut tags = TagPool::new();
+    let mut cur: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+    for _ in 0..count {
+        cur = allreduce_recursive_doubling(&mut b, &mut tags, 8, &CollectiveCosts::default(), &cur);
+    }
+    b.build()
+}
+
+/// Rendezvous-heavy neighbor exchange: stresses the RTS/CTS state machine.
+fn rendezvous_schedule(n: usize, rounds: usize) -> Schedule {
+    let mut b = ScheduleBuilder::new(n);
+    let mut cur: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+    for round in 0..rounds {
+        let tag = Tag(round as u32);
+        for r in 0..n {
+            let rank = Rank::from(r);
+            let peer = Rank::from(r ^ 1);
+            if peer.idx() >= n {
+                continue;
+            }
+            let s = b.send(rank, peer, 128 * 1024, tag, &[cur[r]]);
+            let v = b.recv(rank, Some(peer), 128 * 1024, tag, &[cur[r]]);
+            cur[r] = b.join(rank, &[s, v]);
+        }
+    }
+    b.build()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let params = LogGopsParams::xc40();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+
+    let ring = ring_schedule(64, 50);
+    g.throughput(Throughput::Elements(ring.total_ops() as u64));
+    g.bench_function("ring_64r_50rounds", |b| {
+        b.iter(|| simulate(black_box(&ring), &params, &mut NoNoise).unwrap())
+    });
+
+    let ar = allreduce_schedule(128, 20);
+    g.throughput(Throughput::Elements(ar.total_ops() as u64));
+    g.bench_function("allreduce_128r_20x", |b| {
+        b.iter(|| simulate(black_box(&ar), &params, &mut NoNoise).unwrap())
+    });
+
+    let rv = rendezvous_schedule(32, 40);
+    g.throughput(Throughput::Elements(rv.total_ops() as u64));
+    g.bench_function("rendezvous_32r_40rounds", |b| {
+        b.iter(|| simulate(black_box(&rv), &params, &mut NoNoise).unwrap())
+    });
+
+    // Pure compute chains: the floor of per-op cost.
+    let mut b = ScheduleBuilder::new(1);
+    let mut prev = b.calc(Rank(0), Span::from_ns(1), &[]);
+    for _ in 0..100_000 {
+        prev = b.calc(Rank(0), Span::from_ns(1), &[prev]);
+    }
+    let chain = b.build();
+    g.throughput(Throughput::Elements(chain.total_ops() as u64));
+    g.bench_function("calc_chain_100k", |b| {
+        b.iter(|| simulate(black_box(&chain), &params, &mut NoNoise).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regeneration bench for Fig. 2: the four selfish noise signatures.
+//! Prints the panel summaries once, then times the synthesis.
+
+use cesim_core::model::Span;
+use cesim_core::noise::signature::{fig2, SignatureConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = SignatureConfig::default();
+    println!("\n=== Fig. 2: selfish noise signatures (300 s window) ===");
+    for (kind, trace) in fig2(&cfg) {
+        println!(
+            "  {:<20} {:>7} detours, {:>8.4}% noise, max {:>10}, >=100ms: {}",
+            kind.label(),
+            trace.count(),
+            trace.noise_fraction() * 100.0,
+            format!("{}", trace.max_detour()),
+            trace.count_in(Span::from_ms(100), Span::MAX),
+        );
+    }
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| black_box(fig2(&cfg))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

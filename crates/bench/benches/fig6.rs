@@ -1,0 +1,24 @@
+//! Regeneration bench for Fig. 6 (extreme-rate software study).
+//! Prints the reproduced series once at a reduced scale (REGEN_NODES /
+//! REGEN_REPS env vars scale it up), then times the regeneration.
+
+use cesim_bench::{bench_apps, regen_scale};
+use cesim_core::figures::fig6;
+use cesim_core::report::render_figure;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut cfg = regen_scale();
+    cfg.apps = bench_apps();
+    println!("\n=== Fig. 6 at {} nodes (reduced scale) ===", cfg.nodes);
+    print!("{}", render_figure(&fig6(&cfg)));
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| black_box(fig6(&cfg))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regeneration bench for Fig. 7 (per-event duration sweep).
+//! Prints the reproduced series once at a reduced scale (REGEN_NODES /
+//! REGEN_REPS env vars scale it up), then times the regeneration.
+
+use cesim_bench::{bench_apps, regen_scale};
+use cesim_core::figures::fig7;
+use cesim_core::report::render_figure;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut cfg = regen_scale();
+    cfg.apps = bench_apps();
+    println!("\n=== Fig. 7 at {} nodes (reduced scale) ===", cfg.nodes);
+    print!("{}", render_figure(&fig7(&cfg)));
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| black_box(fig7(&cfg))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

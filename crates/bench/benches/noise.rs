@@ -1,0 +1,77 @@
+//! Noise-path microbenchmarks: the CE detour sampler (called once per CPU
+//! interval — the engine's hottest external call) and the Fig. 2
+//! signature synthesis.
+
+use cesim_core::engine::NoiseModel;
+use cesim_core::goal::Rank;
+use cesim_core::model::{Span, Time};
+use cesim_core::noise::signature::{signature, SignatureConfig, SignatureKind};
+use cesim_core::noise::{CeNoise, Scope};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_noise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise");
+    g.sample_size(10);
+
+    // Sparse regime: almost every stretch() is a single comparison.
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("stretch_sparse_100k", |b| {
+        b.iter(|| {
+            let mut n = CeNoise::new(
+                1,
+                Span::from_secs(3600),
+                Span::from_ms(133),
+                Scope::AllRanks,
+                1,
+            );
+            let mut t = Time::ZERO;
+            for _ in 0..100_000 {
+                t = n.stretch(Rank(0), t, Span::from_us(10));
+            }
+            black_box(t)
+        })
+    });
+
+    // Dense regime: every interval absorbs several detours.
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("stretch_dense_10k", |b| {
+        b.iter(|| {
+            let mut n = CeNoise::new(1, Span::from_us(20), Span::from_us(5), Scope::AllRanks, 1);
+            let mut t = Time::ZERO;
+            for _ in 0..10_000 {
+                t = n.stretch(Rank(0), t, Span::from_us(50));
+            }
+            black_box(t)
+        })
+    });
+
+    // Many-rank construction (the per-figure setup cost at paper scale).
+    g.bench_function("ce_noise_new_16k_ranks", |b| {
+        b.iter(|| {
+            black_box(CeNoise::new(
+                16_384,
+                Span::from_secs(5544),
+                Span::from_ms(133),
+                Scope::AllRanks,
+                7,
+            ))
+        })
+    });
+
+    // Fig. 2 signature synthesis (drives the fig2 regeneration bench).
+    g.bench_function("signature_firmware_300s", |b| {
+        let cfg = SignatureConfig::default();
+        b.iter(|| {
+            black_box(signature(
+                SignatureKind::FirmwareEmca { threshold: 10 },
+                &cfg,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_noise);
+criterion_main!(benches);

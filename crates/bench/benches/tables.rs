@@ -1,0 +1,30 @@
+//! Regeneration bench for Table I and Table II. Prints both tables once
+//! (so the `cargo bench` log contains the reproduced artifacts), then
+//! times their construction.
+
+use cesim_core::model::SystemSpec;
+use cesim_core::tables::{table1, table2};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    println!("\n=== Table I (workloads) ===\n{}", table1());
+    println!("=== Table II (CE parameters) ===\n{}", table2());
+
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1", |b| b.iter(|| black_box(table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(table2())));
+    g.bench_function("table2_mtbce_algebra", |b| {
+        b.iter(|| {
+            let total: f64 = SystemSpec::table2()
+                .iter()
+                .map(|s| s.mtbce_node().as_secs_f64())
+                .sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Workload-generation microbenchmarks: schedule construction cost for
+//! each Table I skeleton (this is the setup cost every experiment pays
+//! once per app × scale).
+
+use cesim_core::workloads::{build, AppId, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(10);
+    let cfg = WorkloadConfig {
+        steps_scale: 0.2,
+        ..WorkloadConfig::default()
+    };
+    for app in AppId::all() {
+        g.bench_with_input(
+            BenchmarkId::new("build_256r", app.name()),
+            &app,
+            |b, &app| b.iter(|| black_box(build(app, 256, &cfg))),
+        );
+    }
+    // The heaviest case: LULESH (26-neighbor halo, per-step collectives).
+    g.bench_function("build_lulesh_2048r", |b| {
+        b.iter(|| black_box(build(AppId::Lulesh, 2048, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! # cesim-bench
+//!
+//! Criterion benchmarks for the DRAM correctable-error logging study.
+//!
+//! Two families:
+//!
+//! * **microbenchmarks** (`engine`, `collectives`, `noise`, `workloads`)
+//!   — throughput of the simulator's hot paths;
+//! * **regeneration benches** (`tables`, `fig2` … `fig7`) — one bench
+//!   target per table/figure of the paper. Each regenerates the artifact
+//!   at a reduced, benchmark-friendly scale, prints the resulting series
+//!   once (so `cargo bench` leaves the reproduced numbers in its log),
+//!   and then times the regeneration.
+//!
+//! `REGEN_NODES` / `REGEN_REPS` environment variables scale the
+//! regeneration benches up toward paper scale.
+
+#![forbid(unsafe_code)]
+
+use cesim_core::figures::ScaleConfig;
+use cesim_core::workloads::AppId;
+
+/// Scale used by the per-figure regeneration benches: small enough that a
+/// Criterion run finishes in minutes, overridable via `REGEN_NODES` /
+/// `REGEN_REPS`.
+pub fn regen_scale() -> ScaleConfig {
+    let nodes = std::env::var("REGEN_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let reps = std::env::var("REGEN_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    ScaleConfig {
+        nodes,
+        reps,
+        steps_scale: 0.2,
+        progress: false,
+        ..ScaleConfig::default()
+    }
+}
+
+/// A representative app subset for figure benches (one from each
+/// sensitivity class) to keep `cargo bench` runtimes reasonable.
+pub fn bench_apps() -> Vec<AppId> {
+    vec![AppId::LammpsLj, AppId::Hpcg, AppId::Lulesh]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regen_scale_is_small_by_default() {
+        let s = regen_scale();
+        assert!(s.nodes <= 256);
+        assert_eq!(s.reps, 1);
+    }
+
+    #[test]
+    fn bench_apps_cover_the_sensitivity_classes() {
+        let apps = bench_apps();
+        assert!(apps.contains(&AppId::LammpsLj));
+        assert!(apps.contains(&AppId::Lulesh));
+        assert_eq!(apps.len(), 3);
+    }
+}

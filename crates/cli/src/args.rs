@@ -1,0 +1,121 @@
+//! A small hand-rolled argument parser (no external dependencies; see
+//! DESIGN.md's dependency policy).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+/// Options that take a value; everything else starting with `--` is a flag.
+const VALUED: &[&str] = &[
+    "nodes",
+    "reps",
+    "steps",
+    "steps-scale",
+    "seed",
+    "apps",
+    "csv",
+    "app",
+    "mode",
+    "mtbce",
+    "window",
+    "period",
+    "detour",
+    "generate",
+    "load",
+    "extrapolate",
+];
+
+impl Args {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if VALUED.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    out.options.insert(name.to_string(), v);
+                } else {
+                    out.flags.push(name.to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// A parsed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{name}")),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn basic_parse() {
+        let a = parse("fig5 --nodes 512 --reps 4 --paper").unwrap();
+        assert_eq!(a.command.as_deref(), Some("fig5"));
+        assert_eq!(a.get("nodes"), Some("512"));
+        assert_eq!(a.get_parsed("reps", 1u32).unwrap(), 4);
+        assert!(a.has_flag("paper"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("fig3").unwrap();
+        assert_eq!(a.get_parsed("nodes", 256usize).unwrap(), 256);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse("run --app").is_err());
+    }
+
+    #[test]
+    fn bad_value_is_error() {
+        let a = parse("fig3 --nodes abc").unwrap();
+        assert!(a.get_parsed::<usize>("nodes", 1).is_err());
+    }
+
+    #[test]
+    fn extra_positional_is_error() {
+        assert!(parse("fig3 bogus").is_err());
+    }
+}

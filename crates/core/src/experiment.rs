@@ -1,0 +1,370 @@
+//! A single measurement cell of the study.
+//!
+//! One [`Experiment`] compares a noise-free baseline run of a workload
+//! against `reps` replicated runs with CE detours injected, and reports
+//! the mean slowdown — the y-axis of every evaluation figure in the
+//! paper. The paper averages "at least eight simulations" per bar; the
+//! default here is smaller for tractability and configurable throughout.
+//!
+//! **Divergence guard.** When the per-event cost approaches the MTBCE,
+//! per-node utilization `ρ = detour/mtbce → 1` and the workload cannot
+//! make forward progress (the paper drops such points, e.g. firmware
+//! logging at `MTBCE = 0.2 s` in Fig. 7). Experiments whose `ρ` exceeds
+//! [`DIVERGENCE_LIMIT`] are not simulated; their outcome reports
+//! `slowdown = None`.
+
+use cesim_engine::{simulate, NoNoise, SimError};
+use cesim_goal::Schedule;
+use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
+use cesim_noise::{CeNoise, Scope};
+use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
+
+/// Per-node CE-handling utilization above which a configuration is
+/// treated as "no forward progress" instead of being simulated.
+pub const DIVERGENCE_LIMIT: f64 = 0.95;
+
+/// One measurement cell: workload × scale × logging × rate × scope.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Workload under test.
+    pub app: AppId,
+    /// Simulated node count (one rank per node, as in the paper).
+    pub nodes: usize,
+    /// Logging mode (determines the per-event detour).
+    pub mode: LoggingMode,
+    /// Mean time between CEs per node.
+    pub mtbce: Span,
+    /// All nodes (Figs. 4–7) or a single node (Fig. 3).
+    pub scope: Scope,
+    /// Perturbed replicas to average.
+    pub reps: u32,
+    /// Base seed; replica `i` uses `seed + i`.
+    pub seed: u64,
+    /// Network/CPU model.
+    pub params: LogGopsParams,
+    /// Workload generation knobs.
+    pub workload: WorkloadConfig,
+}
+
+impl Experiment {
+    /// An experiment with paper-default knobs (XC40 network, firmware
+    /// logging, 1-hour MTBCE, all-node scope, 3 reps).
+    pub fn new(app: AppId, nodes: usize) -> Self {
+        Experiment {
+            app,
+            nodes,
+            mode: LoggingMode::Firmware,
+            mtbce: Span::from_secs(3600),
+            scope: Scope::AllRanks,
+            reps: 3,
+            seed: 0xCE11,
+            params: LogGopsParams::xc40(),
+            workload: WorkloadConfig::default(),
+        }
+    }
+
+    /// Set the logging mode.
+    pub fn mode(mut self, mode: LoggingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the per-node MTBCE.
+    pub fn mtbce(mut self, mtbce: Span) -> Self {
+        self.mtbce = mtbce;
+        self
+    }
+
+    /// Set the injection scope.
+    pub fn scope(mut self, scope: Scope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Set the replica count.
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Set the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the workload step count.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.workload.steps_override = Some(steps);
+        self
+    }
+
+    /// Per-node CE-handling utilization `ρ = detour / mtbce`.
+    pub fn utilization(&self) -> f64 {
+        self.mode.per_event_cost().as_secs_f64() / self.mtbce.as_secs_f64()
+    }
+
+    /// Whether the divergence guard will skip simulation.
+    pub fn diverges(&self) -> bool {
+        self.utilization() >= DIVERGENCE_LIMIT
+    }
+}
+
+/// One perturbed replica's result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunStats {
+    /// Completion time of the perturbed run.
+    pub finish: Span,
+    /// CE detours injected during the run.
+    pub ce_events: u64,
+}
+
+/// Aggregated result of an [`Experiment`].
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The workload.
+    pub app: AppId,
+    /// Ranks actually simulated (after [`natural_ranks`] snapping).
+    pub ranks: usize,
+    /// Noise-free completion time.
+    pub baseline: Span,
+    /// Per-replica results; empty when the divergence guard fired.
+    pub runs: Vec<RunStats>,
+    /// True when the configuration was treated as "no forward progress".
+    pub diverged: bool,
+}
+
+impl Outcome {
+    /// Mean perturbed completion time, if simulated.
+    pub fn mean_finish(&self) -> Option<Span> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        let total: Span = self.runs.iter().map(|r| r.finish).sum();
+        Some(total / self.runs.len() as u64)
+    }
+
+    /// Mean slowdown versus baseline, in percent; `None` when diverged.
+    pub fn mean_slowdown_pct(&self) -> Option<f64> {
+        let m = self.mean_finish()?;
+        Some((m.as_secs_f64() / self.baseline.as_secs_f64() - 1.0) * 100.0)
+    }
+
+    /// Mean CE events injected per replica.
+    pub fn mean_ce_events(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.ce_events as f64).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Sample standard deviation of the slowdown across replicas (percent).
+    pub fn slowdown_stddev_pct(&self) -> Option<f64> {
+        if self.runs.len() < 2 {
+            return None;
+        }
+        let b = self.baseline.as_secs_f64();
+        let xs: Vec<f64> = self
+            .runs
+            .iter()
+            .map(|r| (r.finish.as_secs_f64() / b - 1.0) * 100.0)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// An approximate 95% confidence interval on the mean slowdown
+    /// (percent), using Student's t critical values for small replica
+    /// counts. `None` with fewer than two replicas or when diverged.
+    pub fn slowdown_ci95_pct(&self) -> Option<(f64, f64)> {
+        let mean = self.mean_slowdown_pct()?;
+        let sd = self.slowdown_stddev_pct()?;
+        let n = self.runs.len() as f64;
+        // Two-sided 97.5% t critical values for df = n-1 (df 1..=30).
+        const T: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = (self.runs.len() - 1).min(T.len());
+        let t = T[df - 1];
+        let half = t * sd / n.sqrt();
+        Some((mean - half, mean + half))
+    }
+}
+
+/// Run an experiment: build the schedule, simulate the baseline, then the
+/// perturbed replicas (unless the divergence guard fires).
+pub fn run(exp: &Experiment) -> Result<Outcome, SimError> {
+    let ranks = natural_ranks(exp.app, exp.nodes);
+    let sched = cesim_workloads::build(exp.app, ranks, &exp.workload);
+    run_on_schedule(exp, ranks, &sched)
+}
+
+/// Like [`run`], but against a pre-built schedule (lets figure sweeps
+/// share one schedule and baseline across many cells).
+pub fn run_on_schedule(
+    exp: &Experiment,
+    ranks: usize,
+    sched: &Schedule,
+) -> Result<Outcome, SimError> {
+    let base = simulate(sched, &exp.params, &mut NoNoise)?;
+    run_against_baseline(exp, ranks, sched, base.finish)
+}
+
+/// Innermost variant: baseline already known.
+pub fn run_against_baseline(
+    exp: &Experiment,
+    ranks: usize,
+    sched: &Schedule,
+    baseline: Time,
+) -> Result<Outcome, SimError> {
+    let baseline_span = baseline.since(Time::ZERO);
+    if exp.diverges() {
+        return Ok(Outcome {
+            app: exp.app,
+            ranks,
+            baseline: baseline_span,
+            runs: Vec::new(),
+            diverged: true,
+        });
+    }
+    let detour = exp.mode.per_event_cost();
+    let mut runs = Vec::with_capacity(exp.reps as usize);
+    for rep in 0..exp.reps {
+        let mut noise = CeNoise::new(
+            ranks,
+            exp.mtbce,
+            detour,
+            exp.scope,
+            exp.seed.wrapping_add(rep as u64),
+        );
+        let r = simulate(sched, &exp.params, &mut noise)?;
+        runs.push(RunStats {
+            finish: r.finish.since(Time::ZERO),
+            ce_events: r.noise_events,
+        });
+    }
+    Ok(Outcome {
+        app: exp.app,
+        ranks,
+        baseline: baseline_span,
+        runs,
+        diverged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesim_goal::Rank;
+
+    #[test]
+    fn baseline_and_noise_free_mode_agree() {
+        // Hardware-only logging at a huge MTBCE ≈ no noise at all.
+        let exp = Experiment::new(AppId::MiniFe, 8)
+            .mode(LoggingMode::HardwareOnly)
+            .mtbce(Span::from_secs(1_000_000))
+            .reps(1)
+            .steps(3);
+        let out = run(&exp).unwrap();
+        let s = out.mean_slowdown_pct().unwrap();
+        assert!(s.abs() < 0.1, "slowdown {s}%");
+        assert!(!out.diverged);
+    }
+
+    #[test]
+    fn firmware_noise_slows_things_down() {
+        let exp = Experiment::new(AppId::Lulesh, 16)
+            .mode(LoggingMode::Firmware)
+            .mtbce(Span::from_ms(500))
+            .reps(2)
+            .steps(20);
+        let out = run(&exp).unwrap();
+        let s = out.mean_slowdown_pct().unwrap();
+        assert!(s > 5.0, "expected visible slowdown, got {s}%");
+        assert!(out.mean_ce_events() > 0.0);
+        assert!(out.slowdown_stddev_pct().is_some());
+    }
+
+    #[test]
+    fn divergence_guard_fires() {
+        let exp = Experiment::new(AppId::Lulesh, 4)
+            .mode(LoggingMode::Firmware)
+            .mtbce(Span::from_ms(133)) // ρ = 1.0
+            .steps(2);
+        assert!(exp.diverges());
+        let out = run(&exp).unwrap();
+        assert!(out.diverged);
+        assert_eq!(out.mean_slowdown_pct(), None);
+        assert!(out.baseline > Span::ZERO);
+    }
+
+    #[test]
+    fn single_rank_scope_limits_damage() {
+        let all = Experiment::new(AppId::LammpsCrack, 16)
+            .mode(LoggingMode::Software)
+            .mtbce(Span::from_ms(20))
+            .reps(2)
+            .steps(40);
+        let single = all.clone().scope(Scope::SingleRank(Rank(0)));
+        let s_all = run(&all).unwrap().mean_slowdown_pct().unwrap();
+        let s_one = run(&single).unwrap().mean_slowdown_pct().unwrap();
+        assert!(
+            s_one <= s_all + 0.5,
+            "single-rank ({s_one}%) should not exceed all-ranks ({s_all}%)"
+        );
+    }
+
+    #[test]
+    fn lulesh_ranks_are_snapped() {
+        let exp = Experiment::new(AppId::Lulesh, 260)
+            .mode(LoggingMode::HardwareOnly)
+            .reps(1)
+            .steps(1);
+        let out = run(&exp).unwrap();
+        assert_eq!(out.ranks, 250);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let exp = Experiment::new(AppId::Hpcg, 4).mtbce(Span::from_ms(266));
+        assert!((exp.utilization() - 0.5).abs() < 1e-9);
+        assert!(!exp.diverges());
+    }
+
+    #[test]
+    fn ci95_brackets_the_mean() {
+        let exp = Experiment::new(AppId::Milc, 8)
+            .mode(LoggingMode::Firmware)
+            .mtbce(Span::from_secs(1))
+            .reps(4)
+            .steps(6);
+        let out = run(&exp).unwrap();
+        let mean = out.mean_slowdown_pct().unwrap();
+        let (lo, hi) = out.slowdown_ci95_pct().unwrap();
+        assert!(lo <= mean && mean <= hi);
+        assert!(hi > lo, "interval must have width under noise");
+        // One replica: no interval.
+        let one = Experiment::new(AppId::Milc, 4).reps(1).steps(2);
+        assert_eq!(run(&one).unwrap().slowdown_ci95_pct(), None);
+    }
+
+    #[test]
+    fn reps_are_independent_but_deterministic() {
+        let exp = Experiment::new(AppId::Cth, 8)
+            .mode(LoggingMode::Firmware)
+            .mtbce(Span::from_secs(2))
+            .reps(3)
+            .steps(4);
+        let a = run(&exp).unwrap();
+        let b = run(&exp).unwrap();
+        assert_eq!(a.runs, b.runs, "same seeds → same results");
+        // Different replicas see different arrival streams (almost surely
+        // different finish times under heavy noise).
+        let distinct: std::collections::HashSet<u64> =
+            a.runs.iter().map(|r| r.finish.as_ps()).collect();
+        assert!(distinct.len() > 1 || a.runs[0].ce_events == 0);
+    }
+}

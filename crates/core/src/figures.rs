@@ -1,0 +1,531 @@
+//! Regeneration of every evaluation figure (Figs. 3–7).
+//!
+//! Each `figN` function sweeps the same grid as the corresponding figure
+//! in the paper and returns a [`FigureData`] of slowdown cells. The
+//! [`ScaleConfig`] controls cost:
+//!
+//! * `nodes` — simulated node count. The default (256) is laptop-scale;
+//!   [`ScaleConfig::paper`] selects the full 16,384/8,192/4,096 node
+//!   counts of Table II.
+//! * `preserve_machine_rate` — when simulating fewer nodes than the
+//!   paper's system, scale the per-node MTBCE down by the same factor so
+//!   the **machine-wide** CE rate (events/second across the whole job) is
+//!   preserved. The overheads the study measures are driven by the
+//!   machine-wide rate × per-event cost, so this keeps the figure shapes
+//!   intact at a fraction of the cost (see EXPERIMENTS.md for the
+//!   validation of this claim). Applies only to the all-node figures;
+//!   Fig. 3's single-process study needs no scaling.
+//! * `steps_scale`, `reps`, `seed` — statistical effort.
+
+use crate::experiment::{run_against_baseline, Experiment};
+use cesim_engine::{simulate, NoNoise};
+use cesim_goal::Rank;
+use cesim_model::{LoggingMode, Span, SystemSpec};
+use cesim_noise::Scope;
+use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
+use std::collections::BTreeMap;
+
+/// Cost/scale knobs shared by all figure sweeps.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Simulated nodes (capped by each system's Table II node count).
+    pub nodes: usize,
+    /// Perturbed replicas per cell.
+    pub reps: u32,
+    /// Workload step-count scale.
+    pub steps_scale: f64,
+    /// Preserve the machine-wide CE rate when simulating fewer nodes than
+    /// the target system (all-node figures only).
+    pub preserve_machine_rate: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Workloads to include (default: all nine).
+    pub apps: Vec<AppId>,
+    /// Print per-cell progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            nodes: 256,
+            reps: 2,
+            steps_scale: 1.0,
+            preserve_machine_rate: true,
+            seed: 0xF16,
+            apps: AppId::all().to_vec(),
+            progress: false,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// The paper's full scale: Table II node counts, 8 reps, full step
+    /// counts, no rate rescaling. Hours of CPU time at 16,384 nodes.
+    pub fn paper() -> Self {
+        ScaleConfig {
+            nodes: 16_384,
+            reps: 8,
+            steps_scale: 1.0,
+            preserve_machine_rate: false,
+            ..ScaleConfig::default()
+        }
+    }
+
+    /// A very small smoke-test scale for CI.
+    pub fn smoke() -> Self {
+        ScaleConfig {
+            nodes: 32,
+            reps: 1,
+            steps_scale: 0.05,
+            ..ScaleConfig::default()
+        }
+    }
+
+    fn workload_cfg(&self, app_seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            steps_scale: self.steps_scale,
+            seed: self.seed ^ app_seed,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// Effective per-node MTBCE for a system simulated at `sim_nodes`
+    /// instead of its full `paper_nodes`.
+    pub fn effective_mtbce(&self, mtbce: Span, sim_nodes: usize, paper_nodes: usize) -> Span {
+        if self.preserve_machine_rate && sim_nodes < paper_nodes {
+            mtbce.mul_f64(sim_nodes as f64 / paper_nodes as f64)
+        } else {
+            mtbce
+        }
+    }
+}
+
+/// One bar/point of a figure.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Workload.
+    pub app: AppId,
+    /// X-axis group (system name, MTBCE, or per-event duration).
+    pub group: String,
+    /// Logging mode.
+    pub mode: LoggingMode,
+    /// Effective per-node MTBCE simulated.
+    pub mtbce: Span,
+    /// Mean slowdown vs baseline, percent; `None` = no forward progress.
+    pub slowdown_pct: Option<f64>,
+    /// Sample standard deviation across replicas, when ≥ 2 replicas ran.
+    pub stddev_pct: Option<f64>,
+    /// Baseline completion time, seconds.
+    pub baseline_secs: f64,
+    /// Mean CE events injected per replica.
+    pub ce_events: f64,
+    /// Ranks simulated.
+    pub ranks: usize,
+}
+
+/// All cells of one regenerated figure.
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Figure identifier ("fig3" … "fig7").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Cells in sweep order.
+    pub cells: Vec<Cell>,
+}
+
+impl FigureData {
+    /// Distinct group labels in first-appearance order.
+    pub fn groups(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.group) {
+                seen.push(c.group.clone());
+            }
+        }
+        seen
+    }
+
+    /// Cells for one (group, mode) pair, keyed by app.
+    pub fn series(&self, group: &str, mode: LoggingMode) -> BTreeMap<AppId, &Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.group == group && c.mode == mode)
+            .map(|c| (c.app, c))
+            .collect()
+    }
+
+    /// Maximum finite slowdown in the figure.
+    pub fn max_slowdown(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter_map(|c| c.slowdown_pct)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One cell request: `(group label, mode, per-node mtbce, sim nodes)`.
+#[derive(Clone, Debug)]
+struct CellSpec {
+    group: String,
+    mode: LoggingMode,
+    mtbce: Span,
+    nodes: usize,
+}
+
+/// Run a figure sweep: for every app, build each needed scale once, run
+/// the baseline once, and evaluate all cells against it.
+fn run_figure(
+    id: &str,
+    title: &str,
+    cfg: &ScaleConfig,
+    scope_for: impl Fn(usize) -> Scope,
+    specs: &[CellSpec],
+) -> FigureData {
+    let mut cells = Vec::with_capacity(specs.len() * cfg.apps.len());
+    for (ai, &app) in cfg.apps.iter().enumerate() {
+        let wcfg = cfg.workload_cfg(ai as u64);
+        // Group the specs by node count so each scale builds one schedule.
+        let mut node_counts: Vec<usize> = specs.iter().map(|s| s.nodes).collect();
+        node_counts.sort_unstable();
+        node_counts.dedup();
+        for nodes in node_counts {
+            let ranks = natural_ranks(app, nodes);
+            let sched = cesim_workloads::build(app, ranks, &wcfg);
+            let base = simulate(&sched, &cesim_model::LogGopsParams::xc40(), &mut NoNoise)
+                .expect("workload schedules are deadlock-free");
+            for spec in specs.iter().filter(|s| s.nodes == nodes) {
+                let exp = Experiment {
+                    app,
+                    nodes,
+                    mode: spec.mode,
+                    mtbce: spec.mtbce,
+                    scope: scope_for(ranks),
+                    reps: cfg.reps,
+                    seed: cfg
+                        .seed
+                        .wrapping_add((ai as u64) << 32)
+                        .wrapping_add(cells.len() as u64),
+                    params: cesim_model::LogGopsParams::xc40(),
+                    workload: wcfg,
+                };
+                let out = run_against_baseline(&exp, ranks, &sched, base.finish)
+                    .expect("workload schedules are deadlock-free");
+                if cfg.progress {
+                    eprintln!(
+                        "[{id}] {app} {} {}: {}",
+                        spec.group,
+                        spec.mode.short_label(),
+                        out.mean_slowdown_pct()
+                            .map(|s| format!("{s:.2}%"))
+                            .unwrap_or_else(|| "no-progress".into())
+                    );
+                }
+                cells.push(Cell {
+                    app,
+                    group: spec.group.clone(),
+                    mode: spec.mode,
+                    mtbce: spec.mtbce,
+                    slowdown_pct: out.mean_slowdown_pct(),
+                    stddev_pct: out.slowdown_stddev_pct(),
+                    baseline_secs: out.baseline.as_secs_f64(),
+                    ce_events: out.mean_ce_events(),
+                    ranks,
+                });
+            }
+        }
+    }
+    FigureData {
+        id: id.into(),
+        title: title.into(),
+        cells,
+    }
+}
+
+/// The MTBCE sweep of Fig. 3 (single process experiencing CEs).
+pub fn fig3_mtbce_points() -> Vec<Span> {
+    vec![
+        Span::from_ms(1),
+        Span::from_ms(10),
+        Span::from_ms(100),
+        Span::from_ms(200),
+        Span::from_secs(1),
+        Span::from_secs(10),
+        Span::from_secs(100),
+    ]
+}
+
+/// **Fig. 3** — performance impact of *one process* experiencing CEs, as
+/// a function of MTBCE, for the three logging overheads.
+pub fn fig3(cfg: &ScaleConfig) -> FigureData {
+    let mut specs = Vec::new();
+    for mtbce in fig3_mtbce_points() {
+        for mode in LoggingMode::all() {
+            specs.push(CellSpec {
+                group: format!("MTBCE={mtbce}"),
+                mode,
+                mtbce,
+                nodes: cfg.nodes,
+            });
+        }
+    }
+    run_figure(
+        "fig3",
+        "Single-process CE impact vs MTBCE (Fig. 3)",
+        cfg,
+        |_ranks| Scope::SingleRank(Rank(0)),
+        &specs,
+    )
+}
+
+/// **Fig. 4** — CE impact on the existing systems Cielo, Trinity and
+/// Summit (Table II rates).
+pub fn fig4(cfg: &ScaleConfig) -> FigureData {
+    let mut specs = Vec::new();
+    for sys in SystemSpec::fig4_systems() {
+        let paper_nodes = sys.simulated_nodes.unwrap() as usize;
+        let nodes = cfg.nodes.min(paper_nodes);
+        let mtbce = cfg.effective_mtbce(sys.mtbce_node(), nodes, paper_nodes);
+        for mode in LoggingMode::all() {
+            specs.push(CellSpec {
+                group: sys.name.to_string(),
+                mode,
+                mtbce,
+                nodes,
+            });
+        }
+    }
+    run_figure(
+        "fig4",
+        "CE impact on existing systems (Fig. 4)",
+        cfg,
+        |_| Scope::AllRanks,
+        &specs,
+    )
+}
+
+/// **Fig. 5** — CE impact on the five hypothetical exascale systems.
+pub fn fig5(cfg: &ScaleConfig) -> FigureData {
+    let mut specs = Vec::new();
+    for sys in SystemSpec::fig5_systems() {
+        let paper_nodes = sys.simulated_nodes.unwrap() as usize;
+        let nodes = cfg.nodes.min(paper_nodes);
+        let mtbce = cfg.effective_mtbce(sys.mtbce_node(), nodes, paper_nodes);
+        for mode in LoggingMode::all() {
+            specs.push(CellSpec {
+                group: sys.name.to_string(),
+                mode,
+                mtbce,
+                nodes,
+            });
+        }
+    }
+    run_figure(
+        "fig5",
+        "CE impact on exascale straw-man systems (Fig. 5)",
+        cfg,
+        |_| Scope::AllRanks,
+        &specs,
+    )
+}
+
+/// **Fig. 6** — extreme MTBCE study locating where software/OS reporting
+/// starts to hurt (36 s / 3.6 s / ~1 s per node).
+pub fn fig6(cfg: &ScaleConfig) -> FigureData {
+    let paper_nodes = 16_384usize;
+    let nodes = cfg.nodes.min(paper_nodes);
+    let mut specs = Vec::new();
+    for mtbce in [
+        Span::from_secs(36),
+        Span::from_secs_f64(3.6),
+        Span::from_secs(1),
+    ] {
+        let eff = cfg.effective_mtbce(mtbce, nodes, paper_nodes);
+        for mode in LoggingMode::all() {
+            specs.push(CellSpec {
+                group: format!("MTBCE={mtbce}"),
+                mode,
+                mtbce: eff,
+                nodes,
+            });
+        }
+    }
+    run_figure(
+        "fig6",
+        "Extreme CE rates: where software reporting hurts (Fig. 6)",
+        cfg,
+        |_| Scope::AllRanks,
+        &specs,
+    )
+}
+
+/// The per-event duration sweep of Fig. 7.
+pub fn fig7_duration_points() -> Vec<Span> {
+    vec![
+        Span::from_ns(150),
+        Span::from_us(1),
+        Span::from_us(10),
+        Span::from_us(100),
+        Span::from_us(775),
+        Span::from_ms(7),
+        Span::from_ms(133),
+    ]
+}
+
+/// **Fig. 7** — reporting-duration sweep at `MTBCE = 720 s` and
+/// `MTBCE = 0.2 s`, per-event cost from 150 ns to 133 ms.
+pub fn fig7(cfg: &ScaleConfig) -> FigureData {
+    let paper_nodes = 16_384usize;
+    let nodes = cfg.nodes.min(paper_nodes);
+    let mut specs = Vec::new();
+    for mtbce in [Span::from_secs(720), Span::from_ms(200)] {
+        let eff = cfg.effective_mtbce(mtbce, nodes, paper_nodes);
+        for dur in fig7_duration_points() {
+            specs.push(CellSpec {
+                group: format!("MTBCE={mtbce} d={dur}"),
+                mode: LoggingMode::Custom(dur),
+                mtbce: eff,
+                nodes,
+            });
+        }
+    }
+    run_figure(
+        "fig7",
+        "Per-event reporting-duration sweep (Fig. 7)",
+        cfg,
+        |_| Scope::AllRanks,
+        &specs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            nodes: 16,
+            reps: 1,
+            steps_scale: 0.05,
+            apps: vec![AppId::Lulesh, AppId::LammpsLj],
+            ..ScaleConfig::default()
+        }
+    }
+
+    #[test]
+    fn effective_mtbce_scaling() {
+        let cfg = ScaleConfig::default();
+        let m = Span::from_secs(1_000);
+        let eff = cfg.effective_mtbce(m, 256, 16_384);
+        assert_eq!(eff, m.mul_f64(256.0 / 16_384.0));
+        assert_eq!(cfg.effective_mtbce(m, 16_384, 16_384), m);
+        let paper = ScaleConfig::paper();
+        assert_eq!(paper.effective_mtbce(m, 256, 16_384), m);
+    }
+
+    #[test]
+    fn fig3_structure() {
+        let f = fig3(&tiny());
+        // 7 MTBCE points × 3 modes × 2 apps.
+        assert_eq!(f.cells.len(), 7 * 3 * 2);
+        assert_eq!(f.groups().len(), 7);
+        // Hardware-only is everywhere negligible.
+        for c in f
+            .cells
+            .iter()
+            .filter(|c| c.mode == LoggingMode::HardwareOnly)
+        {
+            if let Some(s) = c.slowdown_pct {
+                assert!(s < 1.0, "{}: {s}%", c.group);
+            }
+        }
+        // Firmware at 1 ms MTBCE is flagged as no-progress (ρ = 133).
+        let fw_1ms = f
+            .cells
+            .iter()
+            .find(|c| c.mode == LoggingMode::Firmware && c.group.contains("1.000ms"))
+            .unwrap();
+        assert_eq!(fw_1ms.slowdown_pct, None);
+    }
+
+    #[test]
+    fn fig4_is_negligible_even_tiny() {
+        let f = fig4(&tiny());
+        assert_eq!(f.cells.len(), 3 * 3 * 2);
+        // Current systems: all overheads well under 10% (paper's claim).
+        for c in &f.cells {
+            let s = c.slowdown_pct.expect("no divergence on current systems");
+            assert!(s < 10.0, "{} {} = {s}%", c.group, c.mode);
+        }
+    }
+
+    #[test]
+    fn fig5_structure_and_divergence_free() {
+        let f = fig5(&tiny());
+        // 5 systems x 3 modes x 2 apps.
+        assert_eq!(f.cells.len(), 5 * 3 * 2);
+        assert_eq!(f.groups().len(), 5);
+        // Rate-preserving MTBCE at 16 nodes never collapses below the
+        // firmware divergence bound for these systems.
+        for c in &f.cells {
+            assert!(c.slowdown_pct.is_some(), "{} {}", c.group, c.mode);
+        }
+    }
+
+    #[test]
+    fn fig6_flags_firmware_divergence_at_scaled_rates() {
+        let f = fig6(&tiny());
+        assert_eq!(f.cells.len(), 3 * 3 * 2);
+        // At 16 nodes the rate-preserved 1 s row becomes ~1 ms/node:
+        // firmware is flagged as no-progress, software survives.
+        let fw_1s = f
+            .cells
+            .iter()
+            .find(|c| c.mode == LoggingMode::Firmware && c.group.contains("MTBCE=1.000s"))
+            .unwrap();
+        assert_eq!(fw_1s.slowdown_pct, None);
+        let sw_1s = f
+            .cells
+            .iter()
+            .find(|c| c.mode == LoggingMode::Software && c.group.contains("MTBCE=1.000s"))
+            .unwrap();
+        assert!(sw_1s.slowdown_pct.is_some());
+    }
+
+    #[test]
+    fn fig7_structure_covers_both_rates() {
+        let f = fig7(&tiny());
+        // 2 rates x 7 durations x 2 apps.
+        assert_eq!(f.cells.len(), 2 * 7 * 2);
+        assert_eq!(f.groups().len(), 14);
+        // The heaviest duration at the fast rate diverges; the lightest
+        // is negligible everywhere.
+        let heavy = f
+            .cells
+            .iter()
+            .find(|c| c.group.contains("MTBCE=200.000ms d=133.000ms"))
+            .unwrap();
+        assert_eq!(heavy.slowdown_pct, None);
+        for c in f.cells.iter().filter(|c| c.group.ends_with("d=150.000ns")) {
+            assert!(c.slowdown_pct.unwrap() < 1.0);
+        }
+    }
+
+    #[test]
+    fn fig7_points_span_150ns_to_133ms() {
+        let p = fig7_duration_points();
+        assert_eq!(*p.first().unwrap(), Span::from_ns(150));
+        assert_eq!(*p.last().unwrap(), Span::from_ms(133));
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn figure_data_accessors() {
+        let f = fig3(&tiny());
+        let g = f.groups();
+        let s = f.series(&g[0], LoggingMode::Software);
+        assert_eq!(s.len(), 2);
+        let _ = f.max_slowdown();
+    }
+}

@@ -1,0 +1,287 @@
+//! Plain-text and CSV rendering of regenerated figures and tables.
+
+use crate::figures::FigureData;
+use cesim_model::LoggingMode;
+use std::fmt::Write as _;
+
+/// Render a padded ASCII table.
+pub fn ascii_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{c:<w$}", w = width[i]);
+        }
+        // Trim trailing spaces for clean diffs.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    emit(&mut out, headers);
+    let sep: Vec<String> = width.iter().map(|&w| "-".repeat(w)).collect();
+    emit(&mut out, &sep);
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+fn fmt_slowdown(s: Option<f64>) -> String {
+    match s {
+        Some(v) if v >= 100.0 => format!("{v:.0}%"),
+        Some(v) => format!("{v:.2}%"),
+        None => "no-progress".into(),
+    }
+}
+
+/// Render a figure as one ASCII table per logging mode: rows = groups
+/// (systems / rates / durations), columns = workloads — matching the
+/// paper's grouped-bar layout.
+pub fn render_figure(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ({}) ==", fig.title, fig.id);
+    let apps: Vec<_> = {
+        let mut seen = Vec::new();
+        for c in &fig.cells {
+            if !seen.contains(&c.app) {
+                seen.push(c.app);
+            }
+        }
+        seen
+    };
+    let modes: Vec<LoggingMode> = {
+        let mut seen = Vec::new();
+        for c in &fig.cells {
+            if !seen.contains(&c.mode) {
+                seen.push(c.mode);
+            }
+        }
+        seen
+    };
+    for mode in modes {
+        let _ = writeln!(out, "\n-- {mode} --");
+        let mut headers = vec!["group".to_string()];
+        headers.extend(apps.iter().map(|a| a.name().to_string()));
+        let mut rows = Vec::new();
+        for g in fig.groups() {
+            let series = fig.series(&g, mode);
+            if series.is_empty() {
+                continue;
+            }
+            let mut row = vec![g.clone()];
+            for app in &apps {
+                row.push(
+                    series
+                        .get(app)
+                        .map(|c| fmt_slowdown(c.slowdown_pct))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            rows.push(row);
+        }
+        out.push_str(&ascii_table(&headers, &rows));
+    }
+    out
+}
+
+/// Render a figure as log-scale ASCII bar charts (one block per group,
+/// one bar per workload × mode), mirroring the paper's log-scale figures.
+/// The scale spans 0.01%–10,000%; `∞` marks no-progress cells.
+pub fn render_chart(fig: &FigureData) -> String {
+    const WIDTH: usize = 48;
+    const LO: f64 = 0.01; // percent
+    const HI: f64 = 10_000.0;
+    let bar = |s: Option<f64>| -> String {
+        match s {
+            None => format!("{} ∞ (no progress)", "#".repeat(WIDTH)),
+            Some(v) => {
+                let clamped = v.clamp(LO, HI);
+                let frac = (clamped / LO).log10() / (HI / LO).log10();
+                let n = (frac * WIDTH as f64).round() as usize;
+                format!("{:<WIDTH$} {v:.2}%", "#".repeat(n))
+            }
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {} ({}) — log scale {LO}%..{HI}% ==",
+        fig.title, fig.id
+    );
+    for g in fig.groups() {
+        let _ = writeln!(out, "\n[{g}]");
+        for mode in [
+            LoggingMode::HardwareOnly,
+            LoggingMode::Software,
+            LoggingMode::Firmware,
+        ] {
+            let series = fig.series(&g, mode);
+            if series.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  {mode}:");
+            for (app, cell) in series {
+                let _ = writeln!(out, "    {:<13} |{}", app.name(), bar(cell.slowdown_pct));
+            }
+        }
+        // Custom-duration sweeps (Fig. 7) have no fixed mode set.
+        let customs: Vec<&crate::figures::Cell> = fig
+            .cells
+            .iter()
+            .filter(|c| c.group == g && matches!(c.mode, LoggingMode::Custom(_)))
+            .collect();
+        if !customs.is_empty() {
+            for cell in customs {
+                let _ = writeln!(
+                    out,
+                    "    {:<13} |{}",
+                    cell.app.name(),
+                    bar(cell.slowdown_pct)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Render a figure as CSV (one row per cell, full detail).
+pub fn figure_csv(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "figure,app,group,mode,mtbce_s,ranks,baseline_s,slowdown_pct,stddev_pct,ce_events"
+    );
+    for c in &fig.cells {
+        let _ = writeln!(
+            out,
+            "{},{},{:?},{},{},{},{},{},{},{}",
+            fig.id,
+            c.app.name(),
+            c.group,
+            c.mode.short_label(),
+            c.mtbce.as_secs_f64(),
+            c.ranks,
+            c.baseline_secs,
+            c.slowdown_pct.map(|v| v.to_string()).unwrap_or_default(),
+            c.stddev_pct.map(|v| v.to_string()).unwrap_or_default(),
+            c.ce_events
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Cell;
+    use cesim_model::Span;
+    use cesim_workloads::AppId;
+
+    fn sample_fig() -> FigureData {
+        FigureData {
+            id: "figX".into(),
+            title: "Sample".into(),
+            cells: vec![
+                Cell {
+                    app: AppId::Lulesh,
+                    group: "sysA".into(),
+                    mode: LoggingMode::Software,
+                    mtbce: Span::from_secs(1),
+                    slowdown_pct: Some(3.25),
+                    stddev_pct: Some(0.5),
+                    baseline_secs: 2.0,
+                    ce_events: 10.0,
+                    ranks: 16,
+                },
+                Cell {
+                    app: AppId::Hpcg,
+                    group: "sysA".into(),
+                    mode: LoggingMode::Software,
+                    mtbce: Span::from_secs(1),
+                    slowdown_pct: None,
+                    stddev_pct: None,
+                    baseline_secs: 2.0,
+                    ce_events: 0.0,
+                    ranks: 16,
+                },
+                Cell {
+                    app: AppId::Lulesh,
+                    group: "sysA".into(),
+                    mode: LoggingMode::Firmware,
+                    mtbce: Span::from_secs(1),
+                    slowdown_pct: Some(215.0),
+                    stddev_pct: None,
+                    baseline_secs: 2.0,
+                    ce_events: 99.0,
+                    ranks: 16,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn ascii_table_alignment() {
+        let t = ascii_table(
+            &["a".into(), "bb".into()],
+            &[vec!["xxx".into(), "y".into()], vec!["z".into(), "w".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+        assert!(!lines[2].ends_with(' '));
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let s = render_figure(&sample_fig());
+        assert!(s.contains("figX"));
+        assert!(s.contains("software"));
+        assert!(s.contains("firmware"));
+        assert!(s.contains("3.25%"));
+        assert!(s.contains("215%"), "{s}");
+        assert!(s.contains("no-progress"));
+    }
+
+    #[test]
+    fn chart_renders_bars_and_infinity() {
+        let fig = sample_fig();
+        let chart = render_chart(&fig);
+        assert!(chart.contains("log scale"));
+        assert!(chart.contains("∞ (no progress)"));
+        assert!(chart.contains("3.25%"));
+        assert!(chart.contains("215.00%"));
+        // Bars are monotone in slowdown: firmware 215% longer than sw 3.25%.
+        let len = |pat: &str| {
+            chart
+                .lines()
+                .find(|l| l.contains(pat))
+                .map(|l| l.matches('#').count())
+                .unwrap()
+        };
+        assert!(len("215.00%") > len("3.25%"));
+    }
+
+    #[test]
+    fn csv_rows_match_cells() {
+        let fig = sample_fig();
+        let csv = figure_csv(&fig);
+        assert_eq!(csv.lines().count(), fig.cells.len() + 1);
+        assert!(csv.lines().nth(1).unwrap().contains("LULESH"));
+        // Diverged cells leave the slowdown field empty.
+        assert!(csv.lines().nth(2).unwrap().contains(",,"));
+    }
+}

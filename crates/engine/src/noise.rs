@@ -1,0 +1,125 @@
+//! The noise-injection interface.
+//!
+//! The engine funnels **every** interval of CPU work through
+//! [`NoiseModel::stretch`]. An implementation may extend the interval by
+//! inserting detours (CE handling, OS jitter, …). The CE detour model
+//! itself lives in `cesim-noise`; the engine only defines the contract:
+//!
+//! * calls for a given rank have non-decreasing `start` values (the
+//!   engine's per-rank CPU cursor guarantees this), so implementations can
+//!   keep per-rank cursors of their own;
+//! * `stretch` must return `>= start + work` — noise can only delay.
+
+use cesim_goal::Rank;
+use cesim_model::{Span, Time};
+
+/// Injects CPU detours into the simulation.
+pub trait NoiseModel {
+    /// A CPU interval on `rank` begins at `start` and needs `work` of
+    /// useful computation. Return the time at which the work completes,
+    /// including any injected detours.
+    fn stretch(&mut self, rank: Rank, start: Time, work: Span) -> Time;
+
+    /// Total detour events injected so far (for reporting).
+    fn events_injected(&self) -> u64 {
+        0
+    }
+}
+
+/// The identity model: no noise, CPU intervals take exactly their work.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoNoise;
+
+impl NoiseModel for NoNoise {
+    #[inline]
+    fn stretch(&mut self, _rank: Rank, start: Time, work: Span) -> Time {
+        start + work
+    }
+}
+
+/// A deterministic test model: a fixed list of `(rank, at, detour)`
+/// triples; each detour is inserted into the first CPU interval on that
+/// rank that covers (or follows) `at`. Useful for reproducing the paper's
+/// Fig. 1 hand-example and for unit tests.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedNoise {
+    /// Pending detours, consumed in order per rank.
+    pending: Vec<(Rank, Time, Span)>,
+    injected: u64,
+}
+
+impl ScriptedNoise {
+    /// Build from `(rank, at, detour)` triples.
+    pub fn new(mut detours: Vec<(Rank, Time, Span)>) -> Self {
+        detours.sort_by_key(|&(r, t, _)| (r, t));
+        ScriptedNoise {
+            pending: detours,
+            injected: 0,
+        }
+    }
+}
+
+impl NoiseModel for ScriptedNoise {
+    fn stretch(&mut self, rank: Rank, start: Time, work: Span) -> Time {
+        let mut end = start + work;
+        // Apply every pending detour for this rank scheduled before `end`.
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (r, at, d) = self.pending[i];
+            if r == rank && at <= end {
+                end += d;
+                self.pending.remove(i);
+                self.injected += 1;
+            } else {
+                i += 1;
+            }
+        }
+        end
+    }
+
+    fn events_injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut n = NoNoise;
+        let t = n.stretch(Rank(0), Time::from_ps(100), Span::from_ps(50));
+        assert_eq!(t, Time::from_ps(150));
+        assert_eq!(n.events_injected(), 0);
+    }
+
+    #[test]
+    fn scripted_noise_applies_in_window() {
+        let mut n = ScriptedNoise::new(vec![
+            (Rank(0), Time::from_ps(10), Span::from_ps(5)),
+            (Rank(1), Time::from_ps(0), Span::from_ps(100)),
+        ]);
+        // Rank 0 interval [0, 20) covers t=10: stretched by 5.
+        let end = n.stretch(Rank(0), Time::ZERO, Span::from_ps(20));
+        assert_eq!(end, Time::from_ps(25));
+        // Rank 0 has no more detours.
+        let end = n.stretch(Rank(0), end, Span::from_ps(20));
+        assert_eq!(end, Time::from_ps(45));
+        // Rank 1's detour applies to its first interval.
+        let end = n.stretch(Rank(1), Time::from_ps(7), Span::from_ps(3));
+        assert_eq!(end, Time::from_ps(110));
+        assert_eq!(n.events_injected(), 2);
+    }
+
+    #[test]
+    fn scripted_noise_defers_future_detours() {
+        let mut n = ScriptedNoise::new(vec![(Rank(0), Time::from_ps(1_000), Span::from_ps(7))]);
+        // Interval ends before the detour is due: unchanged.
+        let end = n.stretch(Rank(0), Time::ZERO, Span::from_ps(10));
+        assert_eq!(end, Time::from_ps(10));
+        // A later interval that covers it picks it up.
+        let end = n.stretch(Rank(0), Time::from_ps(995), Span::from_ps(10));
+        assert_eq!(end, Time::from_ps(1_012));
+    }
+}

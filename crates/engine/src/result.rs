@@ -1,0 +1,214 @@
+//! Simulation outcomes and errors.
+
+use cesim_model::{Span, Time};
+use std::error::Error;
+use std::fmt;
+
+/// The outcome of a completed simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimResult {
+    /// Application completion time: the latest op completion over all
+    /// ranks.
+    pub finish: Time,
+    /// Per-rank completion times.
+    pub per_rank_finish: Vec<Time>,
+    /// Per-rank CPU-occupied time (useful work plus injected detours).
+    pub per_rank_busy: Vec<Span>,
+    /// Per-rank useful work (busy minus detours).
+    pub per_rank_work: Vec<Span>,
+    /// Total operations executed.
+    pub ops_executed: u64,
+    /// Messages delivered (payload-bearing; RTS/CTS control messages are
+    /// counted separately).
+    pub msgs_delivered: u64,
+    /// Rendezvous control messages (RTS + CTS) delivered.
+    pub control_msgs: u64,
+    /// Detour events the noise model injected during the run.
+    pub noise_events: u64,
+    /// High-water mark of any rank's unexpected-message queue.
+    pub max_unexpected: usize,
+    /// High-water mark of any rank's posted-receive queue.
+    pub max_posted: usize,
+    /// Total events processed by the event loop.
+    pub events_processed: u64,
+}
+
+impl SimResult {
+    /// Earliest-finishing rank (load-imbalance diagnostics).
+    pub fn min_rank_finish(&self) -> Time {
+        self.per_rank_finish
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Slowdown of this run relative to a baseline completion time, as a
+    /// percentage (`0.0` = identical, `100.0` = twice as slow).
+    pub fn slowdown_pct(&self, baseline: Time) -> f64 {
+        assert!(baseline > Time::ZERO, "baseline must be positive");
+        (self.finish.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0
+    }
+
+    /// Spread between the last and first rank to finish.
+    pub fn finish_skew(&self) -> Span {
+        self.finish.saturating_since(self.min_rank_finish())
+    }
+
+    /// Total CPU time stolen by detours across all ranks
+    /// (`Σ busy − work`).
+    pub fn total_stolen(&self) -> Span {
+        self.per_rank_busy
+            .iter()
+            .zip(&self.per_rank_work)
+            .map(|(&b, &w)| b.saturating_sub(w))
+            .sum()
+    }
+
+    /// Time a rank spent neither computing nor in detours (blocked on
+    /// messages or done early).
+    pub fn blocked_time(&self, rank: usize) -> Span {
+        self.per_rank_finish[rank]
+            .since(Time::ZERO)
+            .saturating_sub(self.per_rank_busy[rank])
+    }
+
+    /// Noise amplification: wall-clock time added per second of CPU time
+    /// stolen on the *average* rank. 1.0 means detours fully serialize
+    /// into the critical path on every rank; values above the per-rank
+    /// average indicate propagation/amplification, values below indicate
+    /// absorption. Returns `None` when nothing was stolen.
+    pub fn amplification(&self, baseline: Time) -> Option<f64> {
+        let stolen = self.total_stolen().as_secs_f64();
+        if stolen == 0.0 || self.per_rank_finish.is_empty() {
+            return None;
+        }
+        let added = self.finish.saturating_since(baseline).as_secs_f64();
+        let per_rank_stolen = stolen / self.per_rank_finish.len() as f64;
+        if per_rank_stolen == 0.0 {
+            return None;
+        }
+        Some(added / per_rank_stolen)
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "finished at {} ({} ops, {} msgs, {} control, {} noise events)",
+            self.finish,
+            self.ops_executed,
+            self.msgs_delivered,
+            self.control_msgs,
+            self.noise_events
+        )
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained with operations still incomplete — the
+    /// schedule deadlocks (e.g. a receive whose message is never sent).
+    Deadlock {
+        /// Operations that did complete.
+        completed: u64,
+        /// Total operations in the schedule.
+        total: u64,
+        /// A few human-readable examples of stuck operations.
+        stuck_examples: Vec<String>,
+    },
+    /// The schedule was empty (no ranks).
+    EmptySchedule,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock {
+                completed,
+                total,
+                stuck_examples,
+            } => {
+                writeln!(
+                    f,
+                    "simulation deadlocked: {completed}/{total} ops completed; stuck ops:"
+                )?;
+                for e in stuck_examples {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            SimError::EmptySchedule => write!(f, "schedule has no ranks"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> SimResult {
+        SimResult {
+            finish: Time::from_ps(2_000),
+            per_rank_finish: vec![Time::from_ps(1_500), Time::from_ps(2_000)],
+            per_rank_busy: vec![Span::from_ps(1_200), Span::from_ps(1_000)],
+            per_rank_work: vec![Span::from_ps(1_000), Span::from_ps(1_000)],
+            ops_executed: 4,
+            msgs_delivered: 1,
+            control_msgs: 0,
+            noise_events: 0,
+            max_unexpected: 1,
+            max_posted: 1,
+            events_processed: 5,
+        }
+    }
+
+    #[test]
+    fn slowdown_math() {
+        let r = result();
+        assert!((r.slowdown_pct(Time::from_ps(1_000)) - 100.0).abs() < 1e-9);
+        assert!((r.slowdown_pct(Time::from_ps(2_000))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_and_min() {
+        let r = result();
+        assert_eq!(r.min_rank_finish(), Time::from_ps(1_500));
+        assert_eq!(r.finish_skew(), Span::from_ps(500));
+    }
+
+    #[test]
+    fn accounting_metrics() {
+        let r = result();
+        assert_eq!(r.total_stolen(), Span::from_ps(200));
+        assert_eq!(r.blocked_time(0), Span::from_ps(300));
+        assert_eq!(r.blocked_time(1), Span::from_ps(1_000));
+        // 2000 finish vs 1800 baseline: 200 ps added; stolen/rank = 100 ps.
+        let amp = r.amplification(Time::from_ps(1_800)).unwrap();
+        assert!((amp - 2.0).abs() < 1e-9);
+        // Nothing stolen -> None.
+        let mut clean = result();
+        clean.per_rank_busy = clean.per_rank_work.clone();
+        assert_eq!(clean.amplification(Time::from_ps(1_800)), None);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimError::Deadlock {
+            completed: 1,
+            total: 3,
+            stuck_examples: vec!["rank 0 op 2: recv ...".into()],
+        };
+        let s = format!("{e}");
+        assert!(s.contains("1/3"));
+        assert!(s.contains("recv"));
+        assert_eq!(
+            format!("{}", SimError::EmptySchedule),
+            "schedule has no ranks"
+        );
+    }
+}

@@ -1,0 +1,957 @@
+//! The LogGOPS discrete-event simulation loop.
+//!
+//! See the crate docs for the cost model. Implementation notes:
+//!
+//! * Per-rank **CPU** and **NIC** cursors (`cpu_free`, `nic_free`)
+//!   serialize overheads; the event queue only carries *op readiness* and
+//!   *message arrival* — resource waiting is folded into start-time
+//!   computation (`start = max(ready, cpu_free)`), which keeps the event
+//!   count at O(ops + messages).
+//! * Dependency fan-out uses a CSR adjacency built once per run.
+//! * All CPU intervals pass through the [`NoiseModel`], in non-decreasing
+//!   start order per rank.
+//! * Rendezvous transfers are three chained messages (RTS → CTS →
+//!   payload); RTS matches like a normal message, the payload is routed
+//!   directly to the matched receive.
+
+use crate::noise::NoiseModel;
+use crate::queue::EventQueue;
+use crate::result::{SimError, SimResult};
+use crate::topology::{FlatCrossbar, Topology};
+use cesim_goal::{OpKind, Rank, Schedule, Tag};
+use cesim_model::{LogGopsParams, Span, Time};
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug)]
+enum MsgKind {
+    /// Eagerly buffered payload.
+    Eager,
+    /// Rendezvous request-to-send; `send_op` identifies the sender's op.
+    Rts { send_op: u32 },
+    /// Rendezvous clear-to-send; echoes the sender's op and names the
+    /// matched receive.
+    Cts { send_op: u32, recv_op: u32 },
+    /// Rendezvous payload, routed directly to the matched receive.
+    Payload { recv_op: u32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Msg {
+    src: u32,
+    dst: u32,
+    tag: Tag,
+    bytes: u64,
+    kind: MsgKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    OpReady { rank: u32, op: u32 },
+    Arrive(Msg),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PostedRecv {
+    op: u32,
+    src: Option<u32>,
+    tag: Tag,
+    posted_at: Time,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum UnexKind {
+    Eager,
+    Rts { send_op: u32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct UnexMsg {
+    src: u32,
+    tag: Tag,
+    bytes: u64,
+    arrived: Time,
+    kind: UnexKind,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RankState {
+    cpu_free: Time,
+    nic_free: Time,
+    indeg: Vec<u32>,
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<UnexMsg>,
+    finish: Time,
+    done: Vec<bool>,
+    /// CPU-occupied time (useful work + injected detours).
+    busy: Span,
+    /// Useful work requested (busy minus detours).
+    work: Span,
+}
+
+/// Immutable dependency fan-out for one rank (CSR layout).
+#[derive(Clone, Debug, Default)]
+struct DepCsr {
+    off: Vec<u32>,
+    tgt: Vec<u32>,
+}
+
+/// A configured simulation, ready to [`run`](Simulator::run).
+pub struct Simulator<'a> {
+    sched: &'a Schedule,
+    params: LogGopsParams,
+    topology: Box<dyn Topology>,
+    deps: Vec<DepCsr>,
+    state: Vec<RankState>,
+    queue: EventQueue<Event>,
+    total_ops: u64,
+    completed: u64,
+    msgs_delivered: u64,
+    control_msgs: u64,
+    max_unexpected: usize,
+    max_posted: usize,
+    events_processed: u64,
+}
+
+/// Simulate `sched` under `params`, injecting noise from `noise`.
+///
+/// Convenience wrapper around [`Simulator::new`] + [`Simulator::run`].
+pub fn simulate<N: NoiseModel + ?Sized>(
+    sched: &Schedule,
+    params: &LogGopsParams,
+    noise: &mut N,
+) -> Result<SimResult, SimError> {
+    Simulator::new(sched, *params).run(noise)
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepare a simulation of `sched` under `params`.
+    pub fn new(sched: &'a Schedule, params: LogGopsParams) -> Self {
+        let nranks = sched.num_ranks();
+        let mut deps = Vec::with_capacity(nranks);
+        let mut state = Vec::with_capacity(nranks);
+        let mut total_ops = 0u64;
+        for rank in &sched.ranks {
+            let n = rank.ops.len();
+            total_ops += n as u64;
+            // Build CSR of dependents: edges dep -> op.
+            let mut counts = vec![0u32; n];
+            let mut indeg = vec![0u32; n];
+            for op in &rank.ops {
+                for d in &op.deps {
+                    counts[d.idx()] += 1;
+                }
+            }
+            for (i, op) in rank.ops.iter().enumerate() {
+                indeg[i] = op.deps.len() as u32;
+            }
+            let mut off = vec![0u32; n + 1];
+            for i in 0..n {
+                off[i + 1] = off[i] + counts[i];
+            }
+            let mut tgt = vec![0u32; off[n] as usize];
+            let mut cursor = off.clone();
+            for (i, op) in rank.ops.iter().enumerate() {
+                for d in &op.deps {
+                    let c = &mut cursor[d.idx()];
+                    tgt[*c as usize] = i as u32;
+                    *c += 1;
+                }
+            }
+            deps.push(DepCsr { off, tgt });
+            state.push(RankState {
+                indeg,
+                done: vec![false; n],
+                ..RankState::default()
+            });
+        }
+        Simulator {
+            sched,
+            params,
+            topology: Box::new(FlatCrossbar),
+            deps,
+            state,
+            queue: EventQueue::with_capacity(1024),
+            total_ops,
+            completed: 0,
+            msgs_delivered: 0,
+            control_msgs: 0,
+            max_unexpected: 0,
+            max_posted: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Replace the network topology (default: the paper's flat crossbar).
+    /// Only has an effect when `params.hop_latency` is non-zero.
+    pub fn with_topology(mut self, topology: Box<dyn Topology>) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Per-hop latency surcharge for a `src → dst` message:
+    /// `hop_latency · (hops − 1)`.
+    #[inline]
+    fn wire_extra(&self, src: u32, dst: u32) -> cesim_model::Span {
+        if self.params.hop_latency.is_zero() {
+            return cesim_model::Span::ZERO;
+        }
+        let hops = self.topology.hops(Rank(src), Rank(dst));
+        self.params.hop_latency * hops.saturating_sub(1) as u64
+    }
+
+    /// Run to completion (or deadlock).
+    pub fn run<N: NoiseModel + ?Sized>(mut self, noise: &mut N) -> Result<SimResult, SimError> {
+        if self.sched.num_ranks() == 0 {
+            return Err(SimError::EmptySchedule);
+        }
+        // Seed: every op with no dependencies is ready at t = 0.
+        for (r, st) in self.state.iter().enumerate() {
+            for (i, &d) in st.indeg.iter().enumerate() {
+                if d == 0 {
+                    self.queue.push(
+                        Time::ZERO,
+                        Event::OpReady {
+                            rank: r as u32,
+                            op: i as u32,
+                        },
+                    );
+                }
+            }
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            self.events_processed += 1;
+            match ev {
+                Event::OpReady { rank, op } => self.exec_op(noise, rank, op, t),
+                Event::Arrive(msg) => self.arrive(noise, msg, t),
+            }
+        }
+        if self.completed != self.total_ops {
+            return Err(self.deadlock_report());
+        }
+        let per_rank_finish: Vec<Time> = self.state.iter().map(|s| s.finish).collect();
+        let finish = per_rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
+        Ok(SimResult {
+            finish,
+            per_rank_finish,
+            per_rank_busy: self.state.iter().map(|s| s.busy).collect(),
+            per_rank_work: self.state.iter().map(|s| s.work).collect(),
+            ops_executed: self.completed,
+            msgs_delivered: self.msgs_delivered,
+            control_msgs: self.control_msgs,
+            noise_events: noise.events_injected(),
+            max_unexpected: self.max_unexpected,
+            max_posted: self.max_posted,
+            events_processed: self.events_processed,
+        })
+    }
+
+    /// Occupy `rank`'s CPU with `work`, starting no earlier than `ready`,
+    /// routing the interval through the noise model and accounting busy /
+    /// useful time.
+    fn occupy_cpu<N: NoiseModel + ?Sized>(
+        &mut self,
+        noise: &mut N,
+        rank: u32,
+        ready: Time,
+        work: Span,
+    ) -> Time {
+        let st = &mut self.state[rank as usize];
+        let start = ready.max(st.cpu_free);
+        let end = noise.stretch(Rank(rank), start, work);
+        st.cpu_free = end;
+        st.busy += end.since(start);
+        st.work += work;
+        end
+    }
+
+    fn exec_op<N: NoiseModel + ?Sized>(&mut self, noise: &mut N, rank: u32, op: u32, t: Time) {
+        let kind = self.sched.ranks[rank as usize].ops[op as usize].kind;
+        match kind {
+            OpKind::Calc { dur } => {
+                let end = self.occupy_cpu(noise, rank, t, dur);
+                self.complete(rank, op, end);
+            }
+            OpKind::Send { dst, bytes, tag } => {
+                if self.params.is_rendezvous(bytes) {
+                    // RTS control message; the send op stays open until the
+                    // CTS returns and the payload is injected.
+                    let cpu_end = self.occupy_cpu(noise, rank, t, self.params.overhead);
+                    let st = &mut self.state[rank as usize];
+                    let inject = cpu_end.max(st.nic_free);
+                    st.nic_free = inject + self.params.gap;
+                    let arrive = inject + self.params.latency + self.wire_extra(rank, dst.0);
+                    self.queue.push(
+                        arrive,
+                        Event::Arrive(Msg {
+                            src: rank,
+                            dst: dst.0,
+                            tag,
+                            bytes,
+                            kind: MsgKind::Rts { send_op: op },
+                        }),
+                    );
+                } else {
+                    let cpu_end = self.occupy_cpu(noise, rank, t, self.params.cpu_cost(bytes));
+                    let st = &mut self.state[rank as usize];
+                    let inject = cpu_end.max(st.nic_free);
+                    st.nic_free = inject + self.params.nic_cost(bytes);
+                    let arrive =
+                        inject + self.params.wire_time(bytes) + self.wire_extra(rank, dst.0);
+                    self.queue.push(
+                        arrive,
+                        Event::Arrive(Msg {
+                            src: rank,
+                            dst: dst.0,
+                            tag,
+                            bytes,
+                            kind: MsgKind::Eager,
+                        }),
+                    );
+                    // Eager sends complete locally once buffered.
+                    self.complete(rank, op, cpu_end);
+                }
+            }
+            OpKind::Recv { src, tag, .. } => {
+                let srcf = src.map(|r| r.0);
+                if let Some(u) = self.take_unexpected(rank, srcf, tag) {
+                    match u.kind {
+                        UnexKind::Eager => self.finish_recv(noise, rank, op, u.arrived, u.bytes, t),
+                        UnexKind::Rts { send_op } => self.send_cts(
+                            noise,
+                            rank,
+                            u.src,
+                            tag,
+                            u.bytes,
+                            send_op,
+                            op,
+                            t.max(u.arrived),
+                        ),
+                    }
+                } else {
+                    let st = &mut self.state[rank as usize];
+                    st.posted.push_back(PostedRecv {
+                        op,
+                        src: srcf,
+                        tag,
+                        posted_at: t,
+                    });
+                    self.max_posted = self.max_posted.max(st.posted.len());
+                }
+            }
+        }
+    }
+
+    fn arrive<N: NoiseModel + ?Sized>(&mut self, noise: &mut N, msg: Msg, t: Time) {
+        match msg.kind {
+            MsgKind::Eager | MsgKind::Rts { .. } => {
+                if matches!(msg.kind, MsgKind::Eager) {
+                    self.msgs_delivered += 1;
+                } else {
+                    self.control_msgs += 1;
+                }
+                if let Some(p) = self.take_posted(msg.dst, msg.src, msg.tag) {
+                    match msg.kind {
+                        MsgKind::Eager => {
+                            self.finish_recv(noise, msg.dst, p.op, t, msg.bytes, p.posted_at)
+                        }
+                        MsgKind::Rts { send_op } => self.send_cts(
+                            noise, msg.dst, msg.src, msg.tag, msg.bytes, send_op, p.op, t,
+                        ),
+                        _ => unreachable!(),
+                    }
+                } else {
+                    let kind = match msg.kind {
+                        MsgKind::Eager => UnexKind::Eager,
+                        MsgKind::Rts { send_op } => UnexKind::Rts { send_op },
+                        _ => unreachable!(),
+                    };
+                    let st = &mut self.state[msg.dst as usize];
+                    st.unexpected.push_back(UnexMsg {
+                        src: msg.src,
+                        tag: msg.tag,
+                        bytes: msg.bytes,
+                        arrived: t,
+                        kind,
+                    });
+                    self.max_unexpected = self.max_unexpected.max(st.unexpected.len());
+                }
+            }
+            MsgKind::Cts { send_op, recv_op } => {
+                // Back at the original sender: inject the payload.
+                self.control_msgs += 1;
+                let sender = msg.dst;
+                let cpu_end = self.occupy_cpu(noise, sender, t, self.params.cpu_cost(msg.bytes));
+                let st = &mut self.state[sender as usize];
+                let inject = cpu_end.max(st.nic_free);
+                st.nic_free = inject + self.params.nic_cost(msg.bytes);
+                let arrive =
+                    inject + self.params.wire_time(msg.bytes) + self.wire_extra(sender, msg.src);
+                self.queue.push(
+                    arrive,
+                    Event::Arrive(Msg {
+                        src: sender,
+                        dst: msg.src,
+                        tag: msg.tag,
+                        bytes: msg.bytes,
+                        kind: MsgKind::Payload { recv_op },
+                    }),
+                );
+                self.complete(sender, send_op, cpu_end);
+            }
+            MsgKind::Payload { recv_op } => {
+                self.msgs_delivered += 1;
+                self.finish_recv(noise, msg.dst, recv_op, t, msg.bytes, t);
+            }
+        }
+    }
+
+    /// Complete a receive once its message is available at `avail`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_recv<N: NoiseModel + ?Sized>(
+        &mut self,
+        noise: &mut N,
+        rank: u32,
+        op: u32,
+        avail: Time,
+        bytes: u64,
+        posted_at: Time,
+    ) {
+        let ready = avail.max(posted_at);
+        let end = self.occupy_cpu(noise, rank, ready, self.params.cpu_cost(bytes));
+        self.complete(rank, op, end);
+    }
+
+    /// Receiver side of rendezvous: answer an RTS with a CTS.
+    #[allow(clippy::too_many_arguments)]
+    fn send_cts<N: NoiseModel + ?Sized>(
+        &mut self,
+        noise: &mut N,
+        rank: u32,
+        sender: u32,
+        tag: Tag,
+        payload_bytes: u64,
+        send_op: u32,
+        recv_op: u32,
+        t: Time,
+    ) {
+        let cpu_end = self.occupy_cpu(noise, rank, t, self.params.overhead);
+        let st = &mut self.state[rank as usize];
+        let inject = cpu_end.max(st.nic_free);
+        st.nic_free = inject + self.params.gap;
+        let arrive = inject + self.params.latency + self.wire_extra(rank, sender);
+        self.queue.push(
+            arrive,
+            Event::Arrive(Msg {
+                src: rank,
+                dst: sender,
+                tag,
+                bytes: payload_bytes,
+                kind: MsgKind::Cts { send_op, recv_op },
+            }),
+        );
+    }
+
+    /// First posted receive at `dst` matching `(src, tag)`, FIFO order.
+    fn take_posted(&mut self, dst: u32, src: u32, tag: Tag) -> Option<PostedRecv> {
+        let st = &mut self.state[dst as usize];
+        let idx = st
+            .posted
+            .iter()
+            .position(|p| p.tag == tag && (p.src.is_none() || p.src == Some(src)))?;
+        st.posted.remove(idx)
+    }
+
+    /// First unexpected message at `rank` matching the receive's filter.
+    fn take_unexpected(&mut self, rank: u32, srcf: Option<u32>, tag: Tag) -> Option<UnexMsg> {
+        let st = &mut self.state[rank as usize];
+        let idx = st
+            .unexpected
+            .iter()
+            .position(|u| u.tag == tag && (srcf.is_none() || srcf == Some(u.src)))?;
+        st.unexpected.remove(idx)
+    }
+
+    fn complete(&mut self, rank: u32, op: u32, t: Time) {
+        let r = rank as usize;
+        {
+            let st = &mut self.state[r];
+            debug_assert!(!st.done[op as usize], "op completed twice");
+            st.done[op as usize] = true;
+            st.finish = st.finish.max(t);
+        }
+        self.completed += 1;
+        let csr = &self.deps[r];
+        let lo = csr.off[op as usize] as usize;
+        let hi = csr.off[op as usize + 1] as usize;
+        for i in lo..hi {
+            let d = csr.tgt[i];
+            let indeg = &mut self.state[r].indeg[d as usize];
+            *indeg -= 1;
+            if *indeg == 0 {
+                self.queue.push(t, Event::OpReady { rank, op: d });
+            }
+        }
+    }
+
+    fn deadlock_report(&self) -> SimError {
+        let mut stuck = Vec::new();
+        'outer: for (r, st) in self.state.iter().enumerate() {
+            for (i, &d) in st.done.iter().enumerate() {
+                if !d {
+                    let op = &self.sched.ranks[r].ops[i];
+                    stuck.push(format!(
+                        "rank {r} op {i}: {} (unmet deps: {})",
+                        op.kind, st.indeg[i]
+                    ));
+                    if stuck.len() >= 8 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        SimError::Deadlock {
+            completed: self.completed,
+            total: self.total_ops,
+            stuck_examples: stuck,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{NoNoise, ScriptedNoise};
+    use cesim_goal::{Rank, ScheduleBuilder, Tag};
+    use cesim_model::Span;
+
+    fn xc40() -> LogGopsParams {
+        LogGopsParams::xc40()
+    }
+
+    #[test]
+    fn single_calc() {
+        let mut b = ScheduleBuilder::new(1);
+        b.calc(Rank(0), Span::from_us(5), &[]);
+        let s = b.build();
+        let r = simulate(&s, &xc40(), &mut NoNoise).unwrap();
+        assert_eq!(r.finish, Time::ZERO + Span::from_us(5));
+        assert_eq!(r.ops_executed, 1);
+        assert_eq!(r.msgs_delivered, 0);
+    }
+
+    #[test]
+    fn chained_calcs_serialize() {
+        let mut b = ScheduleBuilder::new(1);
+        let a = b.calc(Rank(0), Span::from_us(2), &[]);
+        b.calc(Rank(0), Span::from_us(3), &[a]);
+        // Independent op with no deps still serializes on the CPU.
+        b.calc(Rank(0), Span::from_us(4), &[]);
+        let s = b.build();
+        let r = simulate(&s, &xc40(), &mut NoNoise).unwrap();
+        assert_eq!(r.finish, Time::ZERO + Span::from_us(9));
+    }
+
+    /// Analytic check of the eager path:
+    /// receiver finishes at (o + bO) + (L + bG) + (o + bO).
+    #[test]
+    fn eager_ping_analytic() {
+        let p = xc40();
+        let bytes = 8u64;
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+        let s = b.build();
+        let r = simulate(&s, &p, &mut NoNoise).unwrap();
+        let expect = Time::ZERO
+            + p.cpu_cost(bytes) // sender o + bO
+            + p.wire_time(bytes) // L + bG
+            + p.cpu_cost(bytes); // receiver o + bO
+        assert_eq!(r.per_rank_finish[1], expect);
+        assert_eq!(r.per_rank_finish[0], Time::ZERO + p.cpu_cost(bytes));
+        assert_eq!(r.msgs_delivered, 1);
+        assert_eq!(r.control_msgs, 0);
+    }
+
+    /// Analytic check of the rendezvous path:
+    /// RTS(o, L) → CTS(o, L) → payload(o+bO, L+bG, o+bO).
+    #[test]
+    fn rendezvous_ping_analytic() {
+        let p = xc40();
+        let bytes = 32 * 1024u64; // > 16 KiB threshold
+        assert!(p.is_rendezvous(bytes));
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+        let s = b.build();
+        let r = simulate(&s, &p, &mut NoNoise).unwrap();
+
+        let rts_at_recv = Time::ZERO + p.overhead + p.latency;
+        let cts_at_sender = rts_at_recv + p.overhead + p.latency;
+        let sender_done = cts_at_sender + p.cpu_cost(bytes);
+        let payload_at_recv = sender_done + p.wire_time(bytes);
+        let recv_done = payload_at_recv + p.cpu_cost(bytes);
+
+        assert_eq!(r.per_rank_finish[0], sender_done);
+        assert_eq!(r.per_rank_finish[1], recv_done);
+        assert_eq!(r.msgs_delivered, 1);
+        assert_eq!(r.control_msgs, 2);
+    }
+
+    /// Rendezvous where the send starts before the recv is posted: the RTS
+    /// sits in the unexpected queue until the receiver posts.
+    #[test]
+    fn rendezvous_late_recv() {
+        let p = xc40();
+        let bytes = 64 * 1024u64;
+        let delay = Span::from_ms(1);
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+        let c = b.calc(Rank(1), delay, &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[c]);
+        let s = b.build();
+        let r = simulate(&s, &p, &mut NoNoise).unwrap();
+        // CTS leaves the receiver only after its delay calc.
+        let cts_at_sender = Time::ZERO + delay + p.overhead + p.latency;
+        let sender_done = cts_at_sender + p.cpu_cost(bytes);
+        assert_eq!(r.per_rank_finish[0], sender_done);
+        assert_eq!(r.max_unexpected, 1);
+    }
+
+    #[test]
+    fn unexpected_eager_message() {
+        let p = xc40();
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), 8, Tag(1), &[]);
+        let c = b.calc(Rank(1), Span::from_ms(2), &[]);
+        b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[c]);
+        let s = b.build();
+        let r = simulate(&s, &p, &mut NoNoise).unwrap();
+        // Message arrived long before the recv posted; recv completes right
+        // after the calc plus processing overhead.
+        let expect = Time::ZERO + Span::from_ms(2) + p.cpu_cost(8);
+        assert_eq!(r.per_rank_finish[1], expect);
+        assert_eq!(r.max_unexpected, 1);
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let p = xc40();
+        let mut b = ScheduleBuilder::new(3);
+        // Rank 1 sends immediately; rank 0 sends after a long calc.
+        let c = b.calc(Rank(0), Span::from_ms(5), &[]);
+        b.send(Rank(0), Rank(2), 8, Tag(1), &[c]);
+        b.send(Rank(1), Rank(2), 8, Tag(1), &[]);
+        let r1 = b.recv(Rank(2), None, 8, Tag(1), &[]);
+        b.recv(Rank(2), None, 8, Tag(1), &[r1]);
+        let s = b.build();
+        let r = simulate(&s, &p, &mut NoNoise).unwrap();
+        // First recv completes well before rank 0's message exists.
+        assert!(r.per_rank_finish[2] > Time::ZERO + Span::from_ms(5));
+        assert_eq!(r.msgs_delivered, 2);
+    }
+
+    #[test]
+    fn fifo_matching_same_src_tag() {
+        let p = xc40();
+        let mut b = ScheduleBuilder::new(2);
+        let s1 = b.send(Rank(0), Rank(1), 100, Tag(1), &[]);
+        b.send(Rank(0), Rank(1), 200, Tag(1), &[s1]);
+        let r1 = b.recv(Rank(1), Some(Rank(0)), 100, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), 200, Tag(1), &[r1]);
+        let s = b.build();
+        // Must complete without deadlock; FIFO keeps pairs aligned.
+        let r = simulate(&s, &p, &mut NoNoise).unwrap();
+        assert_eq!(r.msgs_delivered, 2);
+    }
+
+    #[test]
+    fn nic_gap_serializes_injections() {
+        let p = xc40();
+        let bytes = 1024u64;
+        // Two sends back-to-back: second arrival is delayed by max(cpu, gap)
+        // serialization.
+        let mut b = ScheduleBuilder::new(2);
+        let s1 = b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+        b.send(Rank(0), Rank(1), bytes, Tag(2), &[s1]);
+        let r1 = b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(2), &[r1]);
+        let s = b.build();
+        let r = simulate(&s, &p, &mut NoNoise).unwrap();
+        // Sender CPU: two cpu_cost intervals; second injection must wait
+        // for NIC: inject2 = max(2*cpu_cost, inject1 + nic_cost).
+        let cpu = p.cpu_cost(bytes);
+        let inject1 = Time::ZERO + cpu;
+        let inject2 = (inject1 + cpu).max(inject1 + p.nic_cost(bytes));
+        let arrive2 = inject2 + p.wire_time(bytes);
+        let expect = arrive2 + p.cpu_cost(bytes);
+        assert_eq!(r.per_rank_finish[1], expect);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut b = ScheduleBuilder::new(2);
+        b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+        let s = b.build();
+        let e = simulate(&s, &xc40(), &mut NoNoise).unwrap_err();
+        match e {
+            SimError::Deadlock {
+                completed,
+                total,
+                stuck_examples,
+            } => {
+                assert_eq!(completed, 0);
+                assert_eq!(total, 1);
+                assert!(stuck_examples[0].contains("recv"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_schedule_rejected() {
+        let s = Schedule::default();
+        assert_eq!(
+            simulate(&s, &xc40(), &mut NoNoise).unwrap_err(),
+            SimError::EmptySchedule
+        );
+    }
+
+    /// The Fig. 1 scenario: three ranks chained by two messages; a detour
+    /// on rank 0 delays rank 2, which rank 0 never talks to.
+    #[test]
+    fn fig1_delay_propagates_transitively() {
+        let p = xc40();
+        let work = Span::from_us(100);
+        let build = || {
+            let mut b = ScheduleBuilder::new(3);
+            let c0 = b.calc(Rank(0), work, &[]);
+            b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+            let r1 = b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+            let c1 = b.calc(Rank(1), work, &[r1]);
+            b.send(Rank(1), Rank(2), 8, Tag(2), &[c1]);
+            let r2 = b.recv(Rank(2), Some(Rank(1)), 8, Tag(2), &[]);
+            b.calc(Rank(2), work, &[r2]);
+            b.build()
+        };
+        let base = simulate(&build(), &p, &mut NoNoise).unwrap();
+        let detour = Span::from_ms(10);
+        let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, detour)]);
+        let pert = simulate(&build(), &p, &mut noise).unwrap();
+        assert_eq!(pert.noise_events, 1);
+        // Rank 2's finish shifts by exactly the rank-0 detour.
+        assert_eq!(pert.per_rank_finish[2], base.per_rank_finish[2] + detour);
+        assert_eq!(pert.finish, base.finish + detour);
+    }
+
+    #[test]
+    fn noise_on_uninvolved_rank_is_harmless() {
+        let p = xc40();
+        let build = || {
+            let mut b = ScheduleBuilder::new(3);
+            b.send(Rank(0), Rank(1), 8, Tag(1), &[]);
+            b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+            b.calc(Rank(2), Span::from_us(1), &[]);
+            b.build()
+        };
+        let base = simulate(&build(), &p, &mut NoNoise).unwrap();
+        // A detour on rank 2 smaller than the communication time of ranks
+        // 0/1 does not move the app finish time.
+        let mut noise = ScriptedNoise::new(vec![(Rank(2), Time::ZERO, Span::from_ns(10))]);
+        let pert = simulate(&build(), &p, &mut noise).unwrap();
+        assert_eq!(pert.finish, base.finish);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_result() {
+        let mut b = ScheduleBuilder::new(4);
+        let mut tags = cesim_goal::builder::TagPool::new();
+        let entry: Vec<_> = (0..4)
+            .map(|r| b.calc(Rank::from(r), Span::from_us(3), &[]))
+            .collect();
+        cesim_goal::collectives::allreduce_recursive_doubling(
+            &mut b,
+            &mut tags,
+            64,
+            &cesim_goal::collectives::CollectiveCosts::default(),
+            &entry,
+        );
+        let s = b.build();
+        let r1 = simulate(&s, &xc40(), &mut NoNoise).unwrap();
+        let r2 = simulate(&s, &xc40(), &mut NoNoise).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn collective_schedules_complete() {
+        use cesim_goal::builder::TagPool;
+        use cesim_goal::collectives as coll;
+        for n in [2usize, 3, 5, 8, 13] {
+            let mut b = ScheduleBuilder::new(n);
+            let mut tags = TagPool::new();
+            let entry: Vec<_> = (0..n)
+                .map(|r| b.calc(Rank::from(r), Span::from_us(1), &[]))
+                .collect();
+            let e1 = coll::barrier_dissemination(&mut b, &mut tags, &entry);
+            let e2 = coll::allreduce_recursive_doubling(
+                &mut b,
+                &mut tags,
+                8,
+                &coll::CollectiveCosts::default(),
+                &e1,
+            );
+            let e3 = coll::bcast_binomial(&mut b, &mut tags, Rank(1 % n as u32), 1 << 20, &e2);
+            let e4 = coll::reduce_binomial(
+                &mut b,
+                &mut tags,
+                Rank(0),
+                4096,
+                &coll::CollectiveCosts::default(),
+                &e3,
+            );
+            let e5 = coll::allgather_ring(&mut b, &mut tags, 256, &e4);
+            coll::alltoall_pairwise(&mut b, &mut tags, 64, &e5);
+            let s = b.build();
+            s.validate().unwrap();
+            let r = simulate(&s, &xc40(), &mut NoNoise).unwrap();
+            assert!(r.finish > Time::ZERO, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rendezvous_inside_collective_completes() {
+        use cesim_goal::builder::TagPool;
+        use cesim_goal::collectives as coll;
+        let n = 6;
+        let mut b = ScheduleBuilder::new(n);
+        let mut tags = TagPool::new();
+        let entry: Vec<_> = (0..n)
+            .map(|r| b.calc(Rank::from(r), Span::ZERO, &[]))
+            .collect();
+        // 1 MiB payload: forces the rendezvous path inside the collective.
+        coll::allreduce_recursive_doubling(
+            &mut b,
+            &mut tags,
+            1 << 20,
+            &coll::CollectiveCosts::default(),
+            &entry,
+        );
+        let s = b.build();
+        let r = simulate(&s, &xc40(), &mut NoNoise).unwrap();
+        assert!(r.control_msgs > 0);
+        assert_eq!(r.ops_executed, s.total_ops() as u64);
+    }
+
+    #[test]
+    fn topology_hop_latency_delays_distant_pairs() {
+        use crate::topology::{FlatCrossbar, Torus3D};
+        let hop = Span::from_us(1);
+        let p = xc40().with_hop_latency(hop);
+        // A 4x4x4 torus: rank 0 -> 1 is adjacent; rank 0 -> 42 ([2,2,2])
+        // is 6 hops away.
+        let ping = |dst: u32| {
+            let mut b = ScheduleBuilder::new(64);
+            b.send(Rank(0), Rank(dst), 8, Tag(1), &[]);
+            b.recv(Rank(dst), Some(Rank(0)), 8, Tag(1), &[]);
+            b.build()
+        };
+        let run = |dst: u32| {
+            Simulator::new(&ping(dst), p)
+                .with_topology(Box::new(Torus3D::new([4, 4, 4])))
+                .run(&mut NoNoise)
+                .unwrap()
+                .per_rank_finish[dst as usize]
+        };
+        let near = run(1);
+        let far = run(42);
+        assert_eq!(far.since(Time::ZERO) - near.since(Time::ZERO), hop * 5);
+        // Flat topology (or zero hop latency) reproduces the default.
+        let base = simulate(&ping(42), &xc40(), &mut NoNoise).unwrap();
+        let flat = Simulator::new(&ping(42), xc40())
+            .with_topology(Box::new(FlatCrossbar))
+            .run(&mut NoNoise)
+            .unwrap();
+        assert_eq!(base, flat);
+        let torus_no_hop = Simulator::new(&ping(42), xc40())
+            .with_topology(Box::new(Torus3D::new([4, 4, 4])))
+            .run(&mut NoNoise)
+            .unwrap();
+        assert_eq!(base, torus_no_hop);
+    }
+
+    #[test]
+    fn rendezvous_pays_hop_latency_on_all_three_messages() {
+        use crate::topology::Dragonfly;
+        let hop = Span::from_us(10);
+        let p = xc40().with_hop_latency(hop);
+        let bytes = 64 * 1024u64;
+        let build = || {
+            let mut b = ScheduleBuilder::new(32);
+            b.send(Rank(0), Rank(31), bytes, Tag(1), &[]);
+            b.recv(Rank(31), Some(Rank(0)), bytes, Tag(1), &[]);
+            b.build()
+        };
+        let flat = simulate(&build(), &xc40(), &mut NoNoise).unwrap();
+        let df = Simulator::new(&build(), p)
+            .with_topology(Box::new(Dragonfly::new(16)))
+            .run(&mut NoNoise)
+            .unwrap();
+        // Ranks 0 and 31 are in different groups: 3 hops, surcharge
+        // 2 * hop per message, RTS + CTS + payload = 3 messages.
+        assert_eq!(
+            df.per_rank_finish[31].since(Time::ZERO) - flat.per_rank_finish[31].since(Time::ZERO),
+            hop * 2 * 3
+        );
+    }
+
+    #[test]
+    fn busy_work_accounting() {
+        let p = xc40();
+        let bytes = 8u64;
+        let build = || {
+            let mut b = ScheduleBuilder::new(2);
+            let c = b.calc(Rank(0), Span::from_us(10), &[]);
+            b.send(Rank(0), Rank(1), bytes, Tag(1), &[c]);
+            b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+            b.build()
+        };
+        // Without noise: busy == work on both ranks; rank 1 is blocked
+        // while the message is in flight.
+        let r = simulate(&build(), &p, &mut NoNoise).unwrap();
+        assert_eq!(r.per_rank_busy, r.per_rank_work);
+        assert_eq!(r.total_stolen(), Span::ZERO);
+        assert_eq!(r.per_rank_work[0], Span::from_us(10) + p.cpu_cost(bytes));
+        assert_eq!(r.per_rank_work[1], p.cpu_cost(bytes));
+        assert!(r.blocked_time(1) > Span::ZERO);
+        // With one scripted detour on rank 0: exactly that much stolen.
+        let d = Span::from_ms(3);
+        let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, d)]);
+        let rn = simulate(&build(), &p, &mut noise).unwrap();
+        assert_eq!(rn.total_stolen(), d);
+        assert_eq!(rn.per_rank_work, r.per_rank_work);
+        // The detour lands on both ranks' critical paths: amplification
+        // is (added wall) / (stolen per rank) = d / (d/2) = 2.
+        let amp = rn.amplification(r.finish).unwrap();
+        assert!((amp - 2.0).abs() < 0.01, "amp = {amp}");
+    }
+
+    #[test]
+    fn slowdown_is_monotone_in_detour_size() {
+        let p = xc40();
+        let build = || {
+            let mut b = ScheduleBuilder::new(2);
+            let c = b.calc(Rank(0), Span::from_us(50), &[]);
+            b.send(Rank(0), Rank(1), 8, Tag(1), &[c]);
+            b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+            b.build()
+        };
+        let base = simulate(&build(), &p, &mut NoNoise).unwrap().finish;
+        let mut prev = base;
+        for us in [1u64, 10, 100, 1000] {
+            let mut n = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, Span::from_us(us))]);
+            let f = simulate(&build(), &p, &mut n).unwrap().finish;
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert_eq!(prev, base + Span::from_us(1000));
+    }
+}

@@ -1,0 +1,299 @@
+//! Network topologies: hop-dependent wire latency.
+//!
+//! LogGOPS (and the paper) model the network as a flat crossbar: every
+//! message pays the same latency `L`. Real interconnects pay per-hop
+//! costs that depend on placement — a Cray XC40's dragonfly, a torus, or
+//! a fat-tree. This module generalizes the engine's wire model:
+//!
+//! ```text
+//! arrival = inject + L + (hops(src, dst) - 1) · hop_latency + bytes · G
+//! ```
+//!
+//! With [`FlatCrossbar`] (the default) or `hop_latency = 0` the engine
+//! reproduces the paper's flat model bit-for-bit; the other topologies
+//! are an *extension* for studying whether CE-noise conclusions depend on
+//! network diameter (they barely do — collectives dominate; see the
+//! `topology` ablation bench).
+
+use cesim_goal::Rank;
+
+/// Maps rank pairs to hop counts.
+pub trait Topology {
+    /// Number of switch-to-switch hops between the nodes hosting `src`
+    /// and `dst` (≥ 1 for distinct nodes; by convention 1 means "minimum
+    /// distance", which pays no surcharge over `L`).
+    fn hops(&self, src: Rank, dst: Rank) -> u32;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Largest hop count over any pair (network diameter), used in
+    /// diagnostics. Default scans are fine for test-sized networks;
+    /// implementations may override with closed forms.
+    fn diameter(&self, ranks: usize) -> u32 {
+        let mut d = 1;
+        for a in 0..ranks.min(256) {
+            for b in 0..ranks.min(256) {
+                if a != b {
+                    d = d.max(self.hops(Rank::from(a), Rank::from(b)));
+                }
+            }
+        }
+        d
+    }
+}
+
+/// The paper's model: every pair is one hop apart.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlatCrossbar;
+
+impl Topology for FlatCrossbar {
+    #[inline]
+    fn hops(&self, _src: Rank, _dst: Rank) -> u32 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "flat-crossbar"
+    }
+
+    fn diameter(&self, _ranks: usize) -> u32 {
+        1
+    }
+}
+
+/// A 3-D torus with one node per vertex (ranks laid out row-major).
+/// Hops = Manhattan distance with wraparound, floored at 1.
+#[derive(Clone, Debug)]
+pub struct Torus3D {
+    dims: [usize; 3],
+}
+
+impl Torus3D {
+    /// A torus with the given extents.
+    pub fn new(dims: [usize; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "torus extents must be >= 1");
+        Torus3D { dims }
+    }
+
+    /// A balanced torus for `n` ranks (extents from a 3-way
+    /// factorization).
+    pub fn balanced(n: usize) -> Self {
+        // Inline balanced 3-way factorization (avoids a dependency on
+        // cesim-workloads): greedy near-cube.
+        let mut best = [n, 1, 1];
+        let mut best_score = usize::MAX;
+        let mut a = 1usize;
+        while a * a * a <= n {
+            if n.is_multiple_of(a) {
+                let m = n / a;
+                let mut b = a;
+                while b * b <= m {
+                    if m.is_multiple_of(b) {
+                        let c = m / b;
+                        let score = c - a;
+                        if score < best_score {
+                            best_score = score;
+                            best = [c, b, a];
+                        }
+                    }
+                    b += 1;
+                }
+            }
+            a += 1;
+        }
+        Torus3D::new(best)
+    }
+
+    fn coords(&self, r: usize) -> [usize; 3] {
+        let d = self.dims;
+        [r / (d[1] * d[2]), (r / d[2]) % d[1], r % d[2]]
+    }
+
+    /// Torus extents.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+}
+
+impl Topology for Torus3D {
+    fn hops(&self, src: Rank, dst: Rank) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        let a = self.coords(src.idx());
+        let b = self.coords(dst.idx());
+        let mut total = 0usize;
+        for i in 0..3 {
+            let d = self.dims[i];
+            let lin = a[i].abs_diff(b[i]);
+            total += lin.min(d - lin);
+        }
+        (total as u32).max(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "torus-3d"
+    }
+
+    fn diameter(&self, _ranks: usize) -> u32 {
+        self.dims
+            .iter()
+            .map(|&d| (d / 2) as u32)
+            .sum::<u32>()
+            .max(1)
+    }
+}
+
+/// A dragonfly (the Cray XC40's actual topology): ranks are grouped;
+/// intra-group traffic takes 1–2 hops, inter-group minimal routing takes
+/// local + global + local = 3.
+#[derive(Clone, Copy, Debug)]
+pub struct Dragonfly {
+    group_size: usize,
+}
+
+impl Dragonfly {
+    /// Groups of `group_size` nodes.
+    pub fn new(group_size: usize) -> Self {
+        assert!(group_size >= 1);
+        Dragonfly { group_size }
+    }
+
+    fn group(&self, r: Rank) -> usize {
+        r.idx() / self.group_size
+    }
+}
+
+impl Topology for Dragonfly {
+    fn hops(&self, src: Rank, dst: Rank) -> u32 {
+        if src == dst {
+            0
+        } else if self.group(src) == self.group(dst) {
+            1
+        } else {
+            3
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dragonfly"
+    }
+
+    fn diameter(&self, ranks: usize) -> u32 {
+        if ranks <= self.group_size {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+/// A k-ary fat-tree with `leaf` nodes per edge switch: hops = 1 within a
+/// leaf switch, otherwise 2·levels to the least common ancestor.
+#[derive(Clone, Copy, Debug)]
+pub struct FatTree {
+    /// Nodes per leaf (edge) switch.
+    pub leaf: usize,
+    /// Fan-out between switch levels.
+    pub radix: usize,
+}
+
+impl FatTree {
+    /// A fat-tree with the given leaf width and switch radix.
+    pub fn new(leaf: usize, radix: usize) -> Self {
+        assert!(leaf >= 1 && radix >= 2);
+        FatTree { leaf, radix }
+    }
+}
+
+impl Topology for FatTree {
+    fn hops(&self, src: Rank, dst: Rank) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        let mut a = src.idx() / self.leaf;
+        let mut b = dst.idx() / self.leaf;
+        if a == b {
+            return 1;
+        }
+        let mut up = 0u32;
+        while a != b {
+            a /= self.radix;
+            b /= self.radix;
+            up += 1;
+        }
+        2 * up
+    }
+
+    fn name(&self) -> &'static str {
+        "fat-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_always_one() {
+        let t = FlatCrossbar;
+        assert_eq!(t.hops(Rank(0), Rank(99)), 1);
+        assert_eq!(t.diameter(4096), 1);
+        assert_eq!(t.name(), "flat-crossbar");
+    }
+
+    #[test]
+    fn torus_manhattan_with_wrap() {
+        let t = Torus3D::new([4, 4, 4]);
+        // Neighbor along z.
+        assert_eq!(t.hops(Rank(0), Rank(1)), 1);
+        // Wraparound: coordinate 3 is 1 hop from 0 in a ring of 4.
+        assert_eq!(t.hops(Rank(0), Rank(3)), 1);
+        // Opposite corner: 2+2+2.
+        let far = t.coords(0).len(); // silence unused warnings path
+        let _ = far;
+        let opposite = 2 * 16 + 2 * 4 + 2; // coords [2,2,2]
+        assert_eq!(t.hops(Rank(0), Rank(opposite as u32)), 6);
+        assert_eq!(t.diameter(64), 6);
+        // Symmetry.
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(t.hops(Rank(a), Rank(b)), t.hops(Rank(b), Rank(a)));
+            }
+        }
+        assert_eq!(t.hops(Rank(5), Rank(5)), 0);
+    }
+
+    #[test]
+    fn torus_balanced_factorization() {
+        let t = Torus3D::balanced(64);
+        assert_eq!(t.dims(), [4, 4, 4]);
+        let t = Torus3D::balanced(16_384);
+        let d = t.dims();
+        assert_eq!(d.iter().product::<usize>(), 16_384);
+        assert!(d[0] <= 2 * d[2], "{d:?} should be near-cubic");
+    }
+
+    #[test]
+    fn dragonfly_three_hop_structure() {
+        let t = Dragonfly::new(16);
+        assert_eq!(t.hops(Rank(0), Rank(15)), 1);
+        assert_eq!(t.hops(Rank(0), Rank(16)), 3);
+        assert_eq!(t.hops(Rank(20), Rank(21)), 1);
+        assert_eq!(t.diameter(16), 1);
+        assert_eq!(t.diameter(64), 3);
+    }
+
+    #[test]
+    fn fat_tree_lca_hops() {
+        let t = FatTree::new(4, 2);
+        // Same leaf switch.
+        assert_eq!(t.hops(Rank(0), Rank(3)), 1);
+        // Adjacent leaves share a level-1 ancestor: up 1, down 1.
+        assert_eq!(t.hops(Rank(0), Rank(4)), 2);
+        // Leaves 0 and 3 (ranks 0 and 12): LCA two levels up.
+        assert_eq!(t.hops(Rank(0), Rank(12)), 4);
+        assert_eq!(t.hops(Rank(7), Rank(7)), 0);
+    }
+}

@@ -1,0 +1,689 @@
+//! Expansion of MPI collectives into point-to-point operations.
+//!
+//! LogGOPSim re-expands every collective in a trace into the send/recv
+//! trees of the algorithms below, which is what makes its trace
+//! extrapolation exact for collectives. We implement the same classical
+//! algorithms:
+//!
+//! * [`bcast_binomial`] / [`reduce_binomial`] — binomial trees,
+//! * [`allreduce_recursive_doubling`] — recursive doubling with the
+//!   standard fold-in of non-power-of-two remainders,
+//! * [`barrier_dissemination`] — the dissemination barrier,
+//! * [`allgather_ring`], [`alltoall_pairwise`],
+//! * [`scatter_binomial`] / [`gather_binomial`].
+//!
+//! Every function appends ops for **all** ranks to a [`ScheduleBuilder`],
+//! taking one entry dependency per rank and returning one exit op per rank,
+//! so collectives compose with surrounding computation phase by phase.
+//! Tags are drawn from a [`TagPool`] so distinct collective instances can
+//! never match each other's messages.
+
+#![allow(clippy::needless_range_loop)] // parallel per-rank arrays
+
+use crate::builder::{ScheduleBuilder, TagPool};
+use crate::op::{OpId, Rank, Tag};
+use cesim_model::Span;
+
+/// Local-computation cost model for reduction operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollectiveCosts {
+    /// CPU time to combine one byte of reduction payload, in picoseconds.
+    pub reduce_ps_per_byte: u64,
+    /// Fixed CPU time per reduction step (operator dispatch).
+    pub reduce_base: Span,
+}
+
+impl Default for CollectiveCosts {
+    fn default() -> Self {
+        // ~4 GB/s scalar reduction plus a 100 ns dispatch floor.
+        CollectiveCosts {
+            reduce_ps_per_byte: 250,
+            reduce_base: Span::from_ns(100),
+        }
+    }
+}
+
+impl CollectiveCosts {
+    /// CPU time to reduce a payload of `bytes`.
+    pub fn reduce_cost(&self, bytes: u64) -> Span {
+        self.reduce_base + Span::from_ps(bytes.saturating_mul(self.reduce_ps_per_byte))
+    }
+}
+
+/// Number of dissemination/doubling rounds for `n` ranks.
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// Largest power of two `<= n`.
+pub fn floor_pow2(n: usize) -> usize {
+    assert!(n > 0);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+fn check_entry(b: &ScheduleBuilder, entry: &[OpId]) {
+    assert_eq!(
+        entry.len(),
+        b.num_ranks(),
+        "entry must provide one dependency op per rank"
+    );
+}
+
+/// Allreduce algorithm selector (ablation knob: the paper's collective
+/// structure determines how CE detours serialize into the critical path,
+/// so the choice of expansion is a modeled design decision).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AllreduceAlgo {
+    /// Recursive doubling: `log2 n` exchange rounds, every rank active in
+    /// every round (LogGOPSim's default for small payloads).
+    #[default]
+    RecursiveDoubling,
+    /// Binomial reduce to rank 0 followed by binomial broadcast: twice
+    /// the tree depth, but interior ranks idle through most rounds.
+    ReduceBcast,
+}
+
+/// Expand an allreduce with the selected algorithm.
+pub fn allreduce(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    algo: AllreduceAlgo,
+    bytes: u64,
+    costs: &CollectiveCosts,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    match algo {
+        AllreduceAlgo::RecursiveDoubling => {
+            allreduce_recursive_doubling(b, tags, bytes, costs, entry)
+        }
+        AllreduceAlgo::ReduceBcast => {
+            let mid = reduce_binomial(b, tags, Rank(0), bytes, costs, entry);
+            bcast_binomial(b, tags, Rank(0), bytes, &mid)
+        }
+    }
+}
+
+/// Dissemination barrier: `ceil(log2 n)` rounds; in round `i` rank `r`
+/// signals `(r + 2^i) mod n` and waits for `(r - 2^i) mod n`.
+pub fn barrier_dissemination(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let rounds = ceil_log2(n);
+    let t0 = tags.alloc(rounds);
+    let mut cur = entry.to_vec();
+    for i in 0..rounds {
+        let dist = 1usize << i;
+        let tag = Tag(t0.0 + i);
+        for r in 0..n {
+            let rank = Rank::from(r);
+            let to = Rank::from((r + dist) % n);
+            let from = Rank::from((r + n - dist) % n);
+            let s = b.send(rank, to, 8, tag, &[cur[r]]);
+            let v = b.recv(rank, Some(from), 8, tag, &[cur[r]]);
+            cur[r] = b.join(rank, &[s, v]);
+        }
+    }
+    cur
+}
+
+/// Recursive-doubling allreduce on `bytes` of payload.
+///
+/// Non-power-of-two rank counts use the standard fold: the `rem = n - m`
+/// surplus ranks first send their contribution to a partner in the
+/// power-of-two core, the core runs `log2 m` exchange-and-reduce rounds,
+/// and the result is returned to the surplus ranks.
+pub fn allreduce_recursive_doubling(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    bytes: u64,
+    costs: &CollectiveCosts,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let m = floor_pow2(n);
+    let rem = n - m;
+    let rounds = ceil_log2(m).max(1);
+    // Tag layout: [fold-in, round 0 .. round rounds-1, fold-out].
+    let t0 = tags.alloc(rounds + 2);
+    let fold_in = Tag(t0.0);
+    let fold_out = Tag(t0.0 + rounds + 1);
+    let reduce = costs.reduce_cost(bytes);
+
+    let mut cur = entry.to_vec();
+
+    // Phase A: surplus ranks m..n fold into ranks 0..rem.
+    for extra in 0..rem {
+        let hi = Rank::from(m + extra);
+        let lo = Rank::from(extra);
+        cur[m + extra] = b.send(hi, lo, bytes, fold_in, &[cur[m + extra]]);
+        let rv = b.recv(lo, Some(hi), bytes, fold_in, &[cur[extra]]);
+        cur[extra] = b.calc(lo, reduce, &[rv]);
+    }
+
+    // Phase B: recursive doubling among the power-of-two core.
+    if m > 1 {
+        for i in 0..ceil_log2(m) {
+            let dist = 1usize << i;
+            let tag = Tag(t0.0 + 1 + i);
+            for r in 0..m {
+                let partner = r ^ dist;
+                let rank = Rank::from(r);
+                let peer = Rank::from(partner);
+                let s = b.send(rank, peer, bytes, tag, &[cur[r]]);
+                let v = b.recv(rank, Some(peer), bytes, tag, &[cur[r]]);
+                let j = b.join(rank, &[s, v]);
+                cur[r] = b.calc(rank, reduce, &[j]);
+            }
+        }
+    }
+
+    // Phase C: return results to the surplus ranks.
+    for extra in 0..rem {
+        let hi = Rank::from(m + extra);
+        let lo = Rank::from(extra);
+        let s = b.send(lo, hi, bytes, fold_out, &[cur[extra]]);
+        cur[extra] = b.join(lo, &[s]);
+        cur[m + extra] = b.recv(hi, Some(lo), bytes, fold_out, &[cur[m + extra]]);
+    }
+
+    cur
+}
+
+/// Binomial-tree broadcast of `bytes` from `root`.
+pub fn bcast_binomial(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    root: Rank,
+    bytes: u64,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let tag = tags.alloc(1);
+    let abs = |v: usize| Rank::from((v + root.idx()) % n);
+    let mut out = vec![OpId(0); n];
+    for vrank in 0..n {
+        let rank = abs(vrank);
+        let mut cur = entry[rank.idx()];
+        // Receive from the parent (non-root ranks only). The loop leaves
+        // `mask` at the lowest set bit of vrank, or at 2^ceil_log2(n) for
+        // the root.
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = abs(vrank - mask);
+                cur = b.recv(rank, Some(parent), bytes, tag, &[cur]);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children at descending distances below `mask`.
+        let mut sends = vec![cur];
+        let mut m = mask >> 1;
+        while m > 0 {
+            if vrank + m < n {
+                let child = abs(vrank + m);
+                sends.push(b.send(rank, child, bytes, tag, &[cur]));
+            }
+            m >>= 1;
+        }
+        out[rank.idx()] = b.join(rank, &sends);
+    }
+    out
+}
+
+/// Binomial-tree reduction of `bytes` to `root`.
+pub fn reduce_binomial(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    root: Rank,
+    bytes: u64,
+    costs: &CollectiveCosts,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let tag = tags.alloc(1);
+    let abs = |v: usize| Rank::from((v + root.idx()) % n);
+    let reduce = costs.reduce_cost(bytes);
+    let mut out = vec![OpId(0); n];
+    for vrank in 0..n {
+        let rank = abs(vrank);
+        let mut cur = entry[rank.idx()];
+        let mut mask = 1usize;
+        loop {
+            if vrank & mask == 0 && mask < n {
+                // Receive from the child at distance `mask`, if it exists.
+                let child_v = vrank + mask;
+                if child_v < n {
+                    let child = abs(child_v);
+                    let rv = b.recv(rank, Some(child), bytes, tag, &[cur]);
+                    cur = b.calc(rank, reduce, &[rv]);
+                }
+                mask <<= 1;
+                if mask >= n {
+                    break;
+                }
+            } else {
+                // Send the partial result to the parent and stop.
+                if vrank != 0 {
+                    let parent = abs(vrank - mask);
+                    cur = b.send(rank, parent, bytes, tag, &[cur]);
+                }
+                break;
+            }
+        }
+        out[rank.idx()] = cur;
+    }
+    out
+}
+
+/// Ring allgather: `n - 1` rounds, each forwarding `bytes_per_rank` to the
+/// right neighbor.
+pub fn allgather_ring(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    bytes_per_rank: u64,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let rounds = (n - 1) as u32;
+    let t0 = tags.alloc(rounds);
+    let mut cur = entry.to_vec();
+    for i in 0..rounds {
+        let tag = Tag(t0.0 + i);
+        for r in 0..n {
+            let rank = Rank::from(r);
+            let right = Rank::from((r + 1) % n);
+            let left = Rank::from((r + n - 1) % n);
+            let s = b.send(rank, right, bytes_per_rank, tag, &[cur[r]]);
+            let v = b.recv(rank, Some(left), bytes_per_rank, tag, &[cur[r]]);
+            cur[r] = b.join(rank, &[s, v]);
+        }
+    }
+    cur
+}
+
+/// Pairwise-exchange alltoall: `n - 1` rounds; in round `i` rank `r`
+/// exchanges `bytes_per_pair` with `(r + i) mod n` / `(r - i) mod n`.
+pub fn alltoall_pairwise(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    bytes_per_pair: u64,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let rounds = (n - 1) as u32;
+    let t0 = tags.alloc(rounds);
+    let mut cur = entry.to_vec();
+    for i in 1..n {
+        let tag = Tag(t0.0 + (i as u32 - 1));
+        for r in 0..n {
+            let rank = Rank::from(r);
+            let dst = Rank::from((r + i) % n);
+            let src = Rank::from((r + n - i) % n);
+            let s = b.send(rank, dst, bytes_per_pair, tag, &[cur[r]]);
+            let v = b.recv(rank, Some(src), bytes_per_pair, tag, &[cur[r]]);
+            cur[r] = b.join(rank, &[s, v]);
+        }
+    }
+    cur
+}
+
+/// Binomial scatter: `root` distributes a distinct `bytes_per_rank` block
+/// to every rank; interior tree nodes forward whole subtree payloads.
+pub fn scatter_binomial(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    root: Rank,
+    bytes_per_rank: u64,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let tag = tags.alloc(1);
+    let abs = |v: usize| Rank::from((v + root.idx()) % n);
+    // Subtree size of vrank v when the tree spans `span` virtual ranks.
+    let subtree = |v: usize, dist: usize| -> u64 {
+        let width = dist.min(n - v);
+        (width as u64) * bytes_per_rank
+    };
+    let mut out = vec![OpId(0); n];
+    for vrank in 0..n {
+        let rank = abs(vrank);
+        let mut cur = entry[rank.idx()];
+        // Receive the whole subtree block from the parent.
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = abs(vrank - mask);
+                cur = b.recv(rank, Some(parent), subtree(vrank, mask), tag, &[cur]);
+                break;
+            }
+            mask <<= 1;
+        }
+        // The recv loop leaves `mask` at the lowest set bit of vrank (or at
+        // 2^ceil_log2(n) for the root); children sit below it.
+        let mut sends = vec![cur];
+        let mut m = mask >> 1;
+        while m > 0 {
+            if vrank + m < n {
+                let child = abs(vrank + m);
+                let s = b.send(rank, child, subtree(vrank + m, m), tag, &[cur]);
+                sends.push(s);
+            }
+            m >>= 1;
+        }
+        out[rank.idx()] = b.join(rank, &sends);
+    }
+    out
+}
+
+/// Binomial gather: inverse of [`scatter_binomial`].
+pub fn gather_binomial(
+    b: &mut ScheduleBuilder,
+    tags: &mut TagPool,
+    root: Rank,
+    bytes_per_rank: u64,
+    entry: &[OpId],
+) -> Vec<OpId> {
+    check_entry(b, entry);
+    let n = b.num_ranks();
+    if n == 1 {
+        return entry.to_vec();
+    }
+    let tag = tags.alloc(1);
+    let abs = |v: usize| Rank::from((v + root.idx()) % n);
+    let subtree = |v: usize, dist: usize| -> u64 {
+        let width = dist.min(n - v);
+        (width as u64) * bytes_per_rank
+    };
+    let mut out = vec![OpId(0); n];
+    for vrank in 0..n {
+        let rank = abs(vrank);
+        let mut cur = entry[rank.idx()];
+        let mut mask = 1usize;
+        loop {
+            if vrank & mask == 0 && mask < n {
+                let child_v = vrank + mask;
+                if child_v < n {
+                    let child = abs(child_v);
+                    cur = b.recv(rank, Some(child), subtree(child_v, mask), tag, &[cur]);
+                }
+                mask <<= 1;
+                if mask >= n {
+                    break;
+                }
+            } else {
+                if vrank != 0 {
+                    let parent = abs(vrank - mask);
+                    cur = b.send(rank, parent, subtree(vrank, mask), tag, &[cur]);
+                }
+                break;
+            }
+        }
+        out[rank.idx()] = cur;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    fn fresh(n: usize) -> (ScheduleBuilder, TagPool, Vec<OpId>) {
+        let mut b = ScheduleBuilder::new(n);
+        let entry: Vec<OpId> = (0..n)
+            .map(|r| b.calc(Rank::from(r), Span::ZERO, &[]))
+            .collect();
+        (b, TagPool::new(), entry)
+    }
+
+    fn count_sends(s: &Schedule) -> u64 {
+        s.stats().sends
+    }
+
+    fn assert_matched(s: &Schedule) {
+        s.validate().expect("collective expansion must validate");
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(floor_pow2(1), 1);
+        assert_eq!(floor_pow2(7), 4);
+        assert_eq!(floor_pow2(8), 8);
+        assert_eq!(floor_pow2(1000), 512);
+    }
+
+    #[test]
+    fn barrier_send_count() {
+        for n in [2usize, 3, 4, 7, 8, 16, 33] {
+            let (mut b, mut tags, entry) = fresh(n);
+            barrier_dissemination(&mut b, &mut tags, &entry);
+            let s = b.build();
+            assert_eq!(count_sends(&s), (n as u64) * ceil_log2(n) as u64, "n = {n}");
+            assert_matched(&s);
+        }
+    }
+
+    #[test]
+    fn allreduce_pow2_send_count() {
+        for n in [2usize, 4, 8, 32] {
+            let (mut b, mut tags, entry) = fresh(n);
+            allreduce_recursive_doubling(&mut b, &mut tags, 8, &CollectiveCosts::default(), &entry);
+            let s = b.build();
+            assert_eq!(count_sends(&s), (n as u64) * ceil_log2(n) as u64);
+            assert_matched(&s);
+        }
+    }
+
+    #[test]
+    fn allreduce_non_pow2_send_count() {
+        for n in [3usize, 5, 6, 7, 12, 100] {
+            let (mut b, mut tags, entry) = fresh(n);
+            allreduce_recursive_doubling(
+                &mut b,
+                &mut tags,
+                64,
+                &CollectiveCosts::default(),
+                &entry,
+            );
+            let s = b.build();
+            let m = floor_pow2(n) as u64;
+            let rem = n as u64 - m;
+            assert_eq!(
+                count_sends(&s),
+                m * ceil_log2(m as usize) as u64 + 2 * rem,
+                "n = {n}"
+            );
+            assert_matched(&s);
+        }
+    }
+
+    #[test]
+    fn bcast_send_count_and_root_invariance() {
+        for n in [2usize, 3, 5, 8, 17, 64] {
+            for root in [0usize, 1, n - 1] {
+                let (mut b, mut tags, entry) = fresh(n);
+                bcast_binomial(&mut b, &mut tags, Rank::from(root), 1024, &entry);
+                let s = b.build();
+                // A broadcast delivers exactly one message to each non-root.
+                assert_eq!(count_sends(&s), n as u64 - 1, "n = {n}, root = {root}");
+                assert_matched(&s);
+                // Every non-root rank receives exactly once.
+                for r in 0..n {
+                    let recvs = s.ranks[r].ops.iter().filter(|o| o.kind.is_recv()).count();
+                    assert_eq!(recvs, usize::from(r != root), "rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_send_count() {
+        for n in [2usize, 3, 5, 8, 17, 64] {
+            for root in [0usize, n / 2] {
+                let (mut b, mut tags, entry) = fresh(n);
+                reduce_binomial(
+                    &mut b,
+                    &mut tags,
+                    Rank::from(root),
+                    4096,
+                    &CollectiveCosts::default(),
+                    &entry,
+                );
+                let s = b.build();
+                assert_eq!(count_sends(&s), n as u64 - 1, "n = {n}, root = {root}");
+                assert_matched(&s);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_ring_counts() {
+        for n in [2usize, 3, 9] {
+            let (mut b, mut tags, entry) = fresh(n);
+            allgather_ring(&mut b, &mut tags, 256, &entry);
+            let s = b.build();
+            assert_eq!(count_sends(&s), (n * (n - 1)) as u64);
+            assert_matched(&s);
+        }
+    }
+
+    #[test]
+    fn alltoall_counts() {
+        for n in [2usize, 4, 7] {
+            let (mut b, mut tags, entry) = fresh(n);
+            alltoall_pairwise(&mut b, &mut tags, 128, &entry);
+            let s = b.build();
+            assert_eq!(count_sends(&s), (n * (n - 1)) as u64);
+            assert_matched(&s);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_counts_and_bytes() {
+        for n in [2usize, 3, 6, 8, 13] {
+            let per = 100u64;
+            let (mut b, mut tags, entry) = fresh(n);
+            scatter_binomial(&mut b, &mut tags, Rank(0), per, &entry);
+            let s = b.build();
+            assert_eq!(count_sends(&s), n as u64 - 1);
+            assert_matched(&s);
+            // Total bytes moved by a binomial scatter: each vrank's block
+            // travels depth(vrank) hops, where depth = popcount of vrank.
+            let expect: u64 = (1..n).map(|v| per * (v.count_ones() as u64)).sum();
+            assert_eq!(s.stats().total_send_bytes, expect, "n = {n}");
+
+            let (mut b2, mut tags2, entry2) = fresh(n);
+            gather_binomial(&mut b2, &mut tags2, Rank(0), per, &entry2);
+            let s2 = b2.build();
+            assert_eq!(count_sends(&s2), n as u64 - 1);
+            assert_matched(&s2);
+            assert_eq!(s2.stats().total_send_bytes, expect, "gather n = {n}");
+        }
+    }
+
+    #[test]
+    fn allreduce_dispatch_and_reduce_bcast_counts() {
+        for n in [2usize, 5, 8, 13] {
+            let (mut b, mut tags, entry) = fresh(n);
+            allreduce(
+                &mut b,
+                &mut tags,
+                AllreduceAlgo::ReduceBcast,
+                64,
+                &CollectiveCosts::default(),
+                &entry,
+            );
+            let s = b.build();
+            // Reduce tree (n-1 sends) + broadcast tree (n-1 sends).
+            assert_eq!(count_sends(&s), 2 * (n as u64 - 1), "n = {n}");
+            assert_matched(&s);
+        }
+        // The dispatcher's recursive-doubling arm matches the direct call.
+        let (mut b1, mut t1, e1) = fresh(6);
+        allreduce(
+            &mut b1,
+            &mut t1,
+            AllreduceAlgo::RecursiveDoubling,
+            8,
+            &CollectiveCosts::default(),
+            &e1,
+        );
+        let (mut b2, mut t2, e2) = fresh(6);
+        allreduce_recursive_doubling(&mut b2, &mut t2, 8, &CollectiveCosts::default(), &e2);
+        assert_eq!(b1.build(), b2.build());
+    }
+
+    #[test]
+    fn single_rank_is_noop() {
+        let (mut b, mut tags, entry) = fresh(1);
+        let out = barrier_dissemination(&mut b, &mut tags, &entry);
+        assert_eq!(out, entry);
+        let out =
+            allreduce_recursive_doubling(&mut b, &mut tags, 8, &CollectiveCosts::default(), &entry);
+        assert_eq!(out, entry);
+        assert_eq!(b.build().stats().sends, 0);
+    }
+
+    #[test]
+    fn reduce_cost_model() {
+        let c = CollectiveCosts::default();
+        assert_eq!(c.reduce_cost(0), c.reduce_base);
+        assert!(c.reduce_cost(1 << 20) > c.reduce_cost(8));
+    }
+
+    #[test]
+    fn exits_are_one_per_rank_and_last() {
+        let n = 6;
+        let (mut b, mut tags, entry) = fresh(n);
+        let out = allreduce_recursive_doubling(
+            &mut b,
+            &mut tags,
+            32,
+            &CollectiveCosts::default(),
+            &entry,
+        );
+        assert_eq!(out.len(), n);
+        let s = b.build();
+        for (r, exit) in out.iter().enumerate() {
+            assert!(exit.idx() < s.ranks[r].ops.len());
+        }
+    }
+}

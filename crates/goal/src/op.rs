@@ -1,0 +1,187 @@
+//! Operation types: the nodes of a rank's dependency DAG.
+
+use cesim_model::Span;
+use core::fmt;
+
+/// An MPI rank (process) index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// The rank as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<usize> for Rank {
+    fn from(v: usize) -> Self {
+        Rank(u32::try_from(v).expect("rank exceeds u32"))
+    }
+}
+
+/// An MPI message tag.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tag(pub u32);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// First tag reserved for expanded collectives; point-to-point traffic in
+/// workload skeletons stays below this.
+pub const COLLECTIVE_TAG_BASE: u32 = 0x4000_0000;
+
+/// Identifier of an operation *within one rank's schedule* (its index in
+/// [`crate::RankSchedule::ops`]). Dependencies never cross ranks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The op id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// What an operation does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Occupy the CPU for `dur` of work (stretched by injected CE detours).
+    Calc {
+        /// Amount of CPU work.
+        dur: Span,
+    },
+    /// Transmit `bytes` to `dst` with `tag`.
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Message payload size.
+        bytes: u64,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Receive `bytes` from `src` (or from any source if `None`) with `tag`.
+    Recv {
+        /// Source rank; `None` is `MPI_ANY_SOURCE`.
+        src: Option<Rank>,
+        /// Expected payload size (informational; the sender's size governs
+        /// transfer cost).
+        bytes: u64,
+        /// Message tag.
+        tag: Tag,
+    },
+}
+
+impl OpKind {
+    /// True for `Send`.
+    pub fn is_send(&self) -> bool {
+        matches!(self, OpKind::Send { .. })
+    }
+
+    /// True for `Recv`.
+    pub fn is_recv(&self) -> bool {
+        matches!(self, OpKind::Recv { .. })
+    }
+
+    /// True for `Calc`.
+    pub fn is_calc(&self) -> bool {
+        matches!(self, OpKind::Calc { .. })
+    }
+}
+
+/// One node of a rank's dependency DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Op {
+    /// The operation.
+    pub kind: OpKind,
+    /// Intra-rank dependencies: this op may start only after every listed
+    /// op has completed.
+    pub deps: Vec<OpId>,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Calc { dur } => write!(f, "calc {}", dur),
+            OpKind::Send { dst, bytes, tag } => {
+                write!(f, "send {bytes}B to {dst} tag {tag}")
+            }
+            OpKind::Recv { src, bytes, tag } => match src {
+                Some(s) => write!(f, "recv {bytes}B from {s} tag {tag}"),
+                None => write!(f, "recv {bytes}B from any tag {tag}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let c = OpKind::Calc {
+            dur: Span::from_ns(1),
+        };
+        let s = OpKind::Send {
+            dst: Rank(1),
+            bytes: 8,
+            tag: Tag(0),
+        };
+        let r = OpKind::Recv {
+            src: None,
+            bytes: 8,
+            tag: Tag(0),
+        };
+        assert!(c.is_calc() && !c.is_send() && !c.is_recv());
+        assert!(s.is_send() && !s.is_calc());
+        assert!(r.is_recv() && !r.is_send());
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = OpKind::Send {
+            dst: Rank(3),
+            bytes: 64,
+            tag: Tag(7),
+        };
+        assert_eq!(format!("{s}"), "send 64B to r3 tag 7");
+        let r = OpKind::Recv {
+            src: Some(Rank(2)),
+            bytes: 64,
+            tag: Tag(7),
+        };
+        assert_eq!(format!("{r}"), "recv 64B from r2 tag 7");
+        let any = OpKind::Recv {
+            src: None,
+            bytes: 1,
+            tag: Tag(0),
+        };
+        assert_eq!(format!("{any}"), "recv 1B from any tag 0");
+    }
+
+    #[test]
+    fn rank_conversions() {
+        let r: Rank = 5usize.into();
+        assert_eq!(r, Rank(5));
+        assert_eq!(r.idx(), 5);
+        assert_eq!(OpId(9).idx(), 9);
+    }
+}

@@ -1,0 +1,370 @@
+//! GOAL-like text serialization.
+//!
+//! A small, line-oriented, human-readable format for dumping and loading
+//! schedules (debugging, golden tests, interchange with external tools):
+//!
+//! ```text
+//! # comment
+//! ranks 2
+//! rank 0 {
+//!   0: calc 1000ps
+//!   1: send 8B to 1 tag 5 deps 0
+//!   2: recv 8B from any tag 5 deps 0
+//! }
+//! rank 1 {
+//!   0: recv 8B from 0 tag 5
+//!   1: send 8B to 0 tag 5 deps 0
+//! }
+//! ```
+//!
+//! Durations are always serialized in integer picoseconds so round-trips
+//! are exact.
+
+use crate::op::{Op, OpId, OpKind, Rank, Tag};
+use crate::schedule::{RankSchedule, Schedule};
+use cesim_model::Span;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure, with the 1-based line number where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Serialize a schedule to the text format.
+pub fn to_text(s: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# cesim-goal schedule");
+    let _ = writeln!(out, "ranks {}", s.num_ranks());
+    for (r, rank) in s.ranks.iter().enumerate() {
+        let _ = writeln!(out, "rank {r} {{");
+        for (i, op) in rank.ops.iter().enumerate() {
+            let _ = write!(out, "  {i}: ");
+            match op.kind {
+                OpKind::Calc { dur } => {
+                    let _ = write!(out, "calc {}ps", dur.as_ps());
+                }
+                OpKind::Send { dst, bytes, tag } => {
+                    let _ = write!(out, "send {bytes}B to {} tag {}", dst.0, tag.0);
+                }
+                OpKind::Recv { src, bytes, tag } => match src {
+                    Some(sr) => {
+                        let _ = write!(out, "recv {bytes}B from {} tag {}", sr.0, tag.0);
+                    }
+                    None => {
+                        let _ = write!(out, "recv {bytes}B from any tag {}", tag.0);
+                    }
+                },
+            }
+            if !op.deps.is_empty() {
+                let deps: Vec<String> = op.deps.iter().map(|d| d.0.to_string()).collect();
+                let _ = write!(out, " deps {}", deps.join(","));
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Parse the text format back into a [`Schedule`].
+pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
+    let mut ranks: Option<Vec<RankSchedule>> = None;
+    let mut cur_rank: Option<usize> = None;
+
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "ranks" => {
+                if ranks.is_some() {
+                    return err(ln, "duplicate 'ranks' header");
+                }
+                let n: usize = match toks.get(1).and_then(|t| t.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => return err(ln, "expected 'ranks <positive count>'"),
+                };
+                ranks = Some(vec![RankSchedule::default(); n]);
+            }
+            "rank" => {
+                let ranks_ref = match &ranks {
+                    Some(r) => r,
+                    None => return err(ln, "'rank' before 'ranks' header"),
+                };
+                if cur_rank.is_some() {
+                    return err(ln, "nested 'rank' block (missing '}')");
+                }
+                let r: usize = match toks.get(1).and_then(|t| t.parse().ok()) {
+                    Some(r) => r,
+                    None => return err(ln, "expected 'rank <index> {'"),
+                };
+                if r >= ranks_ref.len() {
+                    return err(ln, format!("rank {r} out of range"));
+                }
+                if toks.get(2) != Some(&"{") {
+                    return err(ln, "expected '{' after rank index");
+                }
+                cur_rank = Some(r);
+            }
+            "}" => {
+                if cur_rank.take().is_none() {
+                    return err(ln, "'}' without open rank block");
+                }
+            }
+            _ => {
+                let r = match cur_rank {
+                    Some(r) => r,
+                    None => return err(ln, "operation outside a rank block"),
+                };
+                let ranks_mut = ranks.as_mut().expect("rank block implies header");
+                let op = parse_op(&toks, ln, ranks_mut.len())?;
+                let ops = &mut ranks_mut[r].ops;
+                // The leading index token is a readability aid; verify it.
+                let idx_tok = toks[0].trim_end_matches(':');
+                match idx_tok.parse::<usize>() {
+                    Ok(i) if i == ops.len() => {}
+                    Ok(i) => {
+                        return err(
+                            ln,
+                            format!("op index {i} out of order (expected {})", ops.len()),
+                        )
+                    }
+                    Err(_) => return err(ln, format!("expected op index, got '{}'", toks[0])),
+                }
+                ops.push(op);
+            }
+        }
+    }
+    if cur_rank.is_some() {
+        return err(text.lines().count(), "unterminated rank block");
+    }
+    match ranks {
+        Some(r) => Ok(Schedule { ranks: r }),
+        None => err(1, "missing 'ranks' header"),
+    }
+}
+
+fn parse_op(toks: &[&str], ln: usize, nranks: usize) -> Result<Op, ParseError> {
+    // toks: ["<idx>:", "calc"/"send"/"recv", ...]
+    if toks.len() < 2 {
+        return err(ln, "truncated operation");
+    }
+    let mut deps = Vec::new();
+    let mut body_end = toks.len();
+    if let Some(pos) = toks.iter().position(|&t| t == "deps") {
+        body_end = pos;
+        let list = match toks.get(pos + 1) {
+            Some(l) => l,
+            None => return err(ln, "'deps' without a list"),
+        };
+        for part in list.split(',') {
+            match part.parse::<u32>() {
+                Ok(d) => deps.push(OpId(d)),
+                Err(_) => return err(ln, format!("bad dependency '{part}'")),
+            }
+        }
+    }
+    let body = &toks[1..body_end];
+    let kind = match body.first() {
+        Some(&"calc") => {
+            let ps_tok = body.get(1).ok_or(()).map_err(|_| ParseError {
+                line: ln,
+                message: "calc needs a duration".into(),
+            })?;
+            let ps: u64 = match ps_tok.strip_suffix("ps").and_then(|v| v.parse().ok()) {
+                Some(ps) => ps,
+                None => return err(ln, format!("bad duration '{ps_tok}' (expected '<n>ps')")),
+            };
+            OpKind::Calc {
+                dur: Span::from_ps(ps),
+            }
+        }
+        Some(&"send") => {
+            // send <bytes>B to <dst> tag <t>
+            let bytes = parse_bytes(body.get(1), ln)?;
+            if body.get(2) != Some(&"to") {
+                return err(ln, "expected 'to' in send");
+            }
+            let dst: u32 = parse_num(body.get(3), ln, "destination rank")?;
+            if dst as usize >= nranks {
+                return err(ln, format!("send destination {dst} out of range"));
+            }
+            if body.get(4) != Some(&"tag") {
+                return err(ln, "expected 'tag' in send");
+            }
+            let tag: u32 = parse_num(body.get(5), ln, "tag")?;
+            OpKind::Send {
+                dst: Rank(dst),
+                bytes,
+                tag: Tag(tag),
+            }
+        }
+        Some(&"recv") => {
+            let bytes = parse_bytes(body.get(1), ln)?;
+            if body.get(2) != Some(&"from") {
+                return err(ln, "expected 'from' in recv");
+            }
+            let src = match body.get(3) {
+                Some(&"any") => None,
+                Some(tok) => match tok.parse::<u32>() {
+                    Ok(s) if (s as usize) < nranks => Some(Rank(s)),
+                    Ok(s) => return err(ln, format!("recv source {s} out of range")),
+                    Err(_) => return err(ln, format!("bad recv source '{tok}'")),
+                },
+                None => return err(ln, "recv needs a source"),
+            };
+            if body.get(4) != Some(&"tag") {
+                return err(ln, "expected 'tag' in recv");
+            }
+            let tag: u32 = parse_num(body.get(5), ln, "tag")?;
+            OpKind::Recv {
+                src,
+                bytes,
+                tag: Tag(tag),
+            }
+        }
+        _ => {
+            return err(
+                ln,
+                format!("unknown operation '{}'", body.first().unwrap_or(&"")),
+            )
+        }
+    };
+    Ok(Op { kind, deps })
+}
+
+fn parse_bytes(tok: Option<&&str>, ln: usize) -> Result<u64, ParseError> {
+    match tok
+        .and_then(|t| t.strip_suffix('B'))
+        .and_then(|v| v.parse().ok())
+    {
+        Some(b) => Ok(b),
+        None => err(ln, "expected '<bytes>B'"),
+    }
+}
+
+fn parse_num(tok: Option<&&str>, ln: usize, what: &str) -> Result<u32, ParseError> {
+    match tok.and_then(|t| t.parse().ok()) {
+        Some(n) => Ok(n),
+        None => err(ln, format!("expected {what}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ScheduleBuilder, TagPool};
+    use crate::collectives;
+
+    fn pingpong() -> Schedule {
+        let mut b = ScheduleBuilder::new(2);
+        let c = b.calc(Rank(0), Span::from_ns(10), &[]);
+        let s = b.send(Rank(0), Rank(1), 8, Tag(5), &[c]);
+        b.recv(Rank(0), None, 8, Tag(6), &[c, s]);
+        let r = b.recv(Rank(1), Some(Rank(0)), 8, Tag(5), &[]);
+        b.send(Rank(1), Rank(0), 8, Tag(6), &[r]);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_pingpong() {
+        let s = pingpong();
+        let text = to_text(&s);
+        let back = from_text(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn roundtrip_collective() {
+        let mut b = ScheduleBuilder::new(6);
+        let mut tags = TagPool::new();
+        let entry: Vec<OpId> = (0..6)
+            .map(|r| b.calc(Rank::from(r), Span::from_us(1), &[]))
+            .collect();
+        collectives::allreduce_recursive_doubling(
+            &mut b,
+            &mut tags,
+            64,
+            &collectives::CollectiveCosts::default(),
+            &entry,
+        );
+        let s = b.build();
+        let back = from_text(&to_text(&s)).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let bad = "ranks 2\nrank 0 {\n  0: calc 5ns\n}\n";
+        let e = from_text(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duration"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(from_text("rank 0 {\n}\n").is_err());
+        assert!(from_text("").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let e = from_text("ranks 1\nrank 0 {\n  0: calc 1ps\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_index() {
+        let e = from_text("ranks 1\nrank 0 {\n  1: calc 1ps\n}\n").unwrap_err();
+        assert!(e.message.contains("out of order"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_peer() {
+        let e = from_text("ranks 2\nrank 0 {\n  0: send 8B to 5 tag 0\n}\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = from_text("# hi\n\nranks 1\n# mid\nrank 0 {\n}\n").unwrap();
+        assert_eq!(s.num_ranks(), 1);
+        assert!(s.ranks[0].is_empty());
+    }
+
+    #[test]
+    fn any_source_roundtrips() {
+        let text = "ranks 2\nrank 0 {\n  0: recv 4B from any tag 1\n}\nrank 1 {\n  0: send 4B to 0 tag 1\n}\n";
+        let s = from_text(text).unwrap();
+        assert!(matches!(
+            s.ranks[0].ops[0].kind,
+            OpKind::Recv { src: None, .. }
+        ));
+        let back = from_text(&to_text(&s)).unwrap();
+        assert_eq!(s, back);
+    }
+}

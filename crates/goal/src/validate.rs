@@ -1,0 +1,288 @@
+//! Static schedule validation.
+//!
+//! Builder-constructed schedules are acyclic by construction, but parsed or
+//! hand-assembled ones may not be; and nothing in the IR itself guarantees
+//! that every send has a receive. [`Schedule::validate`] checks:
+//!
+//! 1. every dependency index is in range,
+//! 2. every rank's DAG is acyclic (Kahn's algorithm),
+//! 3. send/recv balance: for every destination rank and tag, the number of
+//!    messages sent to it equals the number of receives it posts, and no
+//!    specific-source receive outnumbers the sends from that source.
+//!
+//! Balance is necessary (not sufficient) for deadlock freedom; the engine
+//! additionally detects actual deadlock at simulation time.
+
+use crate::op::{OpKind, Rank, Tag};
+use crate::schedule::Schedule;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a schedule failed validation. Carries every detected problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Human-readable descriptions of each problem found.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule validation failed ({} problems):",
+            self.problems.len()
+        )?;
+        for p in self.problems.iter().take(20) {
+            writeln!(f, "  - {p}")?;
+        }
+        if self.problems.len() > 20 {
+            writeln!(f, "  ... and {} more", self.problems.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ValidationError {}
+
+impl Schedule {
+    /// Run all static checks; see module docs.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let mut problems = Vec::new();
+        self.check_deps(&mut problems);
+        if problems.is_empty() {
+            self.check_matching(&mut problems);
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(ValidationError { problems })
+        }
+    }
+
+    fn check_deps(&self, problems: &mut Vec<String>) {
+        for (r, rank) in self.ranks.iter().enumerate() {
+            let n = rank.ops.len();
+            // Range check + in-degree count.
+            let mut indeg = vec![0u32; n];
+            let mut ok = true;
+            for (i, op) in rank.ops.iter().enumerate() {
+                for d in &op.deps {
+                    if d.idx() >= n {
+                        problems.push(format!(
+                            "rank {r} op {i}: dependency {d} out of range (rank has {n} ops)"
+                        ));
+                        ok = false;
+                    } else if d.idx() == i {
+                        problems.push(format!("rank {r} op {i}: depends on itself"));
+                        ok = false;
+                    } else {
+                        indeg[i] += 1;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Kahn's algorithm for acyclicity. Build successor lists.
+            let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (i, op) in rank.ops.iter().enumerate() {
+                for d in &op.deps {
+                    succ[d.idx()].push(i as u32);
+                }
+            }
+            let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+            let mut visited = 0usize;
+            while let Some(i) = queue.pop() {
+                visited += 1;
+                for &s in &succ[i as usize] {
+                    indeg[s as usize] -= 1;
+                    if indeg[s as usize] == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+            if visited != n {
+                problems.push(format!(
+                    "rank {r}: dependency cycle involving {} ops",
+                    n - visited
+                ));
+            }
+        }
+    }
+
+    fn check_matching(&self, problems: &mut Vec<String>) {
+        // Per destination: sends grouped by (src, tag); recvs by (src, tag)
+        // for specific sources and by tag for wildcards.
+        let nranks = self.ranks.len();
+        let mut sends_to: Vec<HashMap<(Rank, Tag), u64>> = vec![HashMap::new(); nranks];
+        let mut recvs_spec: Vec<HashMap<(Rank, Tag), u64>> = vec![HashMap::new(); nranks];
+        let mut recvs_any: Vec<HashMap<Tag, u64>> = vec![HashMap::new(); nranks];
+
+        for (r, rank) in self.ranks.iter().enumerate() {
+            for (i, op) in rank.ops.iter().enumerate() {
+                match op.kind {
+                    OpKind::Send { dst, tag, .. } => {
+                        if dst.idx() >= nranks {
+                            problems
+                                .push(format!("rank {r} op {i}: send to nonexistent rank {dst}"));
+                        } else {
+                            *sends_to[dst.idx()].entry((Rank::from(r), tag)).or_insert(0) += 1;
+                        }
+                    }
+                    OpKind::Recv { src, tag, .. } => match src {
+                        Some(s) if s.idx() >= nranks => problems
+                            .push(format!("rank {r} op {i}: recv from nonexistent rank {s}")),
+                        Some(s) => {
+                            *recvs_spec[r].entry((s, tag)).or_insert(0) += 1;
+                        }
+                        None => {
+                            *recvs_any[r].entry(tag).or_insert(0) += 1;
+                        }
+                    },
+                    OpKind::Calc { .. } => {}
+                }
+            }
+        }
+        if !problems.is_empty() {
+            return;
+        }
+
+        for dst in 0..nranks {
+            // Specific receives must not outnumber matching sends.
+            let mut claimed: HashMap<Tag, u64> = HashMap::new();
+            for (&(src, tag), &want) in &recvs_spec[dst] {
+                let have = sends_to[dst].get(&(src, tag)).copied().unwrap_or(0);
+                if want > have {
+                    problems.push(format!(
+                        "rank {dst}: posts {want} recvs from {src} tag {tag} but only {have} sends exist"
+                    ));
+                }
+                *claimed.entry(tag).or_insert(0) += want.min(have);
+            }
+            // Per tag: total sends == specific + wildcard receives.
+            let mut send_by_tag: HashMap<Tag, u64> = HashMap::new();
+            for (&(_, tag), &c) in &sends_to[dst] {
+                *send_by_tag.entry(tag).or_insert(0) += c;
+            }
+            let mut tags: Vec<Tag> = send_by_tag
+                .keys()
+                .chain(recvs_any[dst].keys())
+                .chain(claimed.keys())
+                .copied()
+                .collect();
+            tags.sort_unstable();
+            tags.dedup();
+            for tag in tags {
+                let sent = send_by_tag.get(&tag).copied().unwrap_or(0);
+                let spec = claimed.get(&tag).copied().unwrap_or(0);
+                let any = recvs_any[dst].get(&tag).copied().unwrap_or(0);
+                if sent != spec + any {
+                    problems.push(format!(
+                        "rank {dst} tag {tag}: {sent} messages sent but {} receives posted",
+                        spec + any
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScheduleBuilder;
+    use crate::op::{Op, OpId};
+    use cesim_model::Span;
+
+    #[test]
+    fn valid_pingpong() {
+        let mut b = ScheduleBuilder::new(2);
+        let s0 = b.send(Rank(0), Rank(1), 8, Tag(1), &[]);
+        b.recv(Rank(0), Some(Rank(1)), 8, Tag(2), &[s0]);
+        let r1 = b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+        b.send(Rank(1), Rank(0), 8, Tag(2), &[r1]);
+        assert!(b.build().validate().is_ok());
+    }
+
+    #[test]
+    fn wildcard_recv_balances() {
+        let mut b = ScheduleBuilder::new(3);
+        b.send(Rank(0), Rank(2), 8, Tag(9), &[]);
+        b.send(Rank(1), Rank(2), 8, Tag(9), &[]);
+        b.recv(Rank(2), None, 8, Tag(9), &[]);
+        b.recv(Rank(2), Some(Rank(1)), 8, Tag(9), &[]);
+        assert!(b.build().validate().is_ok());
+    }
+
+    #[test]
+    fn unmatched_send_detected() {
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), 8, Tag(1), &[]);
+        let err = b.build().validate().unwrap_err();
+        assert!(err.problems[0].contains("receives posted"), "{err}");
+    }
+
+    #[test]
+    fn unmatched_recv_detected() {
+        let mut b = ScheduleBuilder::new(2);
+        b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+        let err = b.build().validate().unwrap_err();
+        assert!(!err.problems.is_empty());
+        let text = format!("{err}");
+        assert!(text.contains("validation failed"));
+    }
+
+    #[test]
+    fn over_subscribed_specific_recv_detected() {
+        let mut b = ScheduleBuilder::new(3);
+        b.send(Rank(0), Rank(2), 8, Tag(3), &[]);
+        b.recv(Rank(2), Some(Rank(0)), 8, Tag(3), &[]);
+        b.recv(Rank(2), Some(Rank(0)), 8, Tag(3), &[]);
+        let err = b.build().validate().unwrap_err();
+        assert!(
+            err.problems.iter().any(|p| p.contains("only 1 sends")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // Hand-assemble a cyclic rank (builder cannot produce one).
+        let mut s = Schedule::with_ranks(1);
+        s.ranks[0].ops = vec![
+            Op {
+                kind: OpKind::Calc { dur: Span::ZERO },
+                deps: vec![OpId(1)],
+            },
+            Op {
+                kind: OpKind::Calc { dur: Span::ZERO },
+                deps: vec![OpId(0)],
+            },
+        ];
+        let err = s.validate().unwrap_err();
+        assert!(err.problems[0].contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_dep_detected() {
+        let mut s = Schedule::with_ranks(1);
+        s.ranks[0].ops = vec![Op {
+            kind: OpKind::Calc { dur: Span::ZERO },
+            deps: vec![OpId(7)],
+        }];
+        let err = s.validate().unwrap_err();
+        assert!(err.problems[0].contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn self_dep_detected() {
+        let mut s = Schedule::with_ranks(1);
+        s.ranks[0].ops = vec![Op {
+            kind: OpKind::Calc { dur: Span::ZERO },
+            deps: vec![OpId(0)],
+        }];
+        let err = s.validate().unwrap_err();
+        assert!(err.problems[0].contains("itself"), "{err}");
+    }
+}

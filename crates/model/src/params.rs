@@ -1,0 +1,231 @@
+//! LogGOPS model parameters.
+//!
+//! The engine implements the LogGOPS model (Hoefler et al., "LogGOPSim —
+//! simulating large-scale applications in the LogGOPS model", HPDC 2010),
+//! an extension of LogP:
+//!
+//! | param | meaning                                                     |
+//! |-------|-------------------------------------------------------------|
+//! | `L`   | wire latency for the first byte                             |
+//! | `o`   | CPU overhead per message (paid by sender *and* receiver)    |
+//! | `g`   | NIC gap between consecutive message injections              |
+//! | `G`   | NIC/wire gap per byte (inverse bandwidth)                   |
+//! | `O`   | CPU overhead per byte (memory copies)                       |
+//! | `P`   | number of processes (implicit: the schedule's rank count)   |
+//! | `S`   | eager→rendezvous protocol switch threshold, in bytes        |
+//!
+//! The paper configures LogGOPSim "to use the network parameters collected
+//! on a Cray XC40 system" (Ferreira et al., *Characterizing MPI matching
+//! via trace-based simulation*, ParCo 2018). The exact tabulated values are
+//! not reprinted in the paper; [`LogGopsParams::xc40`] encodes
+//! XC40/Aries-class values of the right order (≈1 µs one-sided latency,
+//! ≈14 GB/s per-NIC stream bandwidth, 16 KiB rendezvous threshold) and the
+//! type is plain data so every experiment can override them.
+
+use crate::time::Span;
+
+/// The LogGOPS parameter set used by the discrete-event engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogGopsParams {
+    /// Wire latency `L`.
+    pub latency: Span,
+    /// Per-message CPU overhead `o` (applied on send and on receive).
+    pub overhead: Span,
+    /// Per-message NIC gap `g` (injection serialization).
+    pub gap: Span,
+    /// Per-byte gap `G`, in picoseconds per byte (inverse bandwidth).
+    pub gap_per_byte_ps: u64,
+    /// Per-byte CPU overhead `O`, in picoseconds per byte.
+    pub cpu_per_byte_ps: u64,
+    /// Eager/rendezvous switch threshold `S`, in bytes. Messages strictly
+    /// larger than this use the rendezvous protocol.
+    pub eager_threshold: u64,
+    /// Additional wire latency per hop beyond the first, applied when the
+    /// engine is given a non-flat [topology](../cesim_engine/topology).
+    /// Zero (the default) reproduces the paper's flat network exactly.
+    pub hop_latency: Span,
+}
+
+impl LogGopsParams {
+    /// Cray-XC40/Aries-class parameters (see module docs).
+    ///
+    /// * `L` = 1.0 µs, `o` = 1.5 µs, `g` = 1.8 µs
+    /// * `G` = 70 ps/B ≈ 14.3 GB/s
+    /// * `O` = 30 ps/B ≈ 33 GB/s copy bandwidth
+    /// * `S` = 16 KiB
+    pub fn xc40() -> Self {
+        LogGopsParams {
+            latency: Span::from_ns(1_000),
+            overhead: Span::from_ns(1_500),
+            gap: Span::from_ns(1_800),
+            gap_per_byte_ps: 70,
+            cpu_per_byte_ps: 30,
+            eager_threshold: 16 * 1024,
+            hop_latency: Span::ZERO,
+        }
+    }
+
+    /// An idealized zero-cost network; useful in unit tests where only the
+    /// dependency structure matters.
+    pub fn ideal() -> Self {
+        LogGopsParams {
+            latency: Span::ZERO,
+            overhead: Span::ZERO,
+            gap: Span::ZERO,
+            gap_per_byte_ps: 0,
+            cpu_per_byte_ps: 0,
+            eager_threshold: u64::MAX,
+            hop_latency: Span::ZERO,
+        }
+    }
+
+    /// Builder-style override of `L`.
+    pub fn with_latency(mut self, latency: Span) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builder-style override of `o`.
+    pub fn with_overhead(mut self, overhead: Span) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Builder-style override of `g`.
+    pub fn with_gap(mut self, gap: Span) -> Self {
+        self.gap = gap;
+        self
+    }
+
+    /// Builder-style override of `G` (ps per byte).
+    pub fn with_gap_per_byte_ps(mut self, ps: u64) -> Self {
+        self.gap_per_byte_ps = ps;
+        self
+    }
+
+    /// Builder-style override of `O` (ps per byte).
+    pub fn with_cpu_per_byte_ps(mut self, ps: u64) -> Self {
+        self.cpu_per_byte_ps = ps;
+        self
+    }
+
+    /// Builder-style override of `S` (bytes).
+    pub fn with_eager_threshold(mut self, bytes: u64) -> Self {
+        self.eager_threshold = bytes;
+        self
+    }
+
+    /// Builder-style override of the per-hop latency surcharge.
+    pub fn with_hop_latency(mut self, hop: Span) -> Self {
+        self.hop_latency = hop;
+        self
+    }
+
+    /// CPU time to hand a message of `bytes` to/from the NIC: `o + bytes·O`.
+    #[inline]
+    pub fn cpu_cost(&self, bytes: u64) -> Span {
+        self.overhead + Span::from_ps(bytes.saturating_mul(self.cpu_per_byte_ps))
+    }
+
+    /// NIC occupancy for injecting a message of `bytes`: `g + bytes·G`.
+    #[inline]
+    pub fn nic_cost(&self, bytes: u64) -> Span {
+        self.gap + Span::from_ps(bytes.saturating_mul(self.gap_per_byte_ps))
+    }
+
+    /// Time from injection start until the last byte is available at the
+    /// destination: `L + bytes·G`.
+    #[inline]
+    pub fn wire_time(&self, bytes: u64) -> Span {
+        self.latency + Span::from_ps(bytes.saturating_mul(self.gap_per_byte_ps))
+    }
+
+    /// Whether a message of `bytes` uses the rendezvous protocol.
+    #[inline]
+    pub fn is_rendezvous(&self, bytes: u64) -> bool {
+        bytes > self.eager_threshold
+    }
+
+    /// Sanity-check the parameter set (latency/overhead/gap fit in the
+    /// simulated-time budget, threshold non-zero).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.eager_threshold == 0 {
+            return Err("eager_threshold must be at least 1 byte".into());
+        }
+        if self.latency > Span::from_secs(1) {
+            return Err(format!("latency {} is implausibly large", self.latency));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LogGopsParams {
+    fn default() -> Self {
+        LogGopsParams::xc40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc40_costs() {
+        let p = LogGopsParams::xc40();
+        // 8-byte eager message.
+        assert_eq!(p.cpu_cost(8), Span::from_ns(1_500) + Span::from_ps(240));
+        assert_eq!(p.nic_cost(8), Span::from_ns(1_800) + Span::from_ps(560));
+        assert_eq!(p.wire_time(8), Span::from_ns(1_000) + Span::from_ps(560));
+        assert!(!p.is_rendezvous(16 * 1024));
+        assert!(p.is_rendezvous(16 * 1024 + 1));
+    }
+
+    #[test]
+    fn bandwidth_is_xc40_class() {
+        let p = LogGopsParams::xc40();
+        // 1 MiB transfer: bytes*G should correspond to ~14.3 GB/s.
+        let bytes = 1u64 << 20;
+        let t = Span::from_ps(bytes * p.gap_per_byte_ps).as_secs_f64();
+        let gbps = bytes as f64 / t / 1e9;
+        assert!((10.0..20.0).contains(&gbps), "bandwidth {gbps} GB/s");
+    }
+
+    #[test]
+    fn ideal_is_free() {
+        let p = LogGopsParams::ideal();
+        assert_eq!(p.cpu_cost(1 << 30), Span::ZERO);
+        assert_eq!(p.nic_cost(1 << 30), Span::ZERO);
+        assert_eq!(p.wire_time(1 << 30), Span::ZERO);
+        assert!(!p.is_rendezvous(u64::MAX - 1));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = LogGopsParams::xc40()
+            .with_latency(Span::from_ns(5))
+            .with_overhead(Span::from_ns(6))
+            .with_gap(Span::from_ns(7))
+            .with_gap_per_byte_ps(1)
+            .with_cpu_per_byte_ps(2)
+            .with_eager_threshold(64);
+        assert_eq!(p.latency, Span::from_ns(5));
+        assert_eq!(p.overhead, Span::from_ns(6));
+        assert_eq!(p.gap, Span::from_ns(7));
+        assert_eq!(p.gap_per_byte_ps, 1);
+        assert_eq!(p.cpu_per_byte_ps, 2);
+        assert!(p.is_rendezvous(65));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LogGopsParams::xc40().validate().is_ok());
+        assert!(LogGopsParams::xc40()
+            .with_eager_threshold(0)
+            .validate()
+            .is_err());
+        assert!(LogGopsParams::xc40()
+            .with_latency(Span::from_secs(2))
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic pseudo-random numbers.
+//!
+//! The study needs two kinds of draws:
+//!
+//! * exponential inter-arrival times for the per-node CE process
+//!   (§III-D of the paper: "The timing of each simulated correctable error
+//!   is determined statistically using random numbers drawn from an
+//!   exponential distribution"), and
+//! * small uniform jitters for workload compute times.
+//!
+//! Reproducibility of every figure requires bit-stable streams, so we
+//! implement xoshiro256++ (public domain, Blackman & Vigna) seeded through
+//! SplitMix64 rather than depending on an external crate whose stream may
+//! change between versions.
+
+use crate::time::Span;
+
+/// SplitMix64 step; used to expand a single `u64` seed into xoshiro state
+/// and to derive independent per-rank substream seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Create a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Rng64 { s }
+    }
+
+    /// Derive an independent substream for `(seed, stream)`. Used to give
+    /// every simulated node its own CE arrival process.
+    pub fn substream(seed: u64, stream: u64) -> Self {
+        // Mix the stream id through SplitMix64 so adjacent ids diverge.
+        let mut sm = seed ^ 0xA076_1D64_78BD_642F_u64.wrapping_mul(stream.wrapping_add(1));
+        let mixed = splitmix64(&mut sm);
+        Rng64::new(mixed ^ stream.rotate_left(17))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `(0, 1]`; never returns zero, so it is safe to take
+    /// its logarithm.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method. Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be positive");
+        // Unbiased via rejection on the low product half.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw in `[lo, hi)` (floats).
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Exponential draw with the given mean, as a duration. This is the
+    /// inter-arrival sampler for the CE Poisson process.
+    pub fn exp_span(&mut self, mean: Span) -> Span {
+        let u = self.next_f64_open();
+        Span::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// A multiplicative jitter factor in `[1 - amp, 1 + amp]`, used to break
+    /// artificial compute-time lockstep across ranks.
+    pub fn jitter(&mut self, amp: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&amp));
+        1.0 + self.uniform_f64(-amp, amp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn substreams_diverge() {
+        let mut a = Rng64::substream(7, 0);
+        let mut b = Rng64::substream(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut r = Rng64::new(9);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = r.next_below(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Rng64::new(11);
+        let mean = Span::from_ms(10);
+        let n = 50_000u64;
+        let total: f64 = (0..n).map(|_| r.exp_span(mean).as_secs_f64()).sum();
+        let est = total / n as f64;
+        // Standard error of the mean is mean/sqrt(n) ~ 0.45%; allow 3 sigma.
+        assert!(
+            (est - 0.010).abs() < 0.010 * 0.015,
+            "estimated mean {est} too far from 0.010"
+        );
+    }
+
+    #[test]
+    fn exponential_is_memoryless_ish() {
+        // P(X > 2m) should be about e^-2.
+        let mut r = Rng64::new(13);
+        let mean = Span::from_us(100);
+        let n = 50_000;
+        let over = (0..n).filter(|_| r.exp_span(mean) > mean * 2).count() as f64;
+        let p = over / n as f64;
+        assert!((p - (-2.0f64).exp()).abs() < 0.01, "tail prob {p}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = Rng64::new(17);
+        for _ in 0..1000 {
+            let j = r.jitter(0.05);
+            assert!((0.95..=1.05).contains(&j));
+        }
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let mut r = Rng64::new(23);
+        let n = 100_000;
+        let s: f64 = (0..n).map(|_| r.uniform_f64(2.0, 4.0)).sum();
+        assert!((s / n as f64 - 3.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,401 @@
+//! Simulated time.
+//!
+//! The engine keeps time in integer **picoseconds**. A `u64` of picoseconds
+//! covers ~213 days of simulated time, comfortably more than the longest
+//! perturbed run the study produces (hours), while still resolving the
+//! sub-nanosecond per-byte gap `G` of a modern HPC interconnect.
+//!
+//! Two distinct types keep instants and durations from being mixed up:
+//!
+//! * [`Time`] — an instant on the simulated clock (picoseconds since the
+//!   start of the run).
+//! * [`Span`] — a non-negative duration.
+//!
+//! The arithmetic that is physically meaningful is implemented
+//! (`Time + Span -> Time`, `Time - Time -> Span`, `Span + Span -> Span`,
+//! `Span * u64`, …); everything else is a compile error.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// An instant on the simulated clock, in picoseconds since time zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A non-negative duration of simulated time, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span(u64);
+
+impl Time {
+    /// The start of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as an "infinity" sentinel).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Duration since `earlier`. Panics in debug builds if `earlier > self`.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Span {
+        debug_assert!(earlier.0 <= self.0, "Time::since: earlier > self");
+        Span(self.0 - earlier.0)
+    }
+
+    /// Saturating difference: zero if `earlier > self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Span {
+    /// The zero duration.
+    pub const ZERO: Span = Span(0);
+    /// The largest representable duration.
+    pub const MAX: Span = Span(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Span(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Span(ns * PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Span(us * PS_PER_US)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Span(ms * PS_PER_MS)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Span(s * PS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Panics if `s` is negative or not
+    /// finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Span::from_secs_f64: invalid duration {s}"
+        );
+        Span((s * PS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Construct from fractional microseconds.
+    pub fn from_us_f64(us: f64) -> Self {
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "Span::from_us_f64: invalid duration {us}"
+        );
+        Span((us * PS_PER_US as f64).round() as u64)
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// The duration in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// The duration in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// The duration in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Span) -> Span {
+        Span(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked multiplication by a scalar.
+    #[inline]
+    pub fn checked_mul(self, k: u64) -> Option<Span> {
+        self.0.checked_mul(k).map(Span)
+    }
+
+    /// Multiply by a non-negative float (used for scaling work by noise-free
+    /// ratios). Panics if the factor is negative or not finite.
+    pub fn mul_f64(self, k: f64) -> Span {
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "Span::mul_f64: invalid factor {k}"
+        );
+        Span((self.0 as f64 * k).round() as u64)
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Span) -> Span {
+        Span(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Span) -> Span {
+        Span(self.0.min(other.0))
+    }
+}
+
+impl Add<Span> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Span) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("Time overflow"))
+    }
+}
+
+impl AddAssign<Span> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Span) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Span;
+    #[inline]
+    fn sub(self, rhs: Time) -> Span {
+        self.since(rhs)
+    }
+}
+
+impl Add for Span {
+    type Output = Span;
+    #[inline]
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0.checked_add(rhs.0).expect("Span overflow"))
+    }
+}
+
+impl AddAssign for Span {
+    #[inline]
+    fn add_assign(&mut self, rhs: Span) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Span {
+    type Output = Span;
+    #[inline]
+    fn sub(self, rhs: Span) -> Span {
+        debug_assert!(rhs.0 <= self.0, "Span subtraction underflow");
+        Span(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Span {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Span) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Span {
+    type Output = Span;
+    #[inline]
+    fn mul(self, k: u64) -> Span {
+        Span(self.0.checked_mul(k).expect("Span overflow"))
+    }
+}
+
+impl Div<u64> for Span {
+    type Output = Span;
+    #[inline]
+    fn div(self, k: u64) -> Span {
+        Span(self.0 / k)
+    }
+}
+
+impl Sum for Span {
+    fn sum<I: Iterator<Item = Span>>(iter: I) -> Span {
+        iter.fold(Span::ZERO, |a, b| a + b)
+    }
+}
+
+/// Render a picosecond count with a human-friendly unit.
+fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ps == 0 {
+        write!(f, "0s")
+    } else if ps < PS_PER_NS {
+        write!(f, "{ps}ps")
+    } else if ps < PS_PER_US {
+        write!(f, "{:.3}ns", ps as f64 / PS_PER_NS as f64)
+    } else if ps < PS_PER_MS {
+        write!(f, "{:.3}us", ps as f64 / PS_PER_US as f64)
+    } else if ps < PS_PER_SEC {
+        write!(f, "{:.3}ms", ps as f64 / PS_PER_MS as f64)
+    } else {
+        write!(f, "{:.3}s", ps as f64 / PS_PER_SEC as f64)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Span::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Span::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(Span::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(Span::from_secs(1).as_ps(), 1_000_000_000_000);
+        assert_eq!(Span::from_secs_f64(1.5).as_ps(), 1_500_000_000_000);
+        assert_eq!(Span::from_us_f64(0.5).as_ps(), 500_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::ZERO + Span::from_ns(5);
+        assert_eq!(t.as_ps(), 5_000);
+        let u = t + Span::from_ns(3);
+        assert_eq!(u - t, Span::from_ns(3));
+        assert_eq!(u.since(t), Span::from_ns(3));
+        assert_eq!(t.saturating_since(u), Span::ZERO);
+        assert_eq!(t.max(u), u);
+        assert_eq!(t.min(u), t);
+    }
+
+    #[test]
+    fn span_arithmetic() {
+        let a = Span::from_us(2);
+        let b = Span::from_us(3);
+        assert_eq!(a + b, Span::from_us(5));
+        assert_eq!(b - a, Span::from_us(1));
+        assert_eq!(a * 4, Span::from_us(8));
+        assert_eq!(b / 3, Span::from_us(1));
+        assert_eq!(a.saturating_sub(b), Span::ZERO);
+        assert_eq!(a.mul_f64(2.5), Span::from_us(5));
+        assert_eq!(vec![a, b].into_iter().sum::<Span>(), Span::from_us(5));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let s = Span::from_ms(133);
+        assert!((s.as_ms_f64() - 133.0).abs() < 1e-9);
+        assert!((s.as_secs_f64() - 0.133).abs() < 1e-12);
+        let t = Time::from_ps(PS_PER_SEC * 7);
+        assert!((t.as_secs_f64() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Span::from_ps(500)), "500ps");
+        assert_eq!(format!("{}", Span::from_ns(150)), "150.000ns");
+        assert_eq!(format!("{}", Span::from_us(775)), "775.000us");
+        assert_eq!(format!("{}", Span::from_ms(133)), "133.000ms");
+        assert_eq!(format!("{}", Span::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", Span::ZERO), "0s");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let _ = Span::MAX + Span::from_ps(1);
+    }
+
+    #[test]
+    fn max_is_sentinel() {
+        assert!(Time::MAX > Time::from_ps(u64::MAX - 1));
+    }
+}

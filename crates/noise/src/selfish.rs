@@ -1,0 +1,367 @@
+//! A model of the `selfish` system-noise microbenchmark.
+//!
+//! `selfish` (Hoefler et al., SC'10) spins reading the CPU timestamp
+//! counter; whenever two consecutive reads differ by more than a threshold
+//! (the paper uses 150 ns), the gap is recorded as a *detour* — CPU time
+//! stolen from the application by the OS, firmware, or error handling.
+//!
+//! Here a node's background activity is a set of [`NoiseSource`]s
+//! (periodic ticks, Poisson daemons). Sampling them over a window yields a
+//! [`DetourTrace`]: the bars of Fig. 2. Error-injection experiments add
+//! their own detours on top (see [`crate::signature`]).
+
+use cesim_model::rng::Rng64;
+use cesim_model::{Span, Time};
+use core::fmt;
+
+/// One recorded detour: the CPU disappeared at `at` for `dur`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Detour {
+    /// When the detour began.
+    pub at: Time,
+    /// How long the CPU was away.
+    pub dur: Span,
+}
+
+/// A `selfish`-style trace: every detour above `threshold` observed during
+/// `window`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetourTrace {
+    /// Observation window length.
+    pub window: Span,
+    /// Detection threshold (gaps below it are invisible to the probe).
+    pub threshold: Span,
+    /// Detours in time order.
+    pub detours: Vec<Detour>,
+}
+
+impl DetourTrace {
+    /// Create a trace, keeping only detours at or above `threshold` and
+    /// inside `window`, sorted by time.
+    pub fn new(window: Span, threshold: Span, mut detours: Vec<Detour>) -> Self {
+        detours.retain(|d| d.dur >= threshold && d.at < Time::ZERO + window);
+        detours.sort_by_key(|d| d.at);
+        DetourTrace {
+            window,
+            threshold,
+            detours,
+        }
+    }
+
+    /// Number of recorded detours.
+    pub fn count(&self) -> usize {
+        self.detours.len()
+    }
+
+    /// Sum of all detour durations.
+    pub fn total_noise(&self) -> Span {
+        self.detours.iter().map(|d| d.dur).sum()
+    }
+
+    /// Fraction of the window stolen by detours.
+    pub fn noise_fraction(&self) -> f64 {
+        self.total_noise().as_secs_f64() / self.window.as_secs_f64()
+    }
+
+    /// The longest single detour.
+    pub fn max_detour(&self) -> Span {
+        self.detours
+            .iter()
+            .map(|d| d.dur)
+            .max()
+            .unwrap_or(Span::ZERO)
+    }
+
+    /// Count detours whose duration falls in `[lo, hi)`.
+    pub fn count_in(&self, lo: Span, hi: Span) -> usize {
+        self.detours
+            .iter()
+            .filter(|d| d.dur >= lo && d.dur < hi)
+            .count()
+    }
+
+    /// Histogram over duration bucket edges (`edges` ascending; returns
+    /// `edges.len() + 1` buckets, the last one open-ended).
+    pub fn histogram(&self, edges: &[Span]) -> Vec<usize> {
+        debug_assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        let mut buckets = vec![0usize; edges.len() + 1];
+        for d in &self.detours {
+            let i = edges.partition_point(|&e| e <= d.dur);
+            buckets[i] += 1;
+        }
+        buckets
+    }
+
+    /// Merge another trace's detours into this one (same window assumed).
+    pub fn merge(&mut self, other: &DetourTrace) {
+        self.detours.extend(other.detours.iter().copied());
+        self.detours.retain(|d| d.dur >= self.threshold);
+        self.detours.sort_by_key(|d| d.at);
+    }
+}
+
+impl fmt::Display for DetourTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} detours over {} ({:.4}% noise, max {})",
+            self.count(),
+            self.window,
+            self.noise_fraction() * 100.0,
+            self.max_detour()
+        )
+    }
+}
+
+/// How a background noise source fires.
+#[derive(Clone, Copy, Debug)]
+pub enum SourceKind {
+    /// Fires every `period` with a small uniform phase jitter.
+    Periodic {
+        /// Nominal interval between firings.
+        period: Span,
+        /// Uniform jitter amplitude as a fraction of the period.
+        jitter_frac: f64,
+    },
+    /// Fires with exponential inter-arrival times.
+    Poisson {
+        /// Mean interval between firings.
+        mean_interval: Span,
+    },
+}
+
+/// One background noise source (timer tick, kernel daemon, …).
+#[derive(Clone, Debug)]
+pub struct NoiseSource {
+    /// Label for reports.
+    pub name: &'static str,
+    /// Firing process.
+    pub kind: SourceKind,
+    /// Nominal detour duration per firing.
+    pub dur: Span,
+    /// Uniform jitter amplitude on the duration (fraction of `dur`).
+    pub dur_jitter: f64,
+}
+
+impl NoiseSource {
+    /// Generate this source's detours over `window`.
+    pub fn sample(&self, window: Span, rng: &mut Rng64) -> Vec<Detour> {
+        let mut out = Vec::new();
+        let horizon = Time::ZERO + window;
+        match self.kind {
+            SourceKind::Periodic {
+                period,
+                jitter_frac,
+            } => {
+                assert!(!period.is_zero());
+                let mut t = Time::ZERO + period;
+                while t < horizon {
+                    let jitter = period.mul_f64(rng.uniform_f64(0.0, jitter_frac));
+                    let at = t + jitter;
+                    if at < horizon {
+                        out.push(Detour {
+                            at,
+                            dur: self.dur.mul_f64(rng.jitter(self.dur_jitter)),
+                        });
+                    }
+                    t += period;
+                }
+            }
+            SourceKind::Poisson { mean_interval } => {
+                let mut t = Time::ZERO + rng.exp_span(mean_interval);
+                while t < horizon {
+                    out.push(Detour {
+                        at: t,
+                        dur: self.dur.mul_f64(rng.jitter(self.dur_jitter)),
+                    });
+                    t += rng.exp_span(mean_interval);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The background activity of one node: a bundle of noise sources.
+#[derive(Clone, Debug)]
+pub struct NodeActivity {
+    /// All sources contributing detours.
+    pub sources: Vec<NoiseSource>,
+}
+
+impl NodeActivity {
+    /// The Blake-like native profile used for Fig. 2a: a 1 kHz timer tick
+    /// of a few microseconds plus sparse longer daemon activity.
+    pub fn blake_native() -> Self {
+        NodeActivity {
+            sources: vec![
+                NoiseSource {
+                    name: "timer-tick",
+                    kind: SourceKind::Periodic {
+                        period: Span::from_ms(1),
+                        jitter_frac: 0.02,
+                    },
+                    dur: Span::from_us(2),
+                    dur_jitter: 0.5,
+                },
+                NoiseSource {
+                    name: "scheduler",
+                    kind: SourceKind::Periodic {
+                        period: Span::from_ms(10),
+                        jitter_frac: 0.05,
+                    },
+                    dur: Span::from_us(6),
+                    dur_jitter: 0.4,
+                },
+                NoiseSource {
+                    name: "kworker",
+                    kind: SourceKind::Poisson {
+                        mean_interval: Span::from_secs(2),
+                    },
+                    dur: Span::from_us(25),
+                    dur_jitter: 0.6,
+                },
+            ],
+        }
+    }
+
+    /// Sample all sources over `window` into a trace with the paper's
+    /// 150 ns detection threshold.
+    pub fn trace(&self, window: Span, seed: u64) -> DetourTrace {
+        let threshold = Span::from_ns(150);
+        let mut detours = Vec::new();
+        for (i, s) in self.sources.iter().enumerate() {
+            let mut rng = Rng64::substream(seed, i as u64);
+            detours.extend(s.sample(window, &mut rng));
+        }
+        DetourTrace::new(window, threshold, detours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_filters_and_sorts() {
+        let t = DetourTrace::new(
+            Span::from_secs(1),
+            Span::from_ns(150),
+            vec![
+                Detour {
+                    at: Time::from_ps(500),
+                    dur: Span::from_us(3),
+                },
+                Detour {
+                    at: Time::from_ps(100),
+                    dur: Span::from_ns(100),
+                }, // below threshold
+                Detour {
+                    at: Time::from_ps(200),
+                    dur: Span::from_us(1),
+                },
+                Detour {
+                    at: Time::ZERO + Span::from_secs(2), // outside window
+                    dur: Span::from_ms(1),
+                },
+            ],
+        );
+        assert_eq!(t.count(), 2);
+        assert!(t.detours[0].at < t.detours[1].at);
+        assert_eq!(t.total_noise(), Span::from_us(4));
+        assert_eq!(t.max_detour(), Span::from_us(3));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let t = DetourTrace::new(
+            Span::from_secs(1),
+            Span::ZERO,
+            vec![
+                Detour {
+                    at: Time::ZERO,
+                    dur: Span::from_ns(50),
+                },
+                Detour {
+                    at: Time::ZERO,
+                    dur: Span::from_us(5),
+                },
+                Detour {
+                    at: Time::ZERO,
+                    dur: Span::from_ms(5),
+                },
+            ],
+        );
+        let h = t.histogram(&[Span::from_us(1), Span::from_ms(1)]);
+        assert_eq!(h, vec![1, 1, 1]);
+        assert_eq!(t.count_in(Span::ZERO, Span::from_us(1)), 1);
+    }
+
+    #[test]
+    fn periodic_source_count() {
+        let s = NoiseSource {
+            name: "tick",
+            kind: SourceKind::Periodic {
+                period: Span::from_ms(1),
+                jitter_frac: 0.0,
+            },
+            dur: Span::from_us(2),
+            dur_jitter: 0.0,
+        };
+        let mut rng = Rng64::new(1);
+        let d = s.sample(Span::from_secs(1), &mut rng);
+        // One firing per millisecond, first at t = 1 ms.
+        assert_eq!(d.len(), 999);
+        assert!(d.iter().all(|x| x.dur == Span::from_us(2)));
+    }
+
+    #[test]
+    fn poisson_source_rate() {
+        let s = NoiseSource {
+            name: "daemon",
+            kind: SourceKind::Poisson {
+                mean_interval: Span::from_ms(10),
+            },
+            dur: Span::from_us(10),
+            dur_jitter: 0.0,
+        };
+        let mut rng = Rng64::new(2);
+        let d = s.sample(Span::from_secs(10), &mut rng);
+        assert!((800..1200).contains(&d.len()), "{} firings", d.len());
+    }
+
+    #[test]
+    fn native_profile_is_low_noise() {
+        let t = NodeActivity::blake_native().trace(Span::from_secs(30), 7);
+        // Mostly the 1 kHz tick.
+        assert!(t.count() > 25_000, "count = {}", t.count());
+        // Well under 1% total noise and no detour anywhere near CMCI cost.
+        assert!(t.noise_fraction() < 0.01, "{}", t.noise_fraction());
+        assert!(t.max_detour() < Span::from_us(100), "{}", t.max_detour());
+    }
+
+    #[test]
+    fn merge_keeps_order_and_threshold() {
+        let mut a = NodeActivity::blake_native().trace(Span::from_secs(1), 1);
+        let before = a.count();
+        let b = DetourTrace::new(
+            Span::from_secs(1),
+            Span::ZERO,
+            vec![Detour {
+                at: Time::from_ps(5),
+                dur: Span::from_ms(7),
+            }],
+        );
+        a.merge(&b);
+        assert_eq!(a.count(), before + 1);
+        assert_eq!(a.detours[0].at, Time::from_ps(5));
+        assert!(a.detours.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn display_summary() {
+        let t = NodeActivity::blake_native().trace(Span::from_secs(1), 3);
+        let s = format!("{t}");
+        assert!(s.contains("detours"));
+    }
+}

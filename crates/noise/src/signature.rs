@@ -1,0 +1,267 @@
+//! Regeneration of the Fig. 2 noise signatures.
+//!
+//! Fig. 2 of the paper shows four `selfish` traces collected on Blake (a
+//! 48-core-per-socket Skylake cluster) while injecting one correctable
+//! error every 10 seconds via APEI EINJ:
+//!
+//! * **(a) Native** — background OS noise only.
+//! * **(b) Dry run** — EINJ configured every 10 s but never triggered;
+//!   indistinguishable from native because sysfs writes are below the
+//!   150 ns detection threshold.
+//! * **(c) Software cost (CMCI)** — every injection raises a Corrected
+//!   Machine-Check Interrupt decoded by the OS: a ~775 µs detour per
+//!   injection (the paper reports "approximately 700 µs" bars and uses
+//!   775 µs in the simulation captions).
+//! * **(d) Firmware cost (EMCA, threshold 10)** — every injection raises a
+//!   ~7 ms SMI; every 10th, firmware additionally decodes and logs the
+//!   error, a ~500 ms detour.
+//!
+//! The paper also notes an "all logging off" configuration whose signature
+//! matches native/dry-run; [`SignatureKind::LoggingOff`] models it.
+
+use crate::einj::{EinjInterface, ErrorType};
+use crate::selfish::{Detour, DetourTrace, NodeActivity};
+use cesim_model::rng::Rng64;
+use cesim_model::{Span, Time};
+use core::fmt;
+
+/// Which Fig. 2 configuration to synthesize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignatureKind {
+    /// Fig. 2a: background noise only.
+    Native,
+    /// Fig. 2b: EINJ configured every `inject_period`, never triggered.
+    DryRun,
+    /// Hardware correction with all logging disabled (mentioned in the
+    /// Fig. 2 caption: looks like native).
+    LoggingOff,
+    /// Fig. 2c: OS/CMCI decoding per injection.
+    SoftwareCmci,
+    /// Fig. 2d: firmware/EMCA decoding; `threshold` controls how many SMIs
+    /// occur per full firmware decode (the paper sets 10).
+    FirmwareEmca {
+        /// Firmware logging threshold (decode every `threshold`-th error).
+        threshold: u32,
+    },
+}
+
+impl SignatureKind {
+    /// The four panels of Fig. 2, in order.
+    pub fn fig2_panels() -> [SignatureKind; 4] {
+        [
+            SignatureKind::Native,
+            SignatureKind::DryRun,
+            SignatureKind::SoftwareCmci,
+            SignatureKind::FirmwareEmca { threshold: 10 },
+        ]
+    }
+
+    /// Panel label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            SignatureKind::Native => "Native",
+            SignatureKind::DryRun => "Dry Run",
+            SignatureKind::LoggingOff => "All logging off",
+            SignatureKind::SoftwareCmci => "Software (OS/CMCI)",
+            SignatureKind::FirmwareEmca { .. } => "Firmware (EMCA)",
+        }
+    }
+}
+
+impl fmt::Display for SignatureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-injection SMI stall under firmware-first reporting (~7 ms).
+pub const SMI_COST: Span = Span::from_ms(7);
+/// Full firmware decode+log cost at the logging threshold (~500 ms).
+pub const FIRMWARE_DECODE_COST: Span = Span::from_ms(500);
+/// OS/CMCI decode+log cost per error (~775 µs).
+pub const CMCI_COST: Span = Span::from_us(775);
+
+/// Configuration for a signature run.
+#[derive(Clone, Copy, Debug)]
+pub struct SignatureConfig {
+    /// Observation window (the paper's figures span several minutes).
+    pub window: Span,
+    /// Error-injection cadence (the paper injects every 10 s).
+    pub inject_period: Span,
+    /// RNG seed for background noise and duration jitter.
+    pub seed: u64,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig {
+            window: Span::from_secs(300),
+            inject_period: Span::from_secs(10),
+            seed: 0xB1A4E,
+        }
+    }
+}
+
+/// Synthesize one `selfish` trace for the given configuration.
+pub fn signature(kind: SignatureKind, cfg: &SignatureConfig) -> DetourTrace {
+    let mut trace = NodeActivity::blake_native().trace(cfg.window, cfg.seed);
+    let mut rng = Rng64::substream(cfg.seed, 0xE1);
+    let mut einj = EinjInterface::new();
+    let horizon = Time::ZERO + cfg.window;
+
+    match kind {
+        SignatureKind::Native => {}
+        SignatureKind::DryRun | SignatureKind::LoggingOff => {
+            // Configure (and for LoggingOff also trigger) on cadence; the
+            // only CPU cost is sub-threshold sysfs writes / pure hardware
+            // correction, so the trace is unchanged.
+            let mut t = Time::ZERO + cfg.inject_period;
+            while t < horizon {
+                einj.set_error_type(ErrorType::MemoryCorrectable);
+                einj.set_address(0x1000_0000);
+                if kind == SignatureKind::LoggingOff {
+                    einj.trigger(t).expect("configured");
+                }
+                t += cfg.inject_period;
+            }
+        }
+        SignatureKind::SoftwareCmci => {
+            let mut extra = Vec::new();
+            let mut t = Time::ZERO + cfg.inject_period;
+            while t < horizon {
+                einj.set_error_type(ErrorType::MemoryCorrectable);
+                einj.set_address(0x1000_0000);
+                einj.trigger(t).expect("configured");
+                extra.push(Detour {
+                    at: t,
+                    dur: CMCI_COST.mul_f64(rng.jitter(0.05)),
+                });
+                t += cfg.inject_period;
+            }
+            trace.merge(&DetourTrace::new(cfg.window, Span::ZERO, extra));
+        }
+        SignatureKind::FirmwareEmca { threshold } => {
+            assert!(threshold > 0, "firmware threshold must be positive");
+            let mut extra = Vec::new();
+            let mut t = Time::ZERO + cfg.inject_period;
+            let mut count = 0u32;
+            while t < horizon {
+                einj.set_error_type(ErrorType::MemoryCorrectable);
+                einj.set_address(0x1000_0000);
+                einj.trigger(t).expect("configured");
+                count += 1;
+                // Every error raises an SMI stall …
+                extra.push(Detour {
+                    at: t,
+                    dur: SMI_COST.mul_f64(rng.jitter(0.1)),
+                });
+                // … and every `threshold`-th triggers the full decode.
+                if count.is_multiple_of(threshold) {
+                    extra.push(Detour {
+                        at: t + SMI_COST,
+                        dur: FIRMWARE_DECODE_COST.mul_f64(rng.jitter(0.05)),
+                    });
+                }
+                t += cfg.inject_period;
+            }
+            trace.merge(&DetourTrace::new(cfg.window, Span::ZERO, extra));
+        }
+    }
+    trace
+}
+
+/// Synthesize all four Fig. 2 panels.
+pub fn fig2(cfg: &SignatureConfig) -> Vec<(SignatureKind, DetourTrace)> {
+    SignatureKind::fig2_panels()
+        .into_iter()
+        .map(|k| (k, signature(k, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SignatureConfig {
+        SignatureConfig {
+            window: Span::from_secs(300),
+            inject_period: Span::from_secs(10),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn dry_run_matches_native() {
+        let c = cfg();
+        let native = signature(SignatureKind::Native, &c);
+        let dry = signature(SignatureKind::DryRun, &c);
+        let off = signature(SignatureKind::LoggingOff, &c);
+        // Identical background seed, no added detours: exactly equal.
+        assert_eq!(native.detours, dry.detours);
+        assert_eq!(native.detours, off.detours);
+    }
+
+    #[test]
+    fn software_adds_one_bar_per_injection() {
+        let c = cfg();
+        let native = signature(SignatureKind::Native, &c);
+        let sw = signature(SignatureKind::SoftwareCmci, &c);
+        let added = sw.count() - native.count();
+        // 300 s window, injection every 10 s starting at t = 10 s.
+        assert_eq!(added, 29);
+        // The tall bars are ~775 µs; everything else is far smaller.
+        assert_eq!(sw.count_in(Span::from_us(700), Span::from_us(900)), 29);
+        assert!(sw.max_detour() < Span::from_ms(1));
+    }
+
+    #[test]
+    fn firmware_has_smi_and_decode_groups() {
+        let c = cfg();
+        let fw = signature(SignatureKind::FirmwareEmca { threshold: 10 }, &c);
+        // 29 injections → 29 SMI bars (~7 ms) and 2 decodes (~500 ms, at
+        // the 10th and 20th injections).
+        assert_eq!(fw.count_in(Span::from_ms(6), Span::from_ms(9)), 29);
+        assert_eq!(fw.count_in(Span::from_ms(400), Span::from_ms(600)), 2);
+        assert!(fw.max_detour() >= Span::from_ms(400));
+    }
+
+    #[test]
+    fn fig2_produces_four_panels() {
+        let panels = fig2(&cfg());
+        assert_eq!(panels.len(), 4);
+        assert_eq!(panels[0].0, SignatureKind::Native);
+        assert!(matches!(
+            panels[3].0,
+            SignatureKind::FirmwareEmca { threshold: 10 }
+        ));
+        // Noise fractions are ordered native ≈ dryrun < software < firmware,
+        // and the *added* noise (over native) is >100x larger for firmware.
+        let nf: Vec<f64> = panels.iter().map(|(_, t)| t.noise_fraction()).collect();
+        assert!((nf[0] - nf[1]).abs() < 1e-9);
+        assert!(nf[2] > nf[1]);
+        assert!(nf[3] > nf[2]);
+        let sw_added = nf[2] - nf[0];
+        let fw_added = nf[3] - nf[0];
+        // Amortized firmware cost per injection is 7 ms + 500 ms / 10 ≈
+        // 57 ms vs 775 µs for software: ~70x; assert a safe 50x.
+        assert!(fw_added > sw_added * 50.0, "sw {sw_added}, fw {fw_added}");
+    }
+
+    #[test]
+    fn costs_match_paper() {
+        assert_eq!(CMCI_COST, Span::from_us(775));
+        assert_eq!(SMI_COST, Span::from_ms(7));
+        assert_eq!(FIRMWARE_DECODE_COST, Span::from_ms(500));
+        // Amortized firmware cost per error at threshold 10:
+        // 7 ms + 500/10 ms = 57 ms — same order as the 133 ms/event the
+        // captions use (which also folds in memory-configuration readout).
+        let amortized = SMI_COST + FIRMWARE_DECODE_COST / 10;
+        assert!(amortized >= Span::from_ms(50));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SignatureKind::Native.label(), "Native");
+        assert!(format!("{}", SignatureKind::SoftwareCmci).contains("CMCI"));
+    }
+}

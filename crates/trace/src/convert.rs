@@ -1,0 +1,472 @@
+//! Trace → schedule conversion.
+//!
+//! Reproduces what LogGOPSim's `txt2bin`/schedgen stage does with a
+//! liballprof trace:
+//!
+//! * the **gap** between consecutive MPI calls on a rank becomes a `calc`
+//!   operation (the application's local computation — the only place the
+//!   recorded timestamps are trusted);
+//! * the time *inside* MPI calls is discarded — the LogGOPS model
+//!   recomputes it from first principles;
+//! * non-blocking requests connect their `Isend`/`Irecv` to the `Wait`
+//!   that completes them;
+//! * collectives (identical sequence on every rank, enforced by
+//!   validation) are expanded into point-to-point algorithms via
+//!   `cesim-goal`, phase-aligned across ranks.
+
+#![allow(clippy::needless_range_loop)] // parallel per-rank arrays
+
+use crate::event::{MpiCall, ReqId};
+use crate::format::TraceSet;
+use cesim_goal::builder::{ScheduleBuilder, TagPool};
+use cesim_goal::collectives::{
+    allreduce_recursive_doubling, barrier_dissemination, bcast_binomial, reduce_binomial,
+    CollectiveCosts,
+};
+use cesim_goal::{OpId, Rank, Schedule, Tag};
+use cesim_model::Time;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why conversion failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The trace set failed structural validation.
+    Invalid(String),
+    /// A user tag collides with the collective-expansion tag space.
+    TagTooLarge {
+        /// Offending rank.
+        rank: usize,
+        /// Offending tag.
+        tag: u32,
+    },
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::Invalid(m) => write!(f, "invalid trace: {m}"),
+            ConvertError::TagTooLarge { rank, tag } => write!(
+                f,
+                "rank {rank}: tag {tag} collides with the collective tag space (>= 2^30)"
+            ),
+        }
+    }
+}
+
+impl Error for ConvertError {}
+
+/// Convert a validated trace set into a simulatable schedule.
+pub fn convert(set: &TraceSet, costs: &CollectiveCosts) -> Result<Schedule, ConvertError> {
+    set.validate().map_err(ConvertError::Invalid)?;
+    let n = set.num_ranks();
+    let mut b = ScheduleBuilder::new(n);
+    let mut tags = TagPool::new();
+
+    // Split every rank's event stream into segments separated by
+    // collectives (the collective sequence is identical across ranks).
+    // Conversion proceeds phase by phase so collective expansion can
+    // append ops for all ranks while keeping dependencies backward.
+    let num_collectives = set.ranks[0]
+        .events
+        .iter()
+        .filter(|e| e.call.is_collective())
+        .count();
+
+    // Per-rank walk state.
+    struct WalkState {
+        /// Next event index to consume.
+        idx: usize,
+        /// End of the previous call (for compute-gap reconstruction).
+        clock: Time,
+        /// Current chain head.
+        cur: OpId,
+        /// Open non-blocking requests → their op.
+        open: HashMap<ReqId, OpId>,
+    }
+    let mut walks: Vec<WalkState> = (0..n)
+        .map(|r| WalkState {
+            idx: 0,
+            clock: Time::ZERO,
+            cur: b.join(Rank::from(r), &[]),
+            open: HashMap::new(),
+        })
+        .collect();
+
+    // Convert one rank's events up to (not including) the next collective.
+    // Returns the collective call at which it stopped, if any.
+    fn advance(
+        b: &mut ScheduleBuilder,
+        set: &TraceSet,
+        r: usize,
+        w: &mut WalkState,
+    ) -> Result<Option<MpiCall>, ConvertError> {
+        let rank = Rank::from(r);
+        let events = &set.ranks[r].events;
+        while w.idx < events.len() {
+            let ev = &events[w.idx];
+            if ev.call.is_collective() {
+                // Account the compute gap before the collective, then stop.
+                let gap = ev.enter.saturating_since(w.clock);
+                if !gap.is_zero() {
+                    w.cur = b.calc(rank, gap, &[w.cur]);
+                }
+                w.clock = ev.exit;
+                w.idx += 1;
+                return Ok(Some(ev.call.clone()));
+            }
+            let gap = ev.enter.saturating_since(w.clock);
+            if !gap.is_zero() {
+                w.cur = b.calc(rank, gap, &[w.cur]);
+            }
+            w.clock = ev.exit;
+            let check_tag = |tag: u32| -> Result<Tag, ConvertError> {
+                if tag >= cesim_goal::op::COLLECTIVE_TAG_BASE {
+                    Err(ConvertError::TagTooLarge { rank: r, tag })
+                } else {
+                    Ok(Tag(tag))
+                }
+            };
+            match ev.call.clone() {
+                MpiCall::Send { peer, bytes, tag } => {
+                    w.cur = b.send(rank, Rank(peer), bytes, check_tag(tag)?, &[w.cur]);
+                }
+                MpiCall::Recv { peer, bytes, tag } => {
+                    let src = (peer != u32::MAX).then_some(Rank(peer));
+                    w.cur = b.recv(rank, src, bytes, check_tag(tag)?, &[w.cur]);
+                }
+                MpiCall::Isend {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                } => {
+                    // Non-blocking: the program does not wait for the op;
+                    // CPU serialization preserves call order.
+                    let op = b.send(rank, Rank(peer), bytes, check_tag(tag)?, &[w.cur]);
+                    w.open.insert(req, op);
+                }
+                MpiCall::Irecv {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                } => {
+                    let src = (peer != u32::MAX).then_some(Rank(peer));
+                    let op = b.recv(rank, src, bytes, check_tag(tag)?, &[w.cur]);
+                    w.open.insert(req, op);
+                }
+                MpiCall::Wait { req } => {
+                    let op = w.open.remove(&req).expect("validated: request open");
+                    w.cur = b.join(rank, &[w.cur, op]);
+                }
+                MpiCall::Waitall { reqs } => {
+                    let mut deps = vec![w.cur];
+                    for req in reqs {
+                        deps.push(w.open.remove(&req).expect("validated: request open"));
+                    }
+                    w.cur = b.join(rank, &deps);
+                }
+                c => unreachable!("collective {c:?} handled above"),
+            }
+            w.idx += 1;
+        }
+        Ok(None)
+    }
+
+    for _phase in 0..=num_collectives {
+        let mut stop: Option<MpiCall> = None;
+        for r in 0..n {
+            let s = advance(&mut b, set, r, &mut walks[r])?;
+            if r == 0 {
+                stop = s;
+            }
+        }
+        if let Some(coll) = stop {
+            let entry: Vec<OpId> = walks.iter().map(|w| w.cur).collect();
+            let exit = match coll {
+                MpiCall::Allreduce { bytes } => {
+                    allreduce_recursive_doubling(&mut b, &mut tags, bytes, costs, &entry)
+                }
+                MpiCall::Barrier => barrier_dissemination(&mut b, &mut tags, &entry),
+                MpiCall::Bcast { root, bytes } => {
+                    bcast_binomial(&mut b, &mut tags, Rank(root), bytes, &entry)
+                }
+                MpiCall::Reduce { root, bytes } => {
+                    reduce_binomial(&mut b, &mut tags, Rank(root), bytes, costs, &entry)
+                }
+                other => unreachable!("{other:?} is not a collective"),
+            };
+            for (w, e) in walks.iter_mut().zip(exit) {
+                w.cur = e;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::format::Trace;
+    use cesim_goal::OpKind;
+    use cesim_model::Span;
+
+    fn ev(enter: u64, exit: u64, call: MpiCall) -> TraceEvent {
+        TraceEvent {
+            enter: Time::from_ps(enter),
+            exit: Time::from_ps(exit),
+            call,
+        }
+    }
+
+    #[test]
+    fn compute_gaps_become_calcs() {
+        let set = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![
+                        ev(
+                            1_000,
+                            1_100,
+                            MpiCall::Send {
+                                peer: 1,
+                                bytes: 8,
+                                tag: 0,
+                            },
+                        ),
+                        ev(
+                            5_000,
+                            5_100,
+                            MpiCall::Send {
+                                peer: 1,
+                                bytes: 8,
+                                tag: 0,
+                            },
+                        ),
+                    ],
+                },
+                Trace {
+                    events: vec![
+                        ev(
+                            0,
+                            100,
+                            MpiCall::Recv {
+                                peer: 0,
+                                bytes: 8,
+                                tag: 0,
+                            },
+                        ),
+                        ev(
+                            100,
+                            200,
+                            MpiCall::Recv {
+                                peer: 0,
+                                bytes: 8,
+                                tag: 0,
+                            },
+                        ),
+                    ],
+                },
+            ],
+        };
+        let s = convert(&set, &CollectiveCosts::default()).unwrap();
+        s.validate().unwrap();
+        // Rank 0: root join + calc(1000) + send + calc(3900) + send.
+        let kinds: Vec<_> = s.ranks[0].ops.iter().map(|o| o.kind).collect();
+        assert!(matches!(kinds[1], OpKind::Calc { dur } if dur == Span::from_ps(1_000)));
+        assert!(kinds[2].is_send());
+        assert!(matches!(kinds[3], OpKind::Calc { dur } if dur == Span::from_ps(3_900)));
+        assert!(kinds[4].is_send());
+    }
+
+    #[test]
+    fn nonblocking_requests_connect_to_waits() {
+        let set = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![
+                        ev(
+                            0,
+                            10,
+                            MpiCall::Irecv {
+                                peer: 1,
+                                bytes: 8,
+                                tag: 0,
+                                req: ReqId(0),
+                            },
+                        ),
+                        ev(
+                            10,
+                            20,
+                            MpiCall::Isend {
+                                peer: 1,
+                                bytes: 8,
+                                tag: 1,
+                                req: ReqId(1),
+                            },
+                        ),
+                        ev(
+                            1_000,
+                            1_010,
+                            MpiCall::Waitall {
+                                reqs: vec![ReqId(0), ReqId(1)],
+                            },
+                        ),
+                    ],
+                },
+                Trace {
+                    events: vec![
+                        ev(
+                            0,
+                            10,
+                            MpiCall::Send {
+                                peer: 0,
+                                bytes: 8,
+                                tag: 0,
+                            },
+                        ),
+                        ev(
+                            10,
+                            20,
+                            MpiCall::Recv {
+                                peer: 0,
+                                bytes: 8,
+                                tag: 1,
+                            },
+                        ),
+                    ],
+                },
+            ],
+        };
+        let s = convert(&set, &CollectiveCosts::default()).unwrap();
+        s.validate().unwrap();
+        // The waitall join must depend on both request ops.
+        let r0 = &s.ranks[0].ops;
+        let join = r0.last().unwrap();
+        assert!(join.kind.is_calc());
+        assert_eq!(join.deps.len(), 3); // chain head + two requests
+    }
+
+    #[test]
+    fn collectives_are_phase_aligned_and_expanded() {
+        let n = 5;
+        let mk = |_r: usize| Trace {
+            events: vec![
+                ev(0, 10, MpiCall::Allreduce { bytes: 8 }),
+                ev(2_000, 2_010, MpiCall::Barrier),
+            ],
+        };
+        let set = TraceSet {
+            ranks: (0..n).map(mk).collect(),
+        };
+        let s = convert(&set, &CollectiveCosts::default()).unwrap();
+        s.validate().unwrap();
+        // Expanded sends exist (no raw collective ops in the IR).
+        assert!(s.stats().sends > 0);
+        // And the schedule actually simulates to completion.
+        // (engine is a dev-dependency of this crate)
+        let r = cesim_engine::simulate(
+            &s,
+            &cesim_model::LogGopsParams::xc40(),
+            &mut cesim_engine::NoNoise,
+        )
+        .unwrap();
+        assert_eq!(r.ops_executed, s.total_ops() as u64);
+    }
+
+    #[test]
+    fn mixed_p2p_and_collectives_simulate() {
+        let set = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![
+                        ev(
+                            100,
+                            110,
+                            MpiCall::Isend {
+                                peer: 1,
+                                bytes: 70_000,
+                                tag: 5,
+                                req: ReqId(0),
+                            },
+                        ),
+                        ev(500, 510, MpiCall::Allreduce { bytes: 64 }),
+                        ev(900, 910, MpiCall::Wait { req: ReqId(0) }),
+                    ],
+                },
+                Trace {
+                    events: vec![
+                        ev(
+                            0,
+                            10,
+                            MpiCall::Irecv {
+                                peer: 0,
+                                bytes: 70_000,
+                                tag: 5,
+                                req: ReqId(0),
+                            },
+                        ),
+                        ev(400, 410, MpiCall::Allreduce { bytes: 64 }),
+                        ev(800, 810, MpiCall::Wait { req: ReqId(0) }),
+                    ],
+                },
+            ],
+        };
+        let s = convert(&set, &CollectiveCosts::default()).unwrap();
+        s.validate().unwrap();
+        let r = cesim_engine::simulate(
+            &s,
+            &cesim_model::LogGopsParams::xc40(),
+            &mut cesim_engine::NoNoise,
+        )
+        .unwrap();
+        // The 70 kB message crosses the rendezvous threshold.
+        assert!(r.control_msgs >= 2);
+    }
+
+    #[test]
+    fn big_tags_rejected() {
+        let set = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![ev(
+                        0,
+                        1,
+                        MpiCall::Send {
+                            peer: 1,
+                            bytes: 8,
+                            tag: 1 << 30,
+                        },
+                    )],
+                },
+                Trace {
+                    events: vec![ev(
+                        0,
+                        1,
+                        MpiCall::Recv {
+                            peer: 0,
+                            bytes: 8,
+                            tag: 1 << 30,
+                        },
+                    )],
+                },
+            ],
+        };
+        assert!(matches!(
+            convert(&set, &CollectiveCosts::default()),
+            Err(ConvertError::TagTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_traces_rejected() {
+        let set = TraceSet { ranks: vec![] };
+        assert!(matches!(
+            convert(&set, &CollectiveCosts::default()),
+            Err(ConvertError::Invalid(_))
+        ));
+    }
+}

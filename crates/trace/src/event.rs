@@ -1,0 +1,170 @@
+//! The MPI call vocabulary recorded in traces.
+
+use cesim_model::Time;
+use core::fmt;
+
+/// A non-blocking request handle, unique within one rank's trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ReqId(pub u32);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// An MPI call, as a PMPI profiling layer would record it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiCall {
+    /// Blocking standard-mode send.
+    Send {
+        /// Destination rank.
+        peer: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+    },
+    /// Blocking receive (`peer == u32::MAX` encodes `MPI_ANY_SOURCE`).
+    Recv {
+        /// Source rank, or `u32::MAX` for any source.
+        peer: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+    },
+    /// Non-blocking send.
+    Isend {
+        /// Destination rank.
+        peer: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+        /// Request handle completed by a later wait.
+        req: ReqId,
+    },
+    /// Non-blocking receive.
+    Irecv {
+        /// Source rank, or `u32::MAX` for any source.
+        peer: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+        /// Request handle completed by a later wait.
+        req: ReqId,
+    },
+    /// Wait for one request.
+    Wait {
+        /// The request being completed.
+        req: ReqId,
+    },
+    /// Wait for a set of requests.
+    Waitall {
+        /// The requests being completed.
+        reqs: Vec<ReqId>,
+    },
+    /// `MPI_Allreduce` over all ranks.
+    Allreduce {
+        /// Reduction payload bytes.
+        bytes: u64,
+    },
+    /// `MPI_Barrier` over all ranks.
+    Barrier,
+    /// `MPI_Bcast` from `root`.
+    Bcast {
+        /// Broadcast root rank.
+        root: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// `MPI_Reduce` to `root`.
+    Reduce {
+        /// Reduction root rank.
+        root: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+impl MpiCall {
+    /// True for the collectives (which every rank must call in the same
+    /// order).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            MpiCall::Allreduce { .. }
+                | MpiCall::Barrier
+                | MpiCall::Bcast { .. }
+                | MpiCall::Reduce { .. }
+        )
+    }
+
+    /// Mnemonic used by the text format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpiCall::Send { .. } => "Send",
+            MpiCall::Recv { .. } => "Recv",
+            MpiCall::Isend { .. } => "Isend",
+            MpiCall::Irecv { .. } => "Irecv",
+            MpiCall::Wait { .. } => "Wait",
+            MpiCall::Waitall { .. } => "Waitall",
+            MpiCall::Allreduce { .. } => "Allreduce",
+            MpiCall::Barrier => "Barrier",
+            MpiCall::Bcast { .. } => "Bcast",
+            MpiCall::Reduce { .. } => "Reduce",
+        }
+    }
+}
+
+/// One recorded call: the MPI operation plus its enter/exit timestamps.
+/// The *gap* between one event's `exit` and the next event's `enter` is
+/// the application's local computation, which conversion turns into
+/// `calc` operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Time the rank entered the MPI call.
+    pub enter: Time,
+    /// Time the call returned.
+    pub exit: Time,
+    /// The call.
+    pub call: MpiCall,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_predicate() {
+        assert!(MpiCall::Barrier.is_collective());
+        assert!(MpiCall::Allreduce { bytes: 8 }.is_collective());
+        assert!(MpiCall::Bcast { root: 0, bytes: 4 }.is_collective());
+        assert!(MpiCall::Reduce { root: 2, bytes: 4 }.is_collective());
+        assert!(!MpiCall::Send {
+            peer: 0,
+            bytes: 8,
+            tag: 0
+        }
+        .is_collective());
+        assert!(!MpiCall::Wait { req: ReqId(0) }.is_collective());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MpiCall::Barrier.name(), "Barrier");
+        assert_eq!(
+            MpiCall::Irecv {
+                peer: 1,
+                bytes: 2,
+                tag: 3,
+                req: ReqId(4)
+            }
+            .name(),
+            "Irecv"
+        );
+        assert_eq!(MpiCall::Waitall { reqs: vec![] }.name(), "Waitall");
+    }
+}

@@ -1,0 +1,235 @@
+//! Trace extrapolation — the paper's §III-C scaling mechanism.
+//!
+//! LogGOPSim "can also extrapolate traces; a trace collected by running
+//! the application with `p` processes can be extrapolated to simulate the
+//! performance of the application running with `k·p` processes. The
+//! extrapolation produces exact communication patterns for MPI collective
+//! operations and approximates point-to-point communications."
+//!
+//! Implementation: the extrapolated job consists of `k` copies of the
+//! traced job.
+//!
+//! * **Point-to-point** traffic is replicated within each copy
+//!   (`peer' = copy·p + peer`) — the pattern, message sizes, tags and
+//!   timing of the original ranks are preserved exactly; inter-copy
+//!   locality mirrors the weak-scaling assumption behind the paper's
+//!   one-process-per-node runs.
+//! * **Collectives** span *all* `k·p` ranks (their expansion in
+//!   [`crate::convert`] is exact at any scale), with rooted collectives
+//!   anchored at the original root in copy 0.
+//!
+//! Timestamps (and therefore reconstructed compute intervals) carry over
+//! unchanged.
+
+use crate::event::MpiCall;
+use crate::format::{Trace, TraceSet};
+
+/// Extrapolate a `p`-rank trace set to `k·p` ranks.
+///
+/// Panics if `k == 0`.
+pub fn extrapolate(set: &TraceSet, k: usize) -> TraceSet {
+    assert!(k > 0, "extrapolation factor must be at least 1");
+    let p = set.num_ranks();
+    let mut ranks = Vec::with_capacity(p * k);
+    for copy in 0..k {
+        let base = (copy * p) as u32;
+        for trace in &set.ranks {
+            let events = trace
+                .events
+                .iter()
+                .map(|ev| {
+                    let mut ev = ev.clone();
+                    ev.call = match ev.call {
+                        MpiCall::Send { peer, bytes, tag } => MpiCall::Send {
+                            peer: peer + base,
+                            bytes,
+                            tag,
+                        },
+                        MpiCall::Recv { peer, bytes, tag } => MpiCall::Recv {
+                            peer: if peer == u32::MAX { peer } else { peer + base },
+                            bytes,
+                            tag,
+                        },
+                        MpiCall::Isend {
+                            peer,
+                            bytes,
+                            tag,
+                            req,
+                        } => MpiCall::Isend {
+                            peer: peer + base,
+                            bytes,
+                            tag,
+                            req,
+                        },
+                        MpiCall::Irecv {
+                            peer,
+                            bytes,
+                            tag,
+                            req,
+                        } => MpiCall::Irecv {
+                            peer: if peer == u32::MAX { peer } else { peer + base },
+                            bytes,
+                            tag,
+                            req,
+                        },
+                        // Collectives become global; rooted ones keep the
+                        // original root (in copy 0).
+                        other => other,
+                    };
+                    ev
+                })
+                .collect();
+            ranks.push(Trace { events });
+        }
+    }
+    TraceSet { ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ReqId, TraceEvent};
+    use cesim_goal::collectives::CollectiveCosts;
+    use cesim_model::Time;
+
+    fn ev(enter: u64, exit: u64, call: MpiCall) -> TraceEvent {
+        TraceEvent {
+            enter: Time::from_ps(enter),
+            exit: Time::from_ps(exit),
+            call,
+        }
+    }
+
+    /// A 2-rank ping + allreduce trace.
+    fn base() -> TraceSet {
+        TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![
+                        ev(
+                            100,
+                            110,
+                            MpiCall::Isend {
+                                peer: 1,
+                                bytes: 64,
+                                tag: 7,
+                                req: ReqId(0),
+                            },
+                        ),
+                        ev(200, 210, MpiCall::Wait { req: ReqId(0) }),
+                        ev(1_000, 1_100, MpiCall::Allreduce { bytes: 8 }),
+                    ],
+                },
+                Trace {
+                    events: vec![
+                        ev(
+                            0,
+                            10,
+                            MpiCall::Recv {
+                                peer: 0,
+                                bytes: 64,
+                                tag: 7,
+                            },
+                        ),
+                        ev(900, 1_000, MpiCall::Allreduce { bytes: 8 }),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn identity_at_k1() {
+        let t = base();
+        assert_eq!(extrapolate(&t, 1), t);
+    }
+
+    #[test]
+    fn p2p_stays_within_copies() {
+        let t = extrapolate(&base(), 3);
+        assert_eq!(t.num_ranks(), 6);
+        t.validate().unwrap();
+        // Copy 2's rank 0 (global rank 4) sends to global rank 5.
+        match &t.ranks[4].events[0].call {
+            MpiCall::Isend { peer, .. } => assert_eq!(*peer, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Copy 2's rank 1 receives from global rank 4.
+        match &t.ranks[5].events[0].call {
+            MpiCall::Recv { peer, .. } => assert_eq!(*peer, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collectives_become_global_and_exact() {
+        let t = extrapolate(&base(), 4);
+        let s = convert_ok(&t);
+        // Allreduce over 8 ranks (power of two): exactly 8·log2(8) sends
+        // for the collective, plus 4 point-to-point pings.
+        assert_eq!(s.stats().sends, 8 * 3 + 4);
+    }
+
+    fn convert_ok(t: &TraceSet) -> cesim_goal::Schedule {
+        let s = crate::convert::convert(t, &CollectiveCosts::default()).unwrap();
+        s.validate().unwrap();
+        s
+    }
+
+    #[test]
+    fn extrapolated_traces_simulate() {
+        for k in [1usize, 2, 5] {
+            let t = extrapolate(&base(), k);
+            let s = convert_ok(&t);
+            let r = cesim_engine::simulate(
+                &s,
+                &cesim_model::LogGopsParams::xc40(),
+                &mut cesim_engine::NoNoise,
+            )
+            .unwrap();
+            assert_eq!(r.ops_executed, s.total_ops() as u64, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn any_source_is_preserved() {
+        let t = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![ev(
+                        0,
+                        1,
+                        MpiCall::Recv {
+                            peer: u32::MAX,
+                            bytes: 4,
+                            tag: 0,
+                        },
+                    )],
+                },
+                Trace {
+                    events: vec![ev(
+                        0,
+                        1,
+                        MpiCall::Send {
+                            peer: 0,
+                            bytes: 4,
+                            tag: 0,
+                        },
+                    )],
+                },
+            ],
+        };
+        let e = extrapolate(&t, 2);
+        assert!(matches!(
+            e.ranks[2].events[0].call,
+            MpiCall::Recv { peer: u32::MAX, .. }
+        ));
+        e.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k_zero_rejected() {
+        extrapolate(&base(), 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! The trace container and its text serialization.
+//!
+//! Format (timestamps in integer picoseconds):
+//!
+//! ```text
+//! # cesim-trace
+//! ranks 2
+//! rank 0 {
+//!   1000 2500 Send peer=1 bytes=64 tag=3
+//!   4000 4100 Isend peer=1 bytes=8 tag=1 req=0
+//!   4100 4200 Irecv peer=any bytes=8 tag=1 req=1
+//!   9000 9500 Waitall reqs=0,1
+//!   10000 12000 Allreduce bytes=8
+//! }
+//! rank 1 { ... }
+//! ```
+
+use crate::event::{MpiCall, ReqId, TraceEvent};
+use cesim_model::Time;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// One rank's recorded call sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Events in call order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A whole job's traces (one per rank).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSet {
+    /// Per-rank traces; index = rank.
+    pub ranks: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total recorded events.
+    pub fn total_events(&self) -> usize {
+        self.ranks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Structural validation: monotone timestamps, peers in range, each
+    /// request created exactly once and waited exactly once, and all
+    /// ranks observing the same collective sequence.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_ranks();
+        if n == 0 {
+            return Err("trace set has no ranks".into());
+        }
+        for (r, trace) in self.ranks.iter().enumerate() {
+            let mut clock = Time::ZERO;
+            let mut open: HashSet<ReqId> = HashSet::new();
+            let mut created: HashSet<ReqId> = HashSet::new();
+            for (i, ev) in trace.events.iter().enumerate() {
+                if ev.enter < clock {
+                    return Err(format!(
+                        "rank {r} event {i}: enter {} before previous exit {clock}",
+                        ev.enter
+                    ));
+                }
+                if ev.exit < ev.enter {
+                    return Err(format!("rank {r} event {i}: exit before enter"));
+                }
+                clock = ev.exit;
+                let check_peer = |peer: u32, what: &str| -> Result<(), String> {
+                    if peer != u32::MAX && peer as usize >= n {
+                        return Err(format!(
+                            "rank {r} event {i}: {what} peer {peer} out of range"
+                        ));
+                    }
+                    if peer as usize == r {
+                        return Err(format!("rank {r} event {i}: self-{what}"));
+                    }
+                    Ok(())
+                };
+                match &ev.call {
+                    MpiCall::Send { peer, .. } => check_peer(*peer, "send")?,
+                    MpiCall::Recv { peer, .. } => {
+                        if *peer != u32::MAX {
+                            check_peer(*peer, "recv")?;
+                        }
+                    }
+                    MpiCall::Isend { peer, req, .. } => {
+                        check_peer(*peer, "send")?;
+                        if !created.insert(*req) {
+                            return Err(format!("rank {r} event {i}: request {req} reused"));
+                        }
+                        open.insert(*req);
+                    }
+                    MpiCall::Irecv { peer, req, .. } => {
+                        if *peer != u32::MAX {
+                            check_peer(*peer, "recv")?;
+                        }
+                        if !created.insert(*req) {
+                            return Err(format!("rank {r} event {i}: request {req} reused"));
+                        }
+                        open.insert(*req);
+                    }
+                    MpiCall::Wait { req } => {
+                        if !open.remove(req) {
+                            return Err(format!(
+                                "rank {r} event {i}: wait on unknown/completed {req}"
+                            ));
+                        }
+                    }
+                    MpiCall::Waitall { reqs } => {
+                        for req in reqs {
+                            if !open.remove(req) {
+                                return Err(format!(
+                                    "rank {r} event {i}: waitall on unknown/completed {req}"
+                                ));
+                            }
+                        }
+                    }
+                    MpiCall::Bcast { root, .. } | MpiCall::Reduce { root, .. } => {
+                        if *root as usize >= n {
+                            return Err(format!("rank {r} event {i}: root {root} out of range"));
+                        }
+                    }
+                    MpiCall::Allreduce { .. } | MpiCall::Barrier => {}
+                }
+            }
+            if let Some(req) = open.iter().next() {
+                return Err(format!("rank {r}: request {req} never waited"));
+            }
+        }
+        // Collective sequences must agree across ranks.
+        fn coll_seq(t: &Trace) -> Vec<&MpiCall> {
+            t.events
+                .iter()
+                .filter(|e| e.call.is_collective())
+                .map(|e| &e.call)
+                .collect()
+        }
+        let first = coll_seq(&self.ranks[0]);
+        for (r, t) in self.ranks.iter().enumerate().skip(1) {
+            let seq = coll_seq(t);
+            if seq != first {
+                return Err(format!(
+                    "rank {r}: collective sequence diverges from rank 0 ({} vs {} collectives)",
+                    seq.len(),
+                    first.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn peer_str(peer: u32) -> String {
+    if peer == u32::MAX {
+        "any".into()
+    } else {
+        peer.to_string()
+    }
+}
+
+/// Serialize a trace set to the text format.
+pub fn to_text(set: &TraceSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# cesim-trace");
+    let _ = writeln!(out, "ranks {}", set.num_ranks());
+    for (r, trace) in set.ranks.iter().enumerate() {
+        let _ = writeln!(out, "rank {r} {{");
+        for ev in &trace.events {
+            let _ = write!(
+                out,
+                "  {} {} {}",
+                ev.enter.as_ps(),
+                ev.exit.as_ps(),
+                ev.call.name()
+            );
+            match &ev.call {
+                MpiCall::Send { peer, bytes, tag } | MpiCall::Recv { peer, bytes, tag } => {
+                    let _ = write!(out, " peer={} bytes={bytes} tag={tag}", peer_str(*peer));
+                }
+                MpiCall::Isend {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                }
+                | MpiCall::Irecv {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                } => {
+                    let _ = write!(
+                        out,
+                        " peer={} bytes={bytes} tag={tag} req={}",
+                        peer_str(*peer),
+                        req.0
+                    );
+                }
+                MpiCall::Wait { req } => {
+                    let _ = write!(out, " req={}", req.0);
+                }
+                MpiCall::Waitall { reqs } => {
+                    let list: Vec<String> = reqs.iter().map(|r| r.0.to_string()).collect();
+                    let _ = write!(out, " reqs={}", list.join(","));
+                }
+                MpiCall::Allreduce { bytes } => {
+                    let _ = write!(out, " bytes={bytes}");
+                }
+                MpiCall::Barrier => {}
+                MpiCall::Bcast { root, bytes } | MpiCall::Reduce { root, bytes } => {
+                    let _ = write!(out, " root={root} bytes={bytes}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesim_model::Span;
+
+    fn ev(enter: u64, exit: u64, call: MpiCall) -> TraceEvent {
+        TraceEvent {
+            enter: Time::from_ps(enter),
+            exit: Time::from_ps(exit),
+            call,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let set = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![
+                        ev(
+                            0,
+                            10,
+                            MpiCall::Isend {
+                                peer: 1,
+                                bytes: 8,
+                                tag: 0,
+                                req: ReqId(0),
+                            },
+                        ),
+                        ev(10, 20, MpiCall::Wait { req: ReqId(0) }),
+                        ev(30, 40, MpiCall::Barrier),
+                    ],
+                },
+                Trace {
+                    events: vec![
+                        ev(
+                            5,
+                            15,
+                            MpiCall::Recv {
+                                peer: 0,
+                                bytes: 8,
+                                tag: 0,
+                            },
+                        ),
+                        ev(15, 25, MpiCall::Barrier),
+                    ],
+                },
+            ],
+        };
+        set.validate().unwrap();
+        assert_eq!(set.total_events(), 5);
+    }
+
+    #[test]
+    fn validate_rejects_time_travel() {
+        let set = TraceSet {
+            ranks: vec![Trace {
+                events: vec![ev(100, 200, MpiCall::Barrier), ev(50, 60, MpiCall::Barrier)],
+            }],
+        };
+        let e = set.validate().unwrap_err();
+        assert!(e.contains("before previous exit"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_dangling_request() {
+        let set = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![ev(
+                        0,
+                        1,
+                        MpiCall::Irecv {
+                            peer: 1,
+                            bytes: 8,
+                            tag: 0,
+                            req: ReqId(7),
+                        },
+                    )],
+                },
+                Trace {
+                    events: vec![ev(
+                        0,
+                        1,
+                        MpiCall::Send {
+                            peer: 0,
+                            bytes: 8,
+                            tag: 0,
+                        },
+                    )],
+                },
+            ],
+        };
+        let e = set.validate().unwrap_err();
+        assert!(e.contains("never waited"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_request_reuse_and_unknown_wait() {
+        let reuse = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![
+                        ev(
+                            0,
+                            1,
+                            MpiCall::Isend {
+                                peer: 1,
+                                bytes: 8,
+                                tag: 0,
+                                req: ReqId(0),
+                            },
+                        ),
+                        ev(
+                            1,
+                            2,
+                            MpiCall::Isend {
+                                peer: 1,
+                                bytes: 8,
+                                tag: 0,
+                                req: ReqId(0),
+                            },
+                        ),
+                    ],
+                },
+                Trace::default(),
+            ],
+        };
+        assert!(reuse.validate().unwrap_err().contains("reused"));
+        let unknown = TraceSet {
+            ranks: vec![Trace {
+                events: vec![ev(0, 1, MpiCall::Wait { req: ReqId(9) })],
+            }],
+        };
+        assert!(unknown.validate().unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn validate_rejects_collective_divergence() {
+        let set = TraceSet {
+            ranks: vec![
+                Trace {
+                    events: vec![ev(0, 1, MpiCall::Barrier)],
+                },
+                Trace {
+                    events: vec![ev(0, 1, MpiCall::Allreduce { bytes: 8 })],
+                },
+            ],
+        };
+        let e = set.validate().unwrap_err();
+        assert!(e.contains("collective sequence diverges"), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_peers() {
+        let oob = TraceSet {
+            ranks: vec![Trace {
+                events: vec![ev(
+                    0,
+                    1,
+                    MpiCall::Send {
+                        peer: 9,
+                        bytes: 8,
+                        tag: 0,
+                    },
+                )],
+            }],
+        };
+        assert!(oob.validate().unwrap_err().contains("out of range"));
+        let selfsend = TraceSet {
+            ranks: vec![Trace {
+                events: vec![ev(
+                    0,
+                    1,
+                    MpiCall::Send {
+                        peer: 0,
+                        bytes: 8,
+                        tag: 0,
+                    },
+                )],
+            }],
+        };
+        assert!(selfsend.validate().unwrap_err().contains("self-send"));
+    }
+
+    #[test]
+    fn text_rendering_shape() {
+        let set = TraceSet {
+            ranks: vec![Trace {
+                events: vec![
+                    ev(
+                        0,
+                        10,
+                        MpiCall::Irecv {
+                            peer: u32::MAX,
+                            bytes: 4,
+                            tag: 9,
+                            req: ReqId(1),
+                        },
+                    ),
+                    ev(
+                        10,
+                        20,
+                        MpiCall::Waitall {
+                            reqs: vec![ReqId(1)],
+                        },
+                    ),
+                    ev(
+                        20 + Span::from_ns(1).as_ps(),
+                        30 + Span::from_ns(1).as_ps(),
+                        MpiCall::Bcast { root: 0, bytes: 16 },
+                    ),
+                ],
+            }],
+        };
+        let text = to_text(&set);
+        assert!(text.contains("peer=any"));
+        assert!(text.contains("reqs=1"));
+        assert!(text.contains("Bcast root=0 bytes=16"));
+        assert!(text.starts_with("# cesim-trace\nranks 1\nrank 0 {\n"));
+    }
+}

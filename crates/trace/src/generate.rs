@@ -1,0 +1,214 @@
+//! Synthetic trace generation.
+//!
+//! Stands in for running PMPI-instrumented applications (which this
+//! environment cannot do): emits the trace a bulk-synchronous halo/
+//! collective application would produce, with realistic non-blocking
+//! structure (`Irecv`+`Isend` posted per neighbor, one `Waitall`, then
+//! the step's collectives). Used to exercise the parse → convert →
+//! extrapolate → simulate pipeline end to end.
+
+use crate::event::{MpiCall, ReqId, TraceEvent};
+use crate::format::{Trace, TraceSet};
+use cesim_model::rng::Rng64;
+use cesim_model::{Span, Time};
+
+/// Parameters of the generated application.
+#[derive(Clone, Debug)]
+pub struct GenSpec {
+    /// Rank count (a ring decomposition: each rank talks to ±1).
+    pub ranks: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Compute per step.
+    pub compute: Span,
+    /// Halo bytes per neighbor message.
+    pub halo_bytes: u64,
+    /// Allreduces per step (8-byte payloads).
+    pub allreduces: usize,
+    /// Per-rank compute jitter amplitude.
+    pub jitter: f64,
+    /// RNG seed for jitter.
+    pub seed: u64,
+}
+
+impl Default for GenSpec {
+    fn default() -> Self {
+        GenSpec {
+            ranks: 8,
+            steps: 4,
+            compute: Span::from_ms(5),
+            halo_bytes: 4096,
+            allreduces: 1,
+            jitter: 0.02,
+            seed: 0x7ACE,
+        }
+    }
+}
+
+/// Nominal wall time a recorded MPI call occupies in the trace (the
+/// conversion discards it, but traces need plausible timestamps).
+const CALL_COST: Span = Span::from_us(2);
+
+/// Generate the trace set.
+pub fn generate(spec: &GenSpec) -> TraceSet {
+    assert!(spec.ranks >= 2, "the ring needs at least two ranks");
+    let n = spec.ranks;
+    let mut ranks = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut rng = Rng64::substream(spec.seed, r as u64);
+        let mut clock = Time::ZERO;
+        let mut events = Vec::new();
+        let left = ((r + n - 1) % n) as u32;
+        let right = ((r + 1) % n) as u32;
+        let push = |clock: &mut Time, dur: Span, call: MpiCall, events: &mut Vec<TraceEvent>| {
+            let enter = *clock;
+            let exit = enter + dur;
+            *clock = exit;
+            events.push(TraceEvent { enter, exit, call });
+        };
+        for step in 0..spec.steps {
+            // Compute phase: advance the clock without recording a call.
+            clock += spec.compute.mul_f64(rng.jitter(spec.jitter));
+            let tag = step as u32;
+            // Post receives first (good MPI practice), then sends.
+            push(
+                &mut clock,
+                CALL_COST,
+                MpiCall::Irecv {
+                    peer: left,
+                    bytes: spec.halo_bytes,
+                    tag,
+                    req: ReqId(4 * step as u32),
+                },
+                &mut events,
+            );
+            push(
+                &mut clock,
+                CALL_COST,
+                MpiCall::Irecv {
+                    peer: right,
+                    bytes: spec.halo_bytes,
+                    tag,
+                    req: ReqId(4 * step as u32 + 1),
+                },
+                &mut events,
+            );
+            push(
+                &mut clock,
+                CALL_COST,
+                MpiCall::Isend {
+                    peer: right,
+                    bytes: spec.halo_bytes,
+                    tag,
+                    req: ReqId(4 * step as u32 + 2),
+                },
+                &mut events,
+            );
+            push(
+                &mut clock,
+                CALL_COST,
+                MpiCall::Isend {
+                    peer: left,
+                    bytes: spec.halo_bytes,
+                    tag,
+                    req: ReqId(4 * step as u32 + 3),
+                },
+                &mut events,
+            );
+            push(
+                &mut clock,
+                CALL_COST,
+                MpiCall::Waitall {
+                    reqs: (0..4).map(|i| ReqId(4 * step as u32 + i)).collect(),
+                },
+                &mut events,
+            );
+            for _ in 0..spec.allreduces {
+                push(
+                    &mut clock,
+                    CALL_COST,
+                    MpiCall::Allreduce { bytes: 8 },
+                    &mut events,
+                );
+            }
+        }
+        ranks.push(Trace { events });
+    }
+    TraceSet { ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert;
+    use crate::extrapolate::extrapolate;
+    use crate::format::to_text;
+    use crate::parse::parse;
+    use cesim_goal::collectives::CollectiveCosts;
+
+    #[test]
+    fn generated_traces_validate() {
+        let t = generate(&GenSpec::default());
+        t.validate().unwrap();
+        assert_eq!(t.num_ranks(), 8);
+        // 4 steps x (4 nonblocking + waitall + allreduce) per rank.
+        assert_eq!(t.total_events(), 8 * 4 * 6);
+    }
+
+    #[test]
+    fn full_pipeline_text_roundtrip_and_simulation() {
+        let t = generate(&GenSpec::default());
+        let parsed = parse(&to_text(&t)).unwrap();
+        assert_eq!(t, parsed);
+        let sched = convert(&parsed, &CollectiveCosts::default()).unwrap();
+        sched.validate().unwrap();
+        let r = cesim_engine::simulate(
+            &sched,
+            &cesim_model::LogGopsParams::xc40(),
+            &mut cesim_engine::NoNoise,
+        )
+        .unwrap();
+        assert_eq!(r.ops_executed, sched.total_ops() as u64);
+        // 4 steps x ~5 ms compute must dominate the baseline.
+        assert!(r.finish > Time::ZERO + Span::from_ms(19));
+    }
+
+    #[test]
+    fn extrapolated_pipeline_scales_collectives_exactly() {
+        let spec = GenSpec {
+            ranks: 4,
+            steps: 2,
+            ..GenSpec::default()
+        };
+        let t = generate(&spec);
+        let t16 = extrapolate(&t, 4); // 16 ranks
+        t16.validate().unwrap();
+        let sched = convert(&t16, &CollectiveCosts::default()).unwrap();
+        // Each of the 2 allreduces spans all 16 ranks: 16·log2(16) sends
+        // each; halo traffic: 16 ranks × 2 sends × 2 steps.
+        let coll_sends = 2 * 16 * 4;
+        let halo_sends = 16 * 2 * 2;
+        assert_eq!(sched.stats().sends, (coll_sends + halo_sends) as u64);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let a = generate(&GenSpec::default());
+        let b = generate(&GenSpec::default());
+        assert_eq!(a, b);
+        let c = generate(&GenSpec {
+            seed: 1,
+            ..GenSpec::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_ring_rejected() {
+        generate(&GenSpec {
+            ranks: 1,
+            ..GenSpec::default()
+        });
+    }
+}

@@ -1,0 +1,41 @@
+//! # cesim-trace
+//!
+//! The trace tool-chain substrate of the paper's methodology (§III-C):
+//! LogGOPSim consumes **MPI execution traces** — per-rank logs of MPI
+//! calls with enter/exit timestamps, collected by a PMPI profiling layer
+//! (liballprof) — converts them into dependency schedules, and
+//! **extrapolates** a `p`-rank trace to `k·p` ranks (exact for
+//! collectives, pattern-preserving for point-to-point).
+//!
+//! The original traces of the paper are not public, so this crate
+//! provides the full pipeline over the same kind of artifact:
+//!
+//! * [`event`] — the MPI call vocabulary (blocking and non-blocking
+//!   point-to-point, waits, and the collectives the workloads use);
+//! * [`format`] — a line-oriented text format with enter/exit
+//!   timestamps, plus a writer;
+//! * [`parse`] — the parser (with per-line diagnostics);
+//! * [`convert`] — trace → [`cesim_goal::Schedule`]: compute intervals
+//!   are reconstructed from timestamp gaps, non-blocking requests are
+//!   tracked to their waits, collectives are expanded through
+//!   `cesim-goal`'s algorithms;
+//! * [`extrapolate`] — the `k·p` rank extrapolation;
+//! * [`generate`] — emits traces *from* a simulation of any schedule,
+//!   closing the loop for round-trip testing (and standing in for
+//!   running instrumented applications, which this environment cannot).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod event;
+pub mod extrapolate;
+pub mod format;
+pub mod generate;
+pub mod parse;
+
+pub use convert::{convert, ConvertError};
+pub use event::{MpiCall, TraceEvent};
+pub use extrapolate::extrapolate;
+pub use format::{to_text, Trace, TraceSet};
+pub use parse::{parse, ParseError};

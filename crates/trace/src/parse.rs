@@ -1,0 +1,287 @@
+//! Parser for the trace text format.
+
+use crate::event::{MpiCall, ReqId, TraceEvent};
+use crate::format::{Trace, TraceSet};
+use cesim_model::Time;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parse `key=value` fields from the tail of an event line.
+fn fields<'a>(toks: &'a [&'a str], ln: usize) -> Result<HashMap<&'a str, &'a str>, ParseError> {
+    let mut map = HashMap::new();
+    for t in toks {
+        let Some((k, v)) = t.split_once('=') else {
+            return err(ln, format!("expected key=value, got '{t}'"));
+        };
+        if map.insert(k, v).is_some() {
+            return err(ln, format!("duplicate field '{k}'"));
+        }
+    }
+    Ok(map)
+}
+
+fn get_num<T: std::str::FromStr>(
+    map: &HashMap<&str, &str>,
+    key: &str,
+    ln: usize,
+) -> Result<T, ParseError> {
+    match map.get(key) {
+        Some(v) => v.parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad {key} '{v}'"),
+        }),
+        None => err(ln, format!("missing field '{key}'")),
+    }
+}
+
+fn get_peer(map: &HashMap<&str, &str>, ln: usize) -> Result<u32, ParseError> {
+    match map.get("peer") {
+        Some(&"any") => Ok(u32::MAX),
+        Some(v) => v.parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad peer '{v}'"),
+        }),
+        None => err(ln, "missing field 'peer'"),
+    }
+}
+
+/// Parse the text format into a [`TraceSet`] (structurally validated).
+pub fn parse(text: &str) -> Result<TraceSet, ParseError> {
+    let mut ranks: Option<Vec<Trace>> = None;
+    let mut cur: Option<usize> = None;
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "ranks" => {
+                if ranks.is_some() {
+                    return err(ln, "duplicate 'ranks' header");
+                }
+                let n: usize = match toks.get(1).and_then(|t| t.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => return err(ln, "expected 'ranks <positive count>'"),
+                };
+                ranks = Some(vec![Trace::default(); n]);
+            }
+            "rank" => {
+                let nr = match &ranks {
+                    Some(r) => r.len(),
+                    None => return err(ln, "'rank' before 'ranks' header"),
+                };
+                if cur.is_some() {
+                    return err(ln, "nested rank block");
+                }
+                let r: usize = match toks.get(1).and_then(|t| t.parse().ok()) {
+                    Some(r) if r < nr => r,
+                    Some(r) => return err(ln, format!("rank {r} out of range")),
+                    None => return err(ln, "expected 'rank <index> {'"),
+                };
+                if toks.get(2) != Some(&"{") {
+                    return err(ln, "expected '{'");
+                }
+                cur = Some(r);
+            }
+            "}" => {
+                if cur.take().is_none() {
+                    return err(ln, "'}' without open rank block");
+                }
+            }
+            _ => {
+                let r = match cur {
+                    Some(r) => r,
+                    None => return err(ln, "event outside a rank block"),
+                };
+                if toks.len() < 3 {
+                    return err(ln, "truncated event (need enter exit name ...)");
+                }
+                let enter: u64 = toks[0].parse().map_err(|_| ParseError {
+                    line: ln,
+                    message: format!("bad enter time '{}'", toks[0]),
+                })?;
+                let exit: u64 = toks[1].parse().map_err(|_| ParseError {
+                    line: ln,
+                    message: format!("bad exit time '{}'", toks[1]),
+                })?;
+                let map = fields(&toks[3..], ln)?;
+                let call = match toks[2] {
+                    "Send" => MpiCall::Send {
+                        peer: get_peer(&map, ln)?,
+                        bytes: get_num(&map, "bytes", ln)?,
+                        tag: get_num(&map, "tag", ln)?,
+                    },
+                    "Recv" => MpiCall::Recv {
+                        peer: get_peer(&map, ln)?,
+                        bytes: get_num(&map, "bytes", ln)?,
+                        tag: get_num(&map, "tag", ln)?,
+                    },
+                    "Isend" => MpiCall::Isend {
+                        peer: get_peer(&map, ln)?,
+                        bytes: get_num(&map, "bytes", ln)?,
+                        tag: get_num(&map, "tag", ln)?,
+                        req: ReqId(get_num(&map, "req", ln)?),
+                    },
+                    "Irecv" => MpiCall::Irecv {
+                        peer: get_peer(&map, ln)?,
+                        bytes: get_num(&map, "bytes", ln)?,
+                        tag: get_num(&map, "tag", ln)?,
+                        req: ReqId(get_num(&map, "req", ln)?),
+                    },
+                    "Wait" => MpiCall::Wait {
+                        req: ReqId(get_num(&map, "req", ln)?),
+                    },
+                    "Waitall" => {
+                        let list = map.get("reqs").ok_or(ParseError {
+                            line: ln,
+                            message: "missing field 'reqs'".into(),
+                        })?;
+                        let mut reqs = Vec::new();
+                        for part in list.split(',') {
+                            match part.parse::<u32>() {
+                                Ok(v) => reqs.push(ReqId(v)),
+                                Err(_) => return err(ln, format!("bad request '{part}'")),
+                            }
+                        }
+                        MpiCall::Waitall { reqs }
+                    }
+                    "Allreduce" => MpiCall::Allreduce {
+                        bytes: get_num(&map, "bytes", ln)?,
+                    },
+                    "Barrier" => MpiCall::Barrier,
+                    "Bcast" => MpiCall::Bcast {
+                        root: get_num(&map, "root", ln)?,
+                        bytes: get_num(&map, "bytes", ln)?,
+                    },
+                    "Reduce" => MpiCall::Reduce {
+                        root: get_num(&map, "root", ln)?,
+                        bytes: get_num(&map, "bytes", ln)?,
+                    },
+                    other => return err(ln, format!("unknown MPI call '{other}'")),
+                };
+                ranks.as_mut().expect("inside a rank block")[r]
+                    .events
+                    .push(TraceEvent {
+                        enter: Time::from_ps(enter),
+                        exit: Time::from_ps(exit),
+                        call,
+                    });
+            }
+        }
+    }
+    if cur.is_some() {
+        return err(text.lines().count(), "unterminated rank block");
+    }
+    let set = match ranks {
+        Some(r) => TraceSet { ranks: r },
+        None => return err(1, "missing 'ranks' header"),
+    };
+    set.validate().map_err(|m| ParseError {
+        line: 0,
+        message: m,
+    })?;
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::to_text;
+
+    const SAMPLE: &str = "\
+# cesim-trace
+ranks 2
+rank 0 {
+  0 100 Isend peer=1 bytes=64 tag=3 req=0
+  100 150 Irecv peer=any bytes=64 tag=4 req=1
+  5000 5200 Waitall reqs=0,1
+  6000 7000 Allreduce bytes=8
+}
+rank 1 {
+  10 200 Recv peer=0 bytes=64 tag=3
+  300 400 Send peer=0 bytes=64 tag=4
+  6000 7000 Allreduce bytes=8
+}
+";
+
+    #[test]
+    fn roundtrip() {
+        let set = parse(SAMPLE).unwrap();
+        assert_eq!(set.num_ranks(), 2);
+        assert_eq!(set.total_events(), 7);
+        let again = parse(&to_text(&set)).unwrap();
+        assert_eq!(set, again);
+    }
+
+    #[test]
+    fn error_positions() {
+        let bad = "ranks 1\nrank 0 {\n  5 3 Barrier\n}\n";
+        // exit < enter is caught by validation (line 0 marker).
+        let e = parse(bad).unwrap_err();
+        assert!(e.message.contains("exit before enter"), "{e}");
+        let bad2 = "ranks 1\nrank 0 {\n  1 2 Send bytes=8 tag=0\n}\n";
+        let e2 = parse(bad2).unwrap_err();
+        assert_eq!(e2.line, 3);
+        assert!(e2.message.contains("peer"), "{e2}");
+    }
+
+    #[test]
+    fn rejects_unknown_call_and_fields() {
+        let e = parse("ranks 1\nrank 0 {\n  1 2 Sendrecv peer=0\n}\n").unwrap_err();
+        assert!(e.message.contains("unknown MPI call"));
+        let e = parse("ranks 1\nrank 0 {\n  1 2 Barrier junk\n}\n").unwrap_err();
+        assert!(e.message.contains("key=value"));
+        let e = parse("ranks 1\nrank 0 {\n  1 2 Wait req=0 req=1\n}\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_structure_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("ranks 0\n").is_err());
+        assert!(parse("rank 0 {\n}\n").is_err());
+        assert!(parse("ranks 1\nrank 0 {\n").is_err());
+        assert!(parse("ranks 1\n}\n").is_err());
+        assert!(parse("ranks 1\nrank 5 {\n}\n").is_err());
+        assert!(parse("ranks 1\n1 2 Barrier\n").is_err());
+    }
+
+    #[test]
+    fn any_source_parses() {
+        let set = parse(
+            "ranks 2\nrank 0 {\n  1 2 Recv peer=any bytes=4 tag=0\n}\nrank 1 {\n  1 2 Send peer=0 bytes=4 tag=0\n}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            set.ranks[0].events[0].call,
+            MpiCall::Recv { peer: u32::MAX, .. }
+        ));
+    }
+}

@@ -1,0 +1,461 @@
+//! The nine workloads of Table I, as calibrated skeletons.
+//!
+//! Calibration targets (see crate docs and DESIGN.md): the property that
+//! governs CE-noise sensitivity is how often the whole machine
+//! synchronizes (collective cadence) relative to the per-event logging
+//! cost. The paper's observed grouping:
+//!
+//! * **insensitive** (LAMMPS-lj, LAMMPS-snap): hundreds of milliseconds of
+//!   compute per step, collectives only every ~20 steps → multi-second
+//!   global-sync windows that absorb detours in parallel;
+//! * **highly sensitive** (LULESH, LAMMPS-crack): ~8 ms steps with
+//!   per-step reductions → every detour serializes into the critical path;
+//! * **intermediate** (HPCG, miniFE, CTH, MILC, SPARC): ~0.4–0.8 s
+//!   iterations with per-iteration reductions.
+
+use crate::skeleton::{CollectivePlan, HaloClass, Skeleton};
+use cesim_model::Span;
+use core::fmt;
+
+const KIB: u64 = 1024;
+
+/// The workloads evaluated in the paper (Table I). LAMMPS appears three
+/// times, once per potential, exactly as in the figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppId {
+    /// LAMMPS with the Lennard-Jones pair potential.
+    LammpsLj,
+    /// LAMMPS with the SNAP machine-learned potential.
+    LammpsSnap,
+    /// LAMMPS 2-D crack-propagation problem.
+    LammpsCrack,
+    /// LLNL's Lagrangian shock-hydrodynamics proxy app.
+    Lulesh,
+    /// The High Performance Conjugate Gradients benchmark.
+    Hpcg,
+    /// Sandia's CTH shock-physics code (conical-charge input).
+    Cth,
+    /// MIMD Lattice Computation (lattice QCD).
+    Milc,
+    /// Sandia's unstructured implicit finite-element mini-app.
+    MiniFe,
+    /// Sandia's compressible CFD code (Generic Reentry Vehicle input).
+    Sparc,
+}
+
+impl AppId {
+    /// All nine workloads in the figures' display order.
+    pub fn all() -> [AppId; 9] {
+        [
+            AppId::LammpsLj,
+            AppId::LammpsSnap,
+            AppId::LammpsCrack,
+            AppId::Lulesh,
+            AppId::Hpcg,
+            AppId::Cth,
+            AppId::Milc,
+            AppId::MiniFe,
+            AppId::Sparc,
+        ]
+    }
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::LammpsLj => "LAMMPS-lj",
+            AppId::LammpsSnap => "LAMMPS-snap",
+            AppId::LammpsCrack => "LAMMPS-crack",
+            AppId::Lulesh => "LULESH",
+            AppId::Hpcg => "HPCG",
+            AppId::Cth => "CTH",
+            AppId::Milc => "MILC",
+            AppId::MiniFe => "miniFE",
+            AppId::Sparc => "SPARC",
+        }
+    }
+
+    /// Parse a figure-style name (case-insensitive).
+    pub fn parse(s: &str) -> Option<AppId> {
+        let l = s.to_ascii_lowercase();
+        AppId::all()
+            .into_iter()
+            .find(|a| a.name().to_ascii_lowercase() == l)
+    }
+
+    /// Table I description.
+    pub fn description(self) -> &'static str {
+        match self {
+            AppId::LammpsLj | AppId::LammpsSnap | AppId::LammpsCrack => {
+                "A classical molecular dynamics simulator from Sandia National \
+                 Laboratories. Experiments use the Lennard-Jones (lj), SNAP \
+                 (snap) and Crack (crack) potentials."
+            }
+            AppId::Lulesh => {
+                "A proxy application that approximates the hydrodynamics \
+                 equations discretely by partitioning the spatial problem \
+                 domain into volumetric elements defined by a mesh."
+            }
+            AppId::Hpcg => {
+                "A benchmark that generates and solves a synthetic 3D sparse \
+                 linear system using a local symmetric Gauss-Seidel \
+                 preconditioned conjugate gradient method."
+            }
+            AppId::Cth => {
+                "A shock physics code developed at Sandia National \
+                 Laboratories; input describes the detonation of a conical \
+                 explosive charge."
+            }
+            AppId::Milc => {
+                "Numerical simulation for the study of quantum chromodynamics \
+                 (QCD), the theory of the strong interactions of subatomic \
+                 physics."
+            }
+            AppId::MiniFe => {
+                "A proxy application that captures the key behaviors of \
+                 unstructured implicit finite element codes."
+            }
+            AppId::Sparc => {
+                "A next-generation compressible computational fluid dynamics \
+                 (CFD) code developed by Sandia National Laboratories; input \
+                 is the Generic Reentry Vehicle (GRV) problem."
+            }
+        }
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The calibrated skeleton for `app`.
+pub fn spec(app: AppId) -> Skeleton {
+    match app {
+        // MD with cheap pairwise forces: big steps, rare global syncs
+        // (thermo output every ~20 steps), forward + reverse ghost comm.
+        AppId::LammpsLj => Skeleton {
+            name: "LAMMPS-lj",
+            dims: 3,
+            halo: vec![HaloClass {
+                order: 1,
+                bytes: 256 * KIB,
+            }],
+            reverse_comm: true,
+            halo_every: 10,
+            compute_per_step: Span::from_ms(400),
+            collective: Some(CollectivePlan {
+                every: 20,
+                per_occurrence: 1,
+                bytes: 8,
+            }),
+            default_steps: 30,
+        },
+        // SNAP potential: far more expensive force kernel, smaller ghosts.
+        AppId::LammpsSnap => Skeleton {
+            name: "LAMMPS-snap",
+            dims: 3,
+            halo: vec![HaloClass {
+                order: 1,
+                bytes: 128 * KIB,
+            }],
+            reverse_comm: true,
+            halo_every: 10,
+            compute_per_step: Span::from_ms(800),
+            collective: Some(CollectivePlan {
+                every: 20,
+                per_occurrence: 1,
+                bytes: 8,
+            }),
+            default_steps: 16,
+        },
+        // Small 2-D problem extrapolated from a 64-rank trace: tiny steps
+        // with a per-step reduction → the paper's most sensitive workload.
+        AppId::LammpsCrack => Skeleton {
+            name: "LAMMPS-crack",
+            dims: 2,
+            halo: vec![HaloClass {
+                order: 1,
+                bytes: 16 * KIB,
+            }],
+            reverse_comm: true,
+            halo_every: 1,
+            compute_per_step: Span::from_ms(12),
+            collective: Some(CollectivePlan {
+                every: 1,
+                per_occurrence: 1,
+                bytes: 8,
+            }),
+            default_steps: 150,
+        },
+        // Explicit shock hydro: 27-point stencil, two timestep-constraint
+        // reductions (dtcourant/dthydro) every step.
+        AppId::Lulesh => Skeleton {
+            name: "LULESH",
+            dims: 3,
+            halo: vec![
+                HaloClass {
+                    order: 1,
+                    bytes: 32 * KIB,
+                },
+                HaloClass {
+                    order: 2,
+                    bytes: 4 * KIB,
+                },
+                HaloClass {
+                    order: 3,
+                    bytes: 512,
+                },
+            ],
+            reverse_comm: false,
+            halo_every: 1,
+            compute_per_step: Span::from_ms(20),
+            collective: Some(CollectivePlan {
+                every: 1,
+                per_occurrence: 2,
+                bytes: 8,
+            }),
+            default_steps: 120,
+        },
+        // CG with MG preconditioner: heavy local SpMV work per iteration,
+        // two dot-product reductions per iteration.
+        AppId::Hpcg => Skeleton {
+            name: "HPCG",
+            dims: 3,
+            halo: vec![
+                HaloClass {
+                    order: 1,
+                    bytes: 8 * KIB,
+                },
+                HaloClass {
+                    order: 2,
+                    bytes: KIB,
+                },
+                HaloClass {
+                    order: 3,
+                    bytes: 128,
+                },
+            ],
+            reverse_comm: false,
+            halo_every: 1,
+            compute_per_step: Span::from_ms(500),
+            collective: Some(CollectivePlan {
+                every: 1,
+                per_occurrence: 2,
+                bytes: 8,
+            }),
+            default_steps: 25,
+        },
+        // Structured shock physics: large face exchanges, one global
+        // timestep reduction per cycle.
+        AppId::Cth => Skeleton {
+            name: "CTH",
+            dims: 3,
+            halo: vec![HaloClass {
+                order: 1,
+                bytes: 512 * KIB,
+            }],
+            reverse_comm: false,
+            halo_every: 1,
+            compute_per_step: Span::from_ms(800),
+            collective: Some(CollectivePlan {
+                every: 1,
+                per_occurrence: 1,
+                bytes: 8,
+            }),
+            default_steps: 15,
+        },
+        // 4-D lattice QCD: 8-neighbor halo, CG inner products every
+        // iteration.
+        AppId::Milc => Skeleton {
+            name: "MILC",
+            dims: 4,
+            halo: vec![HaloClass {
+                order: 1,
+                bytes: 32 * KIB,
+            }],
+            reverse_comm: false,
+            halo_every: 1,
+            compute_per_step: Span::from_ms(400),
+            collective: Some(CollectivePlan {
+                every: 1,
+                per_occurrence: 2,
+                bytes: 8,
+            }),
+            default_steps: 25,
+        },
+        // Unstructured implicit FE: CG solve, two reductions per iteration.
+        AppId::MiniFe => Skeleton {
+            name: "miniFE",
+            dims: 3,
+            halo: vec![HaloClass {
+                order: 1,
+                bytes: 16 * KIB,
+            }],
+            reverse_comm: false,
+            halo_every: 1,
+            compute_per_step: Span::from_ms(600),
+            collective: Some(CollectivePlan {
+                every: 1,
+                per_occurrence: 2,
+                bytes: 8,
+            }),
+            default_steps: 20,
+        },
+        // Compressible CFD: face+edge exchanges, residual reduction per
+        // step.
+        AppId::Sparc => Skeleton {
+            name: "SPARC",
+            dims: 3,
+            halo: vec![
+                HaloClass {
+                    order: 1,
+                    bytes: 64 * KIB,
+                },
+                HaloClass {
+                    order: 2,
+                    bytes: 8 * KIB,
+                },
+            ],
+            reverse_comm: false,
+            halo_every: 1,
+            compute_per_step: Span::from_ms(700),
+            collective: Some(CollectivePlan {
+                every: 1,
+                per_occurrence: 1,
+                bytes: 8,
+            }),
+            default_steps: 18,
+        },
+    }
+}
+
+/// One row per workload describing its calibrated skeleton — the
+/// transparent record of the trace substitution (DESIGN.md): columns are
+/// name, decomposition, halo classes, reverse comm, halo cadence, compute
+/// per step, collective cadence, default steps and the resulting global
+/// sync window.
+pub fn calibration_rows() -> Vec<Vec<String>> {
+    AppId::all()
+        .into_iter()
+        .map(|app| {
+            let s = spec(app);
+            let halo: Vec<String> = s
+                .halo
+                .iter()
+                .map(|h| format!("o{}:{}B", h.order, h.bytes))
+                .collect();
+            let coll = match s.collective {
+                Some(c) => format!("{}x{}B every {}", c.per_occurrence, c.bytes, c.every),
+                None => "-".into(),
+            };
+            vec![
+                s.name.to_string(),
+                format!("{}D", s.dims),
+                halo.join(" "),
+                if s.reverse_comm { "yes" } else { "no" }.to_string(),
+                format!("every {}", s.halo_every),
+                format!("{}", s.compute_per_step),
+                coll,
+                s.default_steps.to_string(),
+                format!("{}", sync_window(app)),
+            ]
+        })
+        .collect()
+}
+
+/// The mean interval between global synchronizations, a workload's key
+/// noise-sensitivity characteristic: `compute_per_step × every`.
+pub fn sync_window(app: AppId) -> Span {
+    let s = spec(app);
+    match s.collective {
+        Some(c) => s.compute_per_step * c.every as u64,
+        None => s.compute_per_step * s.default_steps as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+
+    #[test]
+    fn names_and_parse_roundtrip() {
+        for app in AppId::all() {
+            assert_eq!(AppId::parse(app.name()), Some(app));
+            assert_eq!(AppId::parse(&app.name().to_uppercase()), Some(app));
+            assert!(!app.description().is_empty());
+        }
+        assert_eq!(AppId::parse("nope"), None);
+    }
+
+    #[test]
+    fn sensitivity_grouping_by_sync_window() {
+        // The calibration property the figures depend on: insensitive
+        // windows ≫ intermediate ≫ sensitive.
+        let insensitive = [AppId::LammpsLj, AppId::LammpsSnap];
+        let sensitive = [AppId::Lulesh, AppId::LammpsCrack];
+        let mid = [
+            AppId::Hpcg,
+            AppId::Cth,
+            AppId::Milc,
+            AppId::MiniFe,
+            AppId::Sparc,
+        ];
+        for a in insensitive {
+            assert!(sync_window(a) >= Span::from_secs(8), "{a}");
+        }
+        for a in sensitive {
+            assert!(sync_window(a) <= Span::from_ms(25), "{a}");
+        }
+        for a in mid {
+            let w = sync_window(a);
+            assert!(
+                w >= Span::from_ms(300) && w <= Span::from_ms(1000),
+                "{a}: {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn specs_build_at_modest_scale() {
+        let cfg = WorkloadConfig::default().with_steps(2);
+        for app in AppId::all() {
+            let sk = spec(app);
+            let s = sk.build(16, &cfg);
+            s.validate().unwrap_or_else(|e| panic!("{app}: {e}"));
+        }
+    }
+
+    #[test]
+    fn milc_is_4d() {
+        assert_eq!(spec(AppId::Milc).dims, 4);
+        assert_eq!(spec(AppId::LammpsCrack).dims, 2);
+    }
+
+    #[test]
+    fn reverse_comm_only_for_lammps() {
+        for app in AppId::all() {
+            let rc = spec(app).reverse_comm;
+            let is_lammps = matches!(
+                app,
+                AppId::LammpsLj | AppId::LammpsSnap | AppId::LammpsCrack
+            );
+            assert_eq!(rc, is_lammps, "{app}");
+        }
+    }
+
+    #[test]
+    fn baseline_runtimes_are_seconds_scale() {
+        // Nominal compute between 1 and 15 simulated seconds keeps
+        // experiments tractable while leaving room for many CE windows.
+        let cfg = WorkloadConfig::default();
+        for app in AppId::all() {
+            let n = spec(app).nominal_compute(&cfg);
+            assert!(
+                n >= Span::from_secs(1) && n <= Span::from_secs(15),
+                "{app}: {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Cartesian process-grid geometry for domain decompositions.
+//!
+//! Workloads decompose their domains onto 2-D, 3-D or 4-D periodic
+//! process grids. [`factor`] produces a balanced factorization of the
+//! rank count (what `MPI_Dims_create` does); [`Grid`] maps ranks to
+//! coordinates and resolves periodic neighbor offsets; [`offsets`]
+//! enumerates the `{-1,0,1}^d` stencil classes (faces / edges / corners).
+
+use core::fmt;
+
+/// A periodic Cartesian process grid of arbitrary dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Grid {
+    dims: Vec<usize>,
+}
+
+impl Grid {
+    /// Build a grid with the given extents (all must be ≥ 1).
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "grid needs at least one dimension");
+        assert!(dims.iter().all(|&d| d >= 1), "grid extents must be >= 1");
+        Grid { dims }
+    }
+
+    /// Balanced grid for `n` ranks in `d` dimensions.
+    pub fn balanced(n: usize, d: usize) -> Self {
+        Grid::new(factor(n, d))
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total ranks.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True if the grid is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Coordinates of `rank` (row-major, last dimension fastest).
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        debug_assert!(rank < self.len());
+        let mut c = vec![0; self.ndims()];
+        let mut rem = rank;
+        for i in (0..self.ndims()).rev() {
+            c[i] = rem % self.dims[i];
+            rem /= self.dims[i];
+        }
+        c
+    }
+
+    /// Rank at `coords`.
+    pub fn rank(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.ndims());
+        let mut r = 0usize;
+        for (i, &c) in coords.iter().enumerate() {
+            debug_assert!(c < self.dims[i]);
+            r = r * self.dims[i] + c;
+        }
+        r
+    }
+
+    /// The rank at periodic offset `off` from `rank`.
+    pub fn neighbor(&self, rank: usize, off: &[i64]) -> usize {
+        debug_assert_eq!(off.len(), self.ndims());
+        let mut c = self.coords(rank);
+        for i in 0..self.ndims() {
+            let d = self.dims[i] as i64;
+            let v = (c[i] as i64 + off[i]).rem_euclid(d);
+            c[i] = v as usize;
+        }
+        self.rank(&c)
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", s.join("x"))
+    }
+}
+
+/// Balanced `d`-way factorization of `n` (minimizes the max/min extent
+/// ratio, like `MPI_Dims_create`). Extents are non-increasing.
+pub fn factor(n: usize, d: usize) -> Vec<usize> {
+    assert!(n >= 1 && d >= 1);
+    if d == 1 {
+        return vec![n];
+    }
+    // Recursive best-balance search over divisors.
+    fn best(n: usize, d: usize) -> Vec<usize> {
+        if d == 1 {
+            return vec![n];
+        }
+        let mut best_dims: Option<Vec<usize>> = None;
+        let mut best_score = usize::MAX;
+        // The leading extent is at least the d-th root of n.
+        let mut a = 1usize;
+        while a * a <= n {
+            if n.is_multiple_of(a) {
+                for cand in [a, n / a] {
+                    let mut rest = best(n / cand, d - 1);
+                    if rest[0] > cand {
+                        continue; // enforce non-increasing order
+                    }
+                    let mut dims = vec![cand];
+                    dims.append(&mut rest);
+                    let score = dims[0] - dims[d - 1];
+                    if score < best_score {
+                        best_score = score;
+                        best_dims = Some(dims);
+                    }
+                }
+            }
+            a += 1;
+        }
+        best_dims.unwrap_or_else(|| {
+            let mut v = vec![1; d];
+            v[0] = n;
+            v
+        })
+    }
+    best(n, d)
+}
+
+/// All stencil offsets in `{-1,0,1}^d` with between 1 and `max_order`
+/// non-zero components. Order 1 = faces, 2 = edges, 3 = corners, …
+pub fn offsets(d: usize, max_order: usize) -> Vec<Vec<i64>> {
+    assert!(d >= 1 && max_order >= 1);
+    let mut out = Vec::new();
+    let total = 3usize.pow(d as u32);
+    for code in 0..total {
+        let mut off = Vec::with_capacity(d);
+        let mut rem = code;
+        let mut nz = 0usize;
+        for _ in 0..d {
+            let v = (rem % 3) as i64 - 1;
+            rem /= 3;
+            if v != 0 {
+                nz += 1;
+            }
+            off.push(v);
+        }
+        if nz >= 1 && nz <= max_order {
+            out.push(off);
+        }
+    }
+    out
+}
+
+/// Number of non-zero components (the stencil "order" of an offset).
+pub fn order(off: &[i64]) -> usize {
+    off.iter().filter(|&&v| v != 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_balances() {
+        assert_eq!(factor(8, 3), vec![2, 2, 2]);
+        assert_eq!(factor(64, 3), vec![4, 4, 4]);
+        assert_eq!(factor(16_384, 3), vec![32, 32, 16]);
+        assert_eq!(factor(12, 2), vec![4, 3]);
+        assert_eq!(factor(16_000, 3), vec![32, 25, 20]);
+        assert_eq!(factor(7, 3), vec![7, 1, 1]);
+        assert_eq!(factor(1, 4), vec![1, 1, 1, 1]);
+        assert_eq!(factor(16, 4), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn factor_product_invariant() {
+        for n in 1..200 {
+            for d in 1..5 {
+                let f = factor(n, d);
+                assert_eq!(f.len(), d);
+                assert_eq!(f.iter().product::<usize>(), n, "n={n} d={d}");
+                assert!(f.windows(2).all(|w| w[0] >= w[1]), "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Grid::balanced(24, 3);
+        for r in 0..g.len() {
+            assert_eq!(g.rank(&g.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_periodic_and_symmetric() {
+        let g = Grid::balanced(36, 2);
+        let offs = offsets(2, 1);
+        for r in 0..g.len() {
+            for off in &offs {
+                let n = g.neighbor(r, off);
+                let back: Vec<i64> = off.iter().map(|v| -v).collect();
+                assert_eq!(g.neighbor(n, &back), r);
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_counts() {
+        // 3-D: 6 faces, 18 faces+edges, 26 all.
+        assert_eq!(offsets(3, 1).len(), 6);
+        assert_eq!(offsets(3, 2).len(), 18);
+        assert_eq!(offsets(3, 3).len(), 26);
+        // 2-D: 4 faces, 8 with corners. 4-D: 8 faces.
+        assert_eq!(offsets(2, 1).len(), 4);
+        assert_eq!(offsets(2, 2).len(), 8);
+        assert_eq!(offsets(4, 1).len(), 8);
+    }
+
+    #[test]
+    fn offsets_are_symmetric_sets() {
+        for d in 1..5 {
+            for k in 1..=d {
+                let offs = offsets(d, k);
+                for off in &offs {
+                    let neg: Vec<i64> = off.iter().map(|v| -v).collect();
+                    assert!(offs.contains(&neg), "{off:?} lacks its negative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_counts_nonzeros() {
+        assert_eq!(order(&[1, 0, -1]), 2);
+        assert_eq!(order(&[0, 0, 0]), 0);
+        assert_eq!(order(&[1, 1, 1]), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Grid::new(vec![4, 3, 2])), "4x3x2");
+    }
+
+    #[test]
+    fn degenerate_dims_wrap_to_self() {
+        // A 1-wide dimension wraps a neighbor offset back onto the rank
+        // itself; callers must skip self-messages.
+        let g = Grid::new(vec![4, 1]);
+        assert_eq!(g.neighbor(0, &[0, 1]), 0);
+        assert_eq!(g.neighbor(0, &[1, 0]), g.rank(&[1, 0]));
+    }
+}

@@ -1,0 +1,39 @@
+//! Exascale projection (the Fig. 5 scenario, reduced).
+//!
+//! How much can DRAM correctable-error rates grow on an exascale-class
+//! machine before logging overheads bite? Sweeps the Table II straw-man
+//! systems (Cielo rate ×1/×10/×20/×100 and the Facebook median) for a
+//! sensitive and an insensitive workload at a reduced, machine-rate-
+//! preserving scale.
+//!
+//! ```sh
+//! cargo run --release --example exascale_projection
+//! ```
+
+use dram_ce_sim::figures::{fig5, ScaleConfig};
+use dram_ce_sim::report::render_figure;
+use dram_ce_sim::workloads::AppId;
+
+fn main() {
+    let cfg = ScaleConfig {
+        nodes: 128,
+        reps: 2,
+        apps: vec![AppId::LammpsLj, AppId::Lulesh],
+        progress: true,
+        ..ScaleConfig::default()
+    };
+    eprintln!(
+        "sweeping 5 exascale systems x 3 logging modes x 2 workloads at {} nodes\n\
+         (per-node MTBCE rescaled to preserve the paper's machine-wide CE rate)\n",
+        cfg.nodes
+    );
+    let fig = fig5(&cfg);
+    print!("{}", render_figure(&fig));
+    println!(
+        "\nExpected shape (paper §IV-C): hardware-only and software logging stay\n\
+         well under 10% everywhere; firmware logging is fine at the Cielo rate but\n\
+         degrades sharply beyond ~10-20x it — the paper's MTBCE_node floor of\n\
+         3,024-5,544 s. LULESH (per-step collectives) suffers; LAMMPS-lj (rare\n\
+         synchronization) barely notices."
+    );
+}

@@ -1,0 +1,56 @@
+//! Noise signatures (the Fig. 2 measurement, simulated).
+//!
+//! Reproduces the `selfish` detour traces of §IV-A: a node's background
+//! OS noise, the EINJ dry-run control, and the software (CMCI) and
+//! firmware (EMCA) correctable-error handling signatures, with one error
+//! injected every 10 seconds.
+//!
+//! ```sh
+//! cargo run --release --example noise_signature
+//! ```
+
+use dram_ce_sim::model::Span;
+use dram_ce_sim::noise::signature::{fig2, SignatureConfig};
+
+fn main() {
+    let cfg = SignatureConfig {
+        window: Span::from_secs(120),
+        inject_period: Span::from_secs(10),
+        seed: 7,
+    };
+    println!(
+        "selfish traces over {}, one injected CE every {}\n",
+        cfg.window, cfg.inject_period
+    );
+    for (kind, trace) in fig2(&cfg) {
+        println!("{:<22} {trace}", kind.label());
+        // A tiny ASCII rendition of the trace: one column per 2 s bucket,
+        // height = longest detour in the bucket (log scale).
+        let buckets = 60usize;
+        let bucket = cfg.window / buckets as u64;
+        let mut peak = vec![Span::ZERO; buckets];
+        for d in &trace.detours {
+            let i = ((d.at.as_ps() / bucket.as_ps()) as usize).min(buckets - 1);
+            peak[i] = peak[i].max(d.dur);
+        }
+        for level in ["500ms", "7ms", "700us", "10us"] {
+            let floor = match level {
+                "500ms" => Span::from_ms(300),
+                "7ms" => Span::from_ms(3),
+                "700us" => Span::from_us(400),
+                _ => Span::from_us(10),
+            };
+            let row: String = peak
+                .iter()
+                .map(|&p| if p >= floor { '#' } else { ' ' })
+                .collect();
+            println!("  >={level:>6} |{row}|");
+        }
+        println!();
+    }
+    println!(
+        "Reading: native and dry-run are indistinguishable (EINJ configuration is\n\
+         sub-threshold); software adds a ~775us bar per injection; firmware adds a\n\
+         ~7ms SMI per injection and a ~500ms decode every 10th."
+    );
+}

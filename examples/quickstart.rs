@@ -1,0 +1,69 @@
+//! Quickstart: the five-minute tour of the public API.
+//!
+//! Builds a workload skeleton, runs it through the LogGOPS engine with
+//! and without correctable-error noise, and prints the slowdown — the
+//! core measurement of the paper, end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::experiment::{run, Experiment};
+use dram_ce_sim::model::{LogGopsParams, LoggingMode, Span, SystemSpec};
+use dram_ce_sim::noise::{CeNoise, Scope};
+use dram_ce_sim::workloads::{self, AppId, WorkloadConfig};
+
+fn main() {
+    // 1. Build the communication skeleton of a workload at some scale.
+    //    (LULESH: 27-point halo exchange + two 8-byte allreduces/step.)
+    let cfg = WorkloadConfig::default().with_steps(30);
+    let sched = workloads::build(AppId::Lulesh, 64, &cfg);
+    let stats = sched.stats();
+    println!("schedule: {stats}");
+
+    // 2. Simulate it noise-free under Cray-XC40-class LogGOPS parameters.
+    let params = LogGopsParams::xc40();
+    let base = simulate(&sched, &params, &mut NoNoise).expect("deadlock-free");
+    println!("baseline completion: {}", base.finish);
+
+    // 3. Simulate again with firmware-logged correctable errors arriving
+    //    on every node (MTBCE 20 s/node, 133 ms stolen per event).
+    let mut noise = CeNoise::new(
+        sched.num_ranks(),
+        Span::from_secs(20),
+        LoggingMode::Firmware.per_event_cost(),
+        Scope::AllRanks,
+        42,
+    );
+    let pert = simulate(&sched, &params, &mut noise).expect("deadlock-free");
+    println!(
+        "with CEs: {} ({} detours injected) -> {:.1}% slowdown",
+        pert.finish,
+        pert.noise_events,
+        pert.slowdown_pct(base.finish),
+    );
+
+    // 4. Or let the experiment layer do baseline + replicas + stats.
+    let exp = Experiment::new(AppId::Lulesh, 64)
+        .mode(LoggingMode::Firmware)
+        .mtbce(Span::from_secs(20))
+        .reps(3)
+        .steps(30);
+    let out = run(&exp).expect("deadlock-free");
+    println!(
+        "experiment: {:.1}% mean slowdown over {} reps (stddev {:.1}%)",
+        out.mean_slowdown_pct().unwrap(),
+        out.runs.len(),
+        out.slowdown_stddev_pct().unwrap(),
+    );
+
+    // 5. Table II's rate algebra is available for realistic MTBCE values.
+    let exa = SystemSpec::exascale_cielo_x(10);
+    println!(
+        "{}: MTBCE_node = {} ({:.1} CEs/node/year)",
+        exa.name,
+        exa.mtbce_node(),
+        exa.ces_per_node_year()
+    );
+}

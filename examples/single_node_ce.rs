@@ -1,0 +1,55 @@
+//! Single-node CE study (the Fig. 3 scenario, reduced).
+//!
+//! One node in the job experiences correctable errors — the situation a
+//! system administrator faces when deciding whether a DIMM that logs CEs
+//! needs replacing. Sweeps the MTBCE and prints the application slowdown
+//! for all three logging modes.
+//!
+//! ```sh
+//! cargo run --release --example single_node_ce
+//! ```
+
+use dram_ce_sim::experiment::{run, Experiment};
+use dram_ce_sim::goal::Rank;
+use dram_ce_sim::model::{LoggingMode, Span};
+use dram_ce_sim::noise::Scope;
+use dram_ce_sim::workloads::AppId;
+
+fn main() {
+    let app = AppId::Lulesh;
+    let nodes = 128;
+    println!("{app} on {nodes} nodes; CEs injected on ONE node only\n");
+    println!(
+        "{:>12}  {:>18}  {:>18}  {:>18}",
+        "MTBCE/node", "hw (150ns)", "sw (775us)", "fw (133ms)"
+    );
+    for mtbce in [
+        Span::from_ms(10),
+        Span::from_ms(100),
+        Span::from_ms(200),
+        Span::from_secs(1),
+        Span::from_secs(10),
+    ] {
+        let mut row = format!("{:>12}", format!("{mtbce}"));
+        for mode in LoggingMode::all() {
+            let exp = Experiment::new(app, nodes)
+                .mode(mode)
+                .mtbce(mtbce)
+                .scope(Scope::SingleRank(Rank(0)))
+                .reps(2)
+                .steps(60);
+            let out = run(&exp).expect("deadlock-free");
+            let cell = match out.mean_slowdown_pct() {
+                Some(s) => format!("{s:.2}%"),
+                None => "no-progress".to_string(),
+            };
+            row.push_str(&format!("  {cell:>18}"));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nPaper's guidance (§IV-B): software logging tolerates a CE every 10 ms on one\n\
+         node (<10% slowdown); firmware logging needs MTBCE >= ~1 s; below ~200 ms the\n\
+         application barely progresses."
+    );
+}

@@ -1,0 +1,68 @@
+//! The trace tool-chain, end to end (the paper's §III-C methodology).
+//!
+//! 1. "Collect" an MPI trace (synthetically — a PMPI layer's output),
+//! 2. extrapolate it k·p as LogGOPSim does (exact collectives,
+//!    pattern-preserving point-to-point),
+//! 3. convert it into a dependency schedule,
+//! 4. simulate it with and without firmware-logged correctable errors.
+//!
+//! ```sh
+//! cargo run --release --example trace_pipeline
+//! ```
+
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::goal::collectives::CollectiveCosts;
+use dram_ce_sim::model::{LogGopsParams, LoggingMode, Span};
+use dram_ce_sim::noise::{CeNoise, Scope};
+use dram_ce_sim::trace::{convert, extrapolate, generate::GenSpec, parse, to_text};
+
+fn main() {
+    // 1. The "collected" trace: 16 ranks, 10 steps of halo + allreduce.
+    let spec = GenSpec {
+        ranks: 16,
+        steps: 10,
+        compute: Span::from_ms(10),
+        allreduces: 2,
+        ..GenSpec::default()
+    };
+    let traced = dram_ce_sim::trace::generate::generate(&spec);
+    println!(
+        "traced job: {} ranks, {} MPI events",
+        traced.num_ranks(),
+        traced.total_events()
+    );
+
+    // Round-trip through the text format, as a file on disk would.
+    let text = to_text(&traced);
+    let loaded = parse(&text).expect("own output parses");
+    assert_eq!(traced, loaded);
+    println!("trace file: {} KiB of text", text.len() / 1024);
+
+    // 2. Extrapolate 16 -> 128 ranks.
+    let big = extrapolate(&loaded, 8);
+    println!("extrapolated: {} ranks", big.num_ranks());
+
+    // 3. Convert to a schedule (collectives expanded over all 128 ranks).
+    let sched = convert(&big, &CollectiveCosts::default()).expect("valid trace");
+    println!("schedule: {}", sched.stats());
+
+    // 4. Simulate: baseline, then with CEs on every node.
+    let params = LogGopsParams::xc40();
+    let base = simulate(&sched, &params, &mut NoNoise).expect("deadlock-free");
+    println!("baseline: {}", base.finish);
+    let mut noise = CeNoise::new(
+        sched.num_ranks(),
+        Span::from_secs(1),
+        LoggingMode::Firmware.per_event_cost(),
+        Scope::AllRanks,
+        7,
+    );
+    let pert = simulate(&sched, &params, &mut noise).expect("deadlock-free");
+    println!(
+        "with firmware CE logging @ 1 CE/node/s: {} -> {:.1}% slowdown, {} detours, {} CPU time stolen",
+        pert.finish,
+        pert.slowdown_pct(base.finish),
+        pert.noise_events,
+        pert.total_stolen(),
+    );
+}

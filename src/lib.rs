@@ -1,0 +1,31 @@
+//! # dram-ce-sim
+//!
+//! A simulation study of DRAM **correctable-error (CE) logging** overheads
+//! on large-scale HPC systems — a from-scratch Rust reproduction of
+//! *"Understanding the Effects of DRAM Correctable Error Logging at
+//! Scale"* (Ferreira, Levy, Kuhns, DeBardeleben, Blanchard — IEEE CLUSTER
+//! 2021).
+//!
+//! This facade re-exports [`cesim_core`], which in turn exposes the whole
+//! stack:
+//!
+//! | layer | module | contents |
+//! |-------|--------|----------|
+//! | foundation | [`model`] | picosecond time, LogGOPS parameters, Table II systems, logging-mode costs |
+//! | schedule IR | [`goal`] | per-rank dependency DAGs, builder, collective expansion, text format |
+//! | simulator | [`engine`] | LogGOPS discrete-event engine with MPI matching and noise hooks |
+//! | CE noise | [`noise`] | Poisson CE detours, `selfish`/EINJ substrate, Fig. 2 signatures |
+//! | workloads | [`workloads`] | the nine Table I application skeletons |
+//! | experiments | [`experiment`], [`figures`], [`report`], [`tables`] | baselines vs perturbed runs, every figure/table |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the `cesim`
+//! binary (crate `cesim-cli`) for regenerating every table and figure
+//! from the command line.
+
+#![forbid(unsafe_code)]
+
+pub use cesim_core::*;
+
+/// Re-export: MPI trace format, parser, conversion and k·p extrapolation
+/// (the LogGOPSim tool-chain substrate).
+pub use cesim_trace as trace;

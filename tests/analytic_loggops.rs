@@ -1,0 +1,135 @@
+//! End-to-end checks of the LogGOPS cost model against hand-computed
+//! times, through the public facade.
+
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::goal::collectives::{self, CollectiveCosts};
+use dram_ce_sim::goal::{builder::TagPool, Rank, ScheduleBuilder, Tag};
+use dram_ce_sim::model::{LogGopsParams, Span, Time};
+
+#[test]
+fn pingpong_round_trip_time() {
+    let p = LogGopsParams::xc40();
+    let bytes = 64u64;
+    let mut b = ScheduleBuilder::new(2);
+    let s0 = b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+    b.recv(Rank(0), Some(Rank(1)), bytes, Tag(2), &[s0]);
+    let r1 = b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+    b.send(Rank(1), Rank(0), bytes, Tag(2), &[r1]);
+    let sched = b.build();
+    let res = simulate(&sched, &p, &mut NoNoise).unwrap();
+    // One direction: sender cpu (o+bO), wire (L+bG), receiver cpu (o+bO).
+    let one_way = p.cpu_cost(bytes) + p.wire_time(bytes) + p.cpu_cost(bytes);
+    // Rank 1 then sends back: its send cpu, wire, rank0 recv cpu.
+    let rtt = one_way + p.cpu_cost(bytes) + p.wire_time(bytes) + p.cpu_cost(bytes);
+    assert_eq!(res.per_rank_finish[0], Time::ZERO + rtt);
+}
+
+#[test]
+fn latency_dominates_small_messages_bandwidth_dominates_large() {
+    let p = LogGopsParams::xc40();
+    let time_for = |bytes: u64| {
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+        simulate(&b.build(), &p, &mut NoNoise).unwrap().finish
+    };
+    let t8 = time_for(8).as_secs_f64();
+    let t16 = time_for(16).as_secs_f64();
+    // Latency-bound: doubling tiny payload barely changes time.
+    assert!((t16 - t8) / t8 < 0.01);
+    let t1m = time_for(1 << 20).as_secs_f64();
+    let t2m = time_for(2 << 20).as_secs_f64();
+    // Bandwidth-bound: doubling large payload nearly doubles time.
+    assert!((t2m / t1m) > 1.7, "t2m/t1m = {}", t2m / t1m);
+}
+
+#[test]
+fn eager_rendezvous_boundary_is_visible() {
+    let p = LogGopsParams::xc40();
+    let time_for = |bytes: u64| {
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+        simulate(&b.build(), &p, &mut NoNoise).unwrap().finish
+    };
+    let just_eager = time_for(p.eager_threshold);
+    let just_rndv = time_for(p.eager_threshold + 1);
+    // The rendezvous handshake adds ~2(o+L) — a visible jump.
+    let jump = just_rndv.as_secs_f64() - just_eager.as_secs_f64();
+    let handshake = (p.overhead + p.latency).as_secs_f64() * 2.0;
+    assert!(
+        (jump - handshake).abs() / handshake < 0.1,
+        "jump {jump}, handshake {handshake}"
+    );
+}
+
+#[test]
+fn allreduce_scales_logarithmically() {
+    let p = LogGopsParams::xc40();
+    let time_for = |n: usize| {
+        let mut b = ScheduleBuilder::new(n);
+        let mut tags = TagPool::new();
+        let entry: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+        collectives::allreduce_recursive_doubling(
+            &mut b,
+            &mut tags,
+            8,
+            &CollectiveCosts::default(),
+            &entry,
+        );
+        simulate(&b.build(), &p, &mut NoNoise).unwrap().finish
+    };
+    let t16 = time_for(16).as_secs_f64();
+    let t256 = time_for(256).as_secs_f64();
+    // Recursive doubling: rounds = log2(n); 256 ranks = 2x the rounds of 16.
+    let ratio = t256 / t16;
+    assert!(
+        (1.8..2.3).contains(&ratio),
+        "expected ~2x for 4 -> 8 rounds, got {ratio}"
+    );
+}
+
+#[test]
+fn barrier_completes_simultaneously_under_ideal_network() {
+    // With a zero-cost network every rank leaves the barrier at the same
+    // instant (all entered at the same time).
+    let p = LogGopsParams::ideal();
+    let n = 13;
+    let mut b = ScheduleBuilder::new(n);
+    let mut tags = TagPool::new();
+    let entry: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+    collectives::barrier_dissemination(&mut b, &mut tags, &entry);
+    let res = simulate(&b.build(), &p, &mut NoNoise).unwrap();
+    assert!(res.per_rank_finish.iter().all(|&t| t == Time::ZERO));
+}
+
+#[test]
+fn straggler_delays_barrier_exit_for_everyone() {
+    let p = LogGopsParams::xc40();
+    let n = 8;
+    let delay = Span::from_ms(10);
+    let build = |laggard: Option<usize>| {
+        let mut b = ScheduleBuilder::new(n);
+        let mut tags = TagPool::new();
+        let entry: Vec<_> = (0..n)
+            .map(|r| {
+                let work = if laggard == Some(r) {
+                    delay
+                } else {
+                    Span::ZERO
+                };
+                b.calc(Rank::from(r), work, &[])
+            })
+            .collect();
+        collectives::barrier_dissemination(&mut b, &mut tags, &entry);
+        b.build()
+    };
+    let base = simulate(&build(None), &p, &mut NoNoise).unwrap();
+    let slow = simulate(&build(Some(3)), &p, &mut NoNoise).unwrap();
+    for r in 0..n {
+        assert!(
+            slow.per_rank_finish[r] + Span::from_us(100) >= base.per_rank_finish[r] + delay,
+            "rank {r} must wait for the straggler"
+        );
+    }
+}

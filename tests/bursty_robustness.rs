@@ -1,0 +1,98 @@
+//! Robustness of the paper's conclusions to CE arrival clustering: the
+//! exponential model of §III-D vs a bursty (avalanche) process at the
+//! same average rate.
+
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::model::{LogGopsParams, LoggingMode, Span};
+use dram_ce_sim::noise::{BurstSpec, BurstyCeNoise, CeNoise, ComposedNoise, Scope};
+use dram_ce_sim::workloads::{self, AppId, WorkloadConfig};
+
+fn spec() -> BurstSpec {
+    BurstSpec {
+        quiet_mtbce: Span::from_secs(30),
+        burst_mtbce: Span::from_ms(100),
+        mean_quiet: Span::from_secs(5),
+        mean_burst: Span::from_ms(500),
+    }
+}
+
+#[test]
+fn bursty_and_memoryless_agree_within_small_factor() {
+    let params = LogGopsParams::xc40();
+    let cfg = WorkloadConfig::default().with_steps(60);
+    let sched = workloads::build(AppId::Lulesh, 32, &cfg);
+    let base = simulate(&sched, &params, &mut NoNoise).unwrap();
+    let detour = LoggingMode::Software.per_event_cost();
+    let s = spec();
+    let reps = 4u64;
+    let mut bursty = 0.0;
+    let mut smooth = 0.0;
+    for seed in 0..reps {
+        let mut bn = BurstyCeNoise::new(32, s, detour, seed);
+        bursty += simulate(&sched, &params, &mut bn)
+            .unwrap()
+            .slowdown_pct(base.finish);
+        let mut sn = CeNoise::new(32, s.equivalent_mtbce(), detour, Scope::AllRanks, seed);
+        smooth += simulate(&sched, &params, &mut sn)
+            .unwrap()
+            .slowdown_pct(base.finish);
+    }
+    let (bursty, smooth) = (bursty / reps as f64, smooth / reps as f64);
+    assert!(bursty > 0.0 && smooth > 0.0);
+    // Mean slowdowns under software logging agree within a small factor —
+    // the paper's rate-based guidance is robust to clustering.
+    let ratio = bursty / smooth;
+    assert!(
+        (0.3..4.0).contains(&ratio),
+        "bursty {bursty}% vs memoryless {smooth}% (ratio {ratio})"
+    );
+}
+
+#[test]
+fn composition_of_ce_and_background_noise_is_additive_ish() {
+    let params = LogGopsParams::xc40();
+    let cfg = WorkloadConfig::default().with_steps(30);
+    let sched = workloads::build(AppId::Hpcg, 16, &cfg);
+    let base = simulate(&sched, &params, &mut NoNoise).unwrap();
+    let ce = || {
+        CeNoise::new(
+            16,
+            Span::from_secs(2),
+            LoggingMode::Firmware.per_event_cost(),
+            Scope::AllRanks,
+            3,
+        )
+    };
+    let bg = || {
+        CeNoise::new(
+            16,
+            Span::from_ms(1),
+            Span::from_us(2), // a 1 kHz timer tick's worth of jitter
+            Scope::AllRanks,
+            9,
+        )
+    };
+    let mut only_ce = ce();
+    let s_ce = simulate(&sched, &params, &mut only_ce)
+        .unwrap()
+        .slowdown_pct(base.finish);
+    let mut only_bg = bg();
+    let s_bg = simulate(&sched, &params, &mut only_bg)
+        .unwrap()
+        .slowdown_pct(base.finish);
+    let mut both = ComposedNoise::new(ce(), bg());
+    let s_both = simulate(&sched, &params, &mut both)
+        .unwrap()
+        .slowdown_pct(base.finish);
+    // Composition must be on the order of the dominant component (the
+    // background shifts interval boundaries, so a few CE arrivals can
+    // migrate into idle windows — allow 15% relative slack).
+    assert!(
+        s_both * 1.15 + 0.5 >= s_ce.max(s_bg),
+        "{s_both} vs {s_ce}/{s_bg}"
+    );
+    assert!(
+        s_both <= (s_ce + s_bg) * 1.5 + 1.0,
+        "composition should not wildly super-add: {s_both} vs {s_ce}+{s_bg}"
+    );
+}

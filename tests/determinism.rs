@@ -1,0 +1,88 @@
+//! Bit-reproducibility across the whole pipeline: identical seeds must
+//! produce identical schedules, identical simulations and identical
+//! figures — a hard requirement for a publishable simulation study.
+
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::figures::{fig4, ScaleConfig};
+use dram_ce_sim::model::{LogGopsParams, LoggingMode, Span};
+use dram_ce_sim::noise::{CeNoise, Scope};
+use dram_ce_sim::workloads::{self, AppId, WorkloadConfig};
+
+#[test]
+fn schedules_are_deterministic() {
+    let cfg = WorkloadConfig::default().with_steps(5);
+    for app in AppId::all() {
+        let a = workloads::build(app, 32, &cfg);
+        let b = workloads::build(app, 32, &cfg);
+        assert_eq!(a, b, "{app:?}");
+    }
+}
+
+#[test]
+fn noisy_simulations_are_deterministic() {
+    let cfg = WorkloadConfig::default().with_steps(10);
+    let sched = workloads::build(AppId::Milc, 16, &cfg);
+    let params = LogGopsParams::xc40();
+    let run = || {
+        let mut noise = CeNoise::new(
+            16,
+            Span::from_ms(500),
+            LoggingMode::Firmware.per_event_cost(),
+            Scope::AllRanks,
+            12345,
+        );
+        simulate(&sched, &params, &mut noise).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert!(a.noise_events > 0);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let cfg = WorkloadConfig::default().with_steps(10);
+    let sched = workloads::build(AppId::Milc, 16, &cfg);
+    let params = LogGopsParams::xc40();
+    let run = |seed| {
+        let mut noise = CeNoise::new(
+            16,
+            Span::from_ms(200),
+            LoggingMode::Firmware.per_event_cost(),
+            Scope::AllRanks,
+            seed,
+        );
+        simulate(&sched, &params, &mut noise).unwrap().finish
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn figures_are_deterministic() {
+    let cfg = ScaleConfig {
+        nodes: 16,
+        reps: 1,
+        steps_scale: 0.1,
+        apps: vec![AppId::Cth],
+        ..ScaleConfig::default()
+    };
+    let a = fig4(&cfg);
+    let b = fig4(&cfg);
+    assert_eq!(a.cells.len(), b.cells.len());
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.slowdown_pct, y.slowdown_pct);
+        assert_eq!(x.ce_events, y.ce_events);
+    }
+}
+
+#[test]
+fn baseline_is_unaffected_by_seed() {
+    // The baseline run has no noise: changing the experiment seed must
+    // leave it untouched (only workload jitter seed matters).
+    let params = LogGopsParams::xc40();
+    let cfg = WorkloadConfig::default().with_steps(5);
+    let sched = workloads::build(AppId::Sparc, 8, &cfg);
+    let a = simulate(&sched, &params, &mut NoNoise).unwrap();
+    let b = simulate(&sched, &params, &mut NoNoise).unwrap();
+    assert_eq!(a.finish, b.finish);
+}

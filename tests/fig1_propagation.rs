@@ -1,0 +1,91 @@
+//! Integration test of the paper's Fig. 1: CE-handling delays on one
+//! process propagate transitively along communication dependencies to
+//! processes it never talks to.
+
+use dram_ce_sim::engine::noise::ScriptedNoise;
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::goal::{Rank, ScheduleBuilder, Tag};
+use dram_ce_sim::model::{LogGopsParams, Span, Time};
+
+/// p0 --m1--> p1 --m2--> p2, with a compute phase before each send.
+fn chain(work: Span) -> dram_ce_sim::goal::Schedule {
+    let mut b = ScheduleBuilder::new(3);
+    let c0 = b.calc(Rank(0), work, &[]);
+    b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+    let r1 = b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+    let c1 = b.calc(Rank(1), work, &[r1]);
+    b.send(Rank(1), Rank(2), 8, Tag(2), &[c1]);
+    let r2 = b.recv(Rank(2), Some(Rank(1)), 8, Tag(2), &[]);
+    b.calc(Rank(2), work, &[r2]);
+    b.build()
+}
+
+#[test]
+fn detour_on_p0_delays_p2_by_full_amount() {
+    let params = LogGopsParams::xc40();
+    let work = Span::from_us(50);
+    let base = simulate(&chain(work), &params, &mut NoNoise).unwrap();
+    let detour = Span::from_ms(133); // one firmware logging event
+    let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, detour)]);
+    let pert = simulate(&chain(work), &params, &mut noise).unwrap();
+    for r in 0..3 {
+        assert_eq!(
+            pert.per_rank_finish[r],
+            base.per_rank_finish[r] + detour,
+            "rank {r} must slip by exactly the detour"
+        );
+    }
+}
+
+#[test]
+fn detour_on_p1_does_not_affect_p0() {
+    let params = LogGopsParams::xc40();
+    let work = Span::from_us(50);
+    let base = simulate(&chain(work), &params, &mut NoNoise).unwrap();
+    let mut noise = ScriptedNoise::new(vec![(Rank(1), Time::ZERO, Span::from_ms(1))]);
+    let pert = simulate(&chain(work), &params, &mut noise).unwrap();
+    // p0 has no dependency on p1: unaffected.
+    assert_eq!(pert.per_rank_finish[0], base.per_rank_finish[0]);
+    // p2 depends on p1: delayed.
+    assert_eq!(
+        pert.per_rank_finish[2],
+        base.per_rank_finish[2] + Span::from_ms(1)
+    );
+}
+
+#[test]
+fn detours_on_different_ranks_serialize_along_the_chain() {
+    // A detour on p0 before m1 AND one on p1 before m2 both land on p2's
+    // critical path — they add (the grey regions of Fig. 1b).
+    let params = LogGopsParams::xc40();
+    let work = Span::from_us(50);
+    let base = simulate(&chain(work), &params, &mut NoNoise).unwrap();
+    let d0 = Span::from_ms(2);
+    let d1 = Span::from_ms(3);
+    let mut noise = ScriptedNoise::new(vec![
+        (Rank(0), Time::ZERO, d0),
+        // p1's detour hits its compute phase (after m1 arrives).
+        (Rank(1), Time::ZERO + Span::from_us(60), d1),
+    ]);
+    let pert = simulate(&chain(work), &params, &mut noise).unwrap();
+    assert_eq!(pert.noise_events, 2);
+    assert_eq!(pert.per_rank_finish[2], base.per_rank_finish[2] + d0 + d1);
+}
+
+#[test]
+fn detour_during_slack_is_absorbed() {
+    // If p2 has private work that dwarfs the chain, a small detour on p0
+    // does not change the app completion time (it hides in p2's slack).
+    let params = LogGopsParams::xc40();
+    let mut b = ScheduleBuilder::new(3);
+    let c0 = b.calc(Rank(0), Span::from_us(10), &[]);
+    b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+    b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+    b.calc(Rank(2), Span::from_ms(50), &[]); // dominates everything
+    let sched = b.build();
+    let base = simulate(&sched, &params, &mut NoNoise).unwrap();
+    let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, Span::from_ms(1))]);
+    let pert = simulate(&sched, &params, &mut noise).unwrap();
+    assert_eq!(pert.finish, base.finish, "app time set by rank 2's slack");
+    assert!(pert.per_rank_finish[1] > base.per_rank_finish[1]);
+}

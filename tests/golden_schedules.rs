@@ -1,0 +1,31 @@
+//! Golden-file test: the expanded LULESH schedule must not drift
+//! silently. Any intentional change to the workload generators, the
+//! collective expansion or the text format must update
+//! `tests/golden/lulesh_8r_1step.goal` (regenerate with
+//! `cesim goal --app LULESH --nodes 8 --steps 1`).
+
+use dram_ce_sim::goal::textfmt::{from_text, to_text};
+use dram_ce_sim::workloads::{self, AppId, WorkloadConfig};
+
+const GOLDEN: &str = include_str!("golden/lulesh_8r_1step.goal");
+
+#[test]
+fn lulesh_schedule_matches_golden() {
+    let cfg = WorkloadConfig::default().with_steps(1);
+    let sched = workloads::build(AppId::Lulesh, 8, &cfg);
+    let text = to_text(&sched);
+    assert_eq!(
+        text, GOLDEN,
+        "schedule drift detected — if intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn golden_parses_and_validates() {
+    let sched = from_text(GOLDEN).expect("golden file must parse");
+    sched.validate().expect("golden file must validate");
+    assert_eq!(sched.num_ranks(), 8);
+    // 26 halo neighbors per rank on a 2x2x2 periodic grid collapse to the
+    // 7 distinct other ranks, but every offset still emits a message.
+    assert!(sched.stats().sends > 0);
+}

@@ -1,0 +1,166 @@
+//! End-to-end experiment-layer tests: the qualitative claims of the paper
+//! must hold at small scale.
+
+use dram_ce_sim::experiment::{run, Experiment};
+use dram_ce_sim::goal::Rank;
+use dram_ce_sim::model::{LoggingMode, Span};
+use dram_ce_sim::noise::Scope;
+use dram_ce_sim::workloads::AppId;
+
+/// Helper: mean slowdown for a configuration.
+fn slowdown(app: AppId, nodes: usize, mode: LoggingMode, mtbce: Span, steps: usize) -> f64 {
+    let exp = Experiment::new(app, nodes)
+        .mode(mode)
+        .mtbce(mtbce)
+        .reps(2)
+        .steps(steps);
+    run(&exp)
+        .unwrap()
+        .mean_slowdown_pct()
+        .expect("not divergent")
+}
+
+#[test]
+fn logging_cost_ordering_hw_lt_sw_lt_fw() {
+    // Same CE rate, three logging modes: overhead must be monotone in the
+    // per-event cost — the paper's central comparison.
+    let mtbce = Span::from_secs(1);
+    let hw = slowdown(AppId::Lulesh, 32, LoggingMode::HardwareOnly, mtbce, 40);
+    let sw = slowdown(AppId::Lulesh, 32, LoggingMode::Software, mtbce, 40);
+    let fw = slowdown(AppId::Lulesh, 32, LoggingMode::Firmware, mtbce, 40);
+    assert!(hw < 1.0, "hardware-only should be negligible, got {hw}%");
+    assert!(sw < 10.0, "software should be modest, got {sw}%");
+    assert!(fw > sw, "firmware ({fw}%) must exceed software ({sw}%)");
+    assert!(
+        fw > 20.0,
+        "firmware at 1 s MTBCE should be heavy, got {fw}%"
+    );
+}
+
+#[test]
+fn overhead_grows_with_ce_rate() {
+    let s1 = slowdown(
+        AppId::Hpcg,
+        16,
+        LoggingMode::Firmware,
+        Span::from_secs(40),
+        10,
+    );
+    let s2 = slowdown(
+        AppId::Hpcg,
+        16,
+        LoggingMode::Firmware,
+        Span::from_secs(10),
+        10,
+    );
+    let s3 = slowdown(
+        AppId::Hpcg,
+        16,
+        LoggingMode::Firmware,
+        Span::from_secs(3),
+        10,
+    );
+    assert!(
+        s1 <= s2 + 2.0 && s2 <= s3 + 2.0,
+        "slowdowns should grow with rate: {s1}% {s2}% {s3}%"
+    );
+    assert!(s3 > s1, "10x rate increase must be visible: {s1}% vs {s3}%");
+}
+
+#[test]
+fn sensitive_workload_suffers_more_than_insensitive() {
+    // The LULESH vs LAMMPS-lj contrast of Fig. 5, at reduced scale.
+    let mtbce = Span::from_secs(5);
+    let lulesh = slowdown(AppId::Lulesh, 64, LoggingMode::Firmware, mtbce, 80);
+    let lj = slowdown(AppId::LammpsLj, 64, LoggingMode::Firmware, mtbce, 30);
+    assert!(
+        lulesh > 2.0 * lj,
+        "LULESH ({lulesh}%) should dwarf LAMMPS-lj ({lj}%)"
+    );
+}
+
+#[test]
+fn single_node_slowdown_tracks_per_node_utilization() {
+    // Fig. 3's structure: with one noisy node, the whole app tracks that
+    // node's CE utilization d/mtbce (here 775 µs / 10 ms ≈ 7.75%).
+    let exp = Experiment::new(AppId::Lulesh, 27)
+        .mode(LoggingMode::Software)
+        .mtbce(Span::from_ms(10))
+        .scope(Scope::SingleRank(Rank(0)))
+        .reps(3)
+        .steps(60);
+    let out = run(&exp).unwrap();
+    let s = out.mean_slowdown_pct().unwrap();
+    assert!(
+        (4.0..14.0).contains(&s),
+        "expected ~7.75% (one-node software @ 10 ms), got {s}%"
+    );
+}
+
+#[test]
+fn hardware_only_correction_is_free_even_at_absurd_rates() {
+    // §IV-D: no reasonable MTBCE makes pure correction (150 ns) visible.
+    let s = slowdown(
+        AppId::MiniFe,
+        16,
+        LoggingMode::HardwareOnly,
+        Span::from_ms(1),
+        8,
+    );
+    assert!(
+        s < 2.0,
+        "150 ns per event at 1 kHz/node is still cheap: {s}%"
+    );
+}
+
+#[test]
+fn duration_is_the_lever_not_rate() {
+    // Fig. 7's punchline: cutting per-event cost 100x helps far more than
+    // cutting the rate 100x when the cost is large.
+    let nodes = 16;
+    let base_rate = Span::from_secs(2);
+    let heavy = slowdown(
+        AppId::Hpcg,
+        nodes,
+        LoggingMode::Custom(Span::from_ms(133)),
+        base_rate,
+        10,
+    );
+    let lighter_cost = slowdown(
+        AppId::Hpcg,
+        nodes,
+        LoggingMode::Custom(Span::from_us(1330)),
+        base_rate,
+        10,
+    );
+    let lower_rate = slowdown(
+        AppId::Hpcg,
+        nodes,
+        LoggingMode::Custom(Span::from_ms(133)),
+        base_rate.mul_f64(100.0),
+        10,
+    );
+    assert!(
+        lighter_cost < heavy / 5.0,
+        "100x cheaper events: {heavy}% -> {lighter_cost}%"
+    );
+    // Both knobs help; the claim is that cost reduction is at least
+    // comparable — and rates can then rise without harm.
+    assert!(
+        lighter_cost <= lower_rate + 1.0,
+        "cost lever ({lighter_cost}%) should rival rate lever ({lower_rate}%)"
+    );
+}
+
+#[test]
+fn lammps_crack_uses_its_own_trace_scale_heritage() {
+    // Crack is a 2-D decomposition; make sure it builds and runs at a
+    // non-square rank count (the paper extrapolates from 64 ranks).
+    let exp = Experiment::new(AppId::LammpsCrack, 24)
+        .mode(LoggingMode::Software)
+        .mtbce(Span::from_ms(50))
+        .reps(1)
+        .steps(30);
+    let out = run(&exp).unwrap();
+    assert!(out.mean_slowdown_pct().unwrap() >= 0.0);
+}

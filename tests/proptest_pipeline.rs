@@ -1,0 +1,257 @@
+//! Property-based tests on randomly generated (but deadlock-free-by-
+//! construction) schedules: completion, conservation, determinism,
+//! noise monotonicity and text-format round-tripping.
+
+use dram_ce_sim::engine::{simulate, NoNoise, SimResult};
+use dram_ce_sim::goal::textfmt::{from_text, to_text};
+use dram_ce_sim::goal::{Rank, Schedule, ScheduleBuilder, Tag};
+use dram_ce_sim::model::{LogGopsParams, Span, Time};
+use dram_ce_sim::noise::{CeNoise, Scope};
+use proptest::prelude::*;
+
+/// A random message: src/dst rank indices (mapped into range), tag class,
+/// payload size (crosses the eager/rendezvous boundary).
+#[derive(Clone, Debug)]
+struct Msg {
+    src: usize,
+    dst: usize,
+    tag: u32,
+    bytes: u64,
+}
+
+fn msg_strategy(nranks: usize) -> impl Strategy<Value = Msg> {
+    (
+        0..nranks,
+        0..nranks,
+        0u32..4,
+        prop_oneof![1u64..64, 60_000u64..80_000],
+    )
+        .prop_map(|(src, dst, tag, bytes)| Msg {
+            src,
+            dst,
+            tag,
+            bytes,
+        })
+}
+
+/// Build a deadlock-free schedule: calcs form a chain per rank; sends
+/// depend only on calcs (never on receives), so every send eventually
+/// fires and every receive matches.
+fn build_schedule(nranks: usize, calcs: &[Vec<u32>], msgs: &[Msg]) -> Schedule {
+    let mut b = ScheduleBuilder::new(nranks);
+    let mut last_calc = Vec::with_capacity(nranks);
+    for (r, durs) in calcs.iter().enumerate() {
+        let rank = Rank::from(r);
+        let mut prev = b.calc(rank, Span::ZERO, &[]);
+        for &d in durs {
+            prev = b.calc(rank, Span::from_us(d as u64), &[prev]);
+        }
+        last_calc.push(prev);
+    }
+    for m in msgs {
+        if m.src == m.dst {
+            continue; // self-messages are not modeled
+        }
+        b.send(
+            Rank::from(m.src),
+            Rank::from(m.dst),
+            m.bytes,
+            Tag(m.tag),
+            &[last_calc[m.src]],
+        );
+        b.recv(
+            Rank::from(m.dst),
+            Some(Rank::from(m.src)),
+            m.bytes,
+            Tag(m.tag),
+            &[last_calc[m.dst]],
+        );
+    }
+    b.build()
+}
+
+/// Build a *fully chained* schedule: every rank executes its operations
+/// strictly in a global message order (each op depends on the previous
+/// one on its rank). Chained schedules admit no reordering, so every
+/// event time is monotone under injected delays — the right shape for
+/// noise-monotonicity properties. Deadlock-free by induction on the
+/// global message order.
+fn build_chain_schedule(nranks: usize, calcs: &[Vec<u32>], msgs: &[Msg]) -> Schedule {
+    let mut b = ScheduleBuilder::new(nranks);
+    let mut prev: Vec<_> = (0..nranks)
+        .map(|r| {
+            let rank = Rank::from(r);
+            let mut p = b.calc(rank, Span::ZERO, &[]);
+            for &d in &calcs[r] {
+                p = b.calc(rank, Span::from_us(d as u64), &[p]);
+            }
+            p
+        })
+        .collect();
+    for m in msgs {
+        if m.src == m.dst {
+            continue;
+        }
+        prev[m.src] = b.send(
+            Rank::from(m.src),
+            Rank::from(m.dst),
+            m.bytes,
+            Tag(m.tag),
+            &[prev[m.src]],
+        );
+        prev[m.dst] = b.recv(
+            Rank::from(m.dst),
+            Some(Rank::from(m.src)),
+            m.bytes,
+            Tag(m.tag),
+            &[prev[m.dst]],
+        );
+    }
+    b.build()
+}
+
+fn params() -> LogGopsParams {
+    LogGopsParams::xc40()
+}
+
+fn arb_case() -> impl Strategy<Value = (usize, Vec<Vec<u32>>, Vec<Msg>)> {
+    (2usize..7).prop_flat_map(|nranks| {
+        let calcs =
+            proptest::collection::vec(proptest::collection::vec(0u32..500, 0..4), nranks..=nranks);
+        let msgs = proptest::collection::vec(msg_strategy(nranks), 0..20);
+        (Just(nranks), calcs, msgs)
+    })
+}
+
+fn run(sched: &Schedule) -> SimResult {
+    simulate(sched, &params(), &mut NoNoise).expect("deadlock-free by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_schedules_complete((nranks, calcs, msgs) in arb_case()) {
+        let sched = build_schedule(nranks, &calcs, &msgs);
+        sched.validate().expect("balanced by construction");
+        let res = run(&sched);
+        prop_assert_eq!(res.ops_executed, sched.total_ops() as u64);
+        // Every non-self message is delivered exactly once.
+        let sends = sched.stats().sends;
+        prop_assert_eq!(res.msgs_delivered, sends);
+    }
+
+    #[test]
+    fn simulation_is_deterministic((nranks, calcs, msgs) in arb_case()) {
+        let sched = build_schedule(nranks, &calcs, &msgs);
+        prop_assert_eq!(run(&sched), run(&sched));
+    }
+
+    #[test]
+    fn finish_bounded_below_by_local_work((nranks, calcs, msgs) in arb_case()) {
+        let sched = build_schedule(nranks, &calcs, &msgs);
+        let res = run(&sched);
+        for (r, durs) in calcs.iter().enumerate() {
+            let local: u64 = durs.iter().map(|&d| d as u64).sum();
+            prop_assert!(
+                res.per_rank_finish[r] >= Time::ZERO + Span::from_us(local),
+                "rank {} finished before its own work", r
+            );
+        }
+    }
+
+    #[test]
+    fn chained_schedules_complete_and_match(
+        (nranks, calcs, msgs) in arb_case(),
+    ) {
+        let sched = build_chain_schedule(nranks, &calcs, &msgs);
+        sched.validate().expect("balanced by construction");
+        let res = run(&sched);
+        prop_assert_eq!(res.ops_executed, sched.total_ops() as u64);
+        prop_assert_eq!(res.msgs_delivered, sched.stats().sends);
+    }
+
+    #[test]
+    fn noise_never_speeds_up_chained_schedules(
+        (nranks, calcs, msgs) in arb_case(),
+        seed in 0u64..1000,
+    ) {
+        // Chained schedules admit no op reordering, so every completion is
+        // monotone under injected delays. (Unchained schedules can finish
+        // *earlier* under noise: a delayed receive can let an independent
+        // send run first — real MPI behaves the same way.)
+        let sched = build_chain_schedule(nranks, &calcs, &msgs);
+        let base = run(&sched);
+        let mut noise = CeNoise::new(
+            nranks,
+            Span::from_ms(1),
+            Span::from_us(100),
+            Scope::AllRanks,
+            seed,
+        );
+        let pert = simulate(&sched, &params(), &mut noise).unwrap();
+        prop_assert!(pert.finish >= base.finish);
+        for r in 0..nranks {
+            prop_assert!(pert.per_rank_finish[r] >= base.per_rank_finish[r]);
+        }
+    }
+
+    #[test]
+    fn bigger_detours_cost_at_least_as_much_on_one_rank(
+        (nranks, calcs, msgs) in arb_case(),
+    ) {
+        // With a single noisy rank, a fixed arrival stream (same seed) and
+        // a chained schedule, a larger per-event detour cannot reduce that
+        // rank's finish time. The property is airtight only when rank 0's
+        // timeline has no idle gaps (a later-starting interval could
+        // otherwise absorb arrivals a smaller detour caught), so rank 0
+        // gets no receives and only eager sends.
+        let msgs: Vec<Msg> = msgs
+            .into_iter()
+            .map(|mut m| {
+                if m.dst == 0 {
+                    m.dst = 1;
+                }
+                if m.src == 0 {
+                    m.bytes = m.bytes.min(64);
+                }
+                m
+            })
+            .collect();
+        let sched = build_chain_schedule(nranks, &calcs, &msgs);
+        let run_with = |detour_us: u64| {
+            let mut noise = CeNoise::new(
+                nranks,
+                Span::from_ms(2),
+                Span::from_us(detour_us),
+                Scope::SingleRank(Rank(0)),
+                7,
+            );
+            simulate(&sched, &params(), &mut noise).unwrap().per_rank_finish[0]
+        };
+        prop_assert!(run_with(500) >= run_with(50));
+    }
+
+    #[test]
+    fn text_roundtrip_random((nranks, calcs, msgs) in arb_case()) {
+        let sched = build_schedule(nranks, &calcs, &msgs);
+        let back = from_text(&to_text(&sched)).expect("own output parses");
+        prop_assert_eq!(&sched, &back);
+        prop_assert_eq!(run(&sched), run(&back));
+    }
+
+    #[test]
+    fn unmatched_send_fails_validation((nranks, calcs, msgs) in arb_case()) {
+        let mut sched = build_schedule(nranks, &calcs, &msgs);
+        // Inject one extra send with a tag class nothing receives.
+        sched.ranks[0].ops.push(dram_ce_sim::goal::Op {
+            kind: dram_ce_sim::goal::OpKind::Send {
+                dst: Rank(1),
+                bytes: 8,
+                tag: Tag(999),
+            },
+            deps: vec![],
+        });
+        prop_assert!(sched.validate().is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Schedules survive text serialization: a workload dumped to the GOAL
+//! text format, parsed back, and re-simulated gives identical results.
+
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::goal::textfmt::{from_text, to_text};
+use dram_ce_sim::model::LogGopsParams;
+use dram_ce_sim::workloads::{self, AppId, WorkloadConfig};
+
+#[test]
+fn workload_roundtrips_through_text() {
+    let cfg = WorkloadConfig::default().with_steps(3);
+    let sched = workloads::build(AppId::Hpcg, 12, &cfg);
+    let text = to_text(&sched);
+    let back = from_text(&text).expect("own output must parse");
+    assert_eq!(sched, back);
+}
+
+#[test]
+fn reparsed_schedule_simulates_identically() {
+    let cfg = WorkloadConfig::default().with_steps(4);
+    let params = LogGopsParams::xc40();
+    for app in [AppId::Lulesh, AppId::Milc, AppId::LammpsCrack] {
+        let sched = workloads::build(app, 9, &cfg);
+        let back = from_text(&to_text(&sched)).unwrap();
+        let a = simulate(&sched, &params, &mut NoNoise).unwrap();
+        let b = simulate(&back, &params, &mut NoNoise).unwrap();
+        assert_eq!(a, b, "{app:?}");
+    }
+}
+
+#[test]
+fn text_format_is_stable_for_goldens() {
+    // The header and shape of the format must not drift silently; golden
+    // files depend on it.
+    let cfg = WorkloadConfig::default().with_steps(1);
+    let text = to_text(&workloads::build(AppId::MiniFe, 2, &cfg));
+    assert!(text.starts_with("# cesim-goal schedule\nranks 2\nrank 0 {\n"));
+    assert!(text.contains("calc "));
+    assert!(text.contains("send "));
+    assert!(text.trim_end().ends_with('}'));
+}

@@ -1,0 +1,76 @@
+//! Closing the measure→inject loop: a Fig. 2 firmware signature replayed
+//! verbatim onto a simulated application rank behaves like the equivalent
+//! Poisson CE model.
+
+use dram_ce_sim::engine::{simulate, NoNoise};
+use dram_ce_sim::goal::Rank;
+use dram_ce_sim::model::{LogGopsParams, Span};
+use dram_ce_sim::noise::signature::{signature, SignatureConfig, SignatureKind};
+use dram_ce_sim::noise::TraceNoise;
+use dram_ce_sim::workloads::{self, AppId, WorkloadConfig};
+
+#[test]
+fn firmware_signature_replay_slows_the_app() {
+    let params = LogGopsParams::xc40();
+    let cfg = WorkloadConfig::default().with_steps(120);
+    let sched = workloads::build(AppId::Lulesh, 27, &cfg);
+    let base = simulate(&sched, &params, &mut NoNoise).unwrap();
+
+    // Synthesize the firmware signature: one injection per second over the
+    // app's lifetime (~2.4 s baseline), SMIs of ~7 ms each, decode every
+    // 10th.
+    let sig_cfg = SignatureConfig {
+        window: Span::from_secs(30),
+        inject_period: Span::from_ms(250),
+        seed: 5,
+    };
+    let trace = signature(SignatureKind::FirmwareEmca { threshold: 10 }, &sig_cfg);
+    let mut noise = TraceNoise::single_rank(27, Rank(0), &trace);
+    let pert = simulate(&sched, &params, &mut noise).unwrap();
+
+    assert!(pert.noise_events > 0, "signature must inject detours");
+    assert!(
+        pert.finish > base.finish,
+        "firmware SMIs on one rank must delay the whole app"
+    );
+    // Stolen time accounting reflects the replayed detours.
+    assert!(pert.total_stolen() > Span::from_ms(5));
+    assert_eq!(pert.per_rank_work, base.per_rank_work);
+}
+
+#[test]
+fn native_signature_replay_is_nearly_harmless() {
+    // The background-noise-only trace has microsecond detours; replaying
+    // it should cost well under 1%.
+    let params = LogGopsParams::xc40();
+    let cfg = WorkloadConfig::default().with_steps(60);
+    let sched = workloads::build(AppId::Hpcg, 8, &cfg);
+    let base = simulate(&sched, &params, &mut NoNoise).unwrap();
+    let trace = signature(SignatureKind::Native, &SignatureConfig::default());
+    let mut noise = TraceNoise::all_ranks(8, &trace);
+    let pert = simulate(&sched, &params, &mut noise).unwrap();
+    let slowdown = pert.slowdown_pct(base.finish);
+    assert!(
+        slowdown < 1.0,
+        "native OS noise should be <1%, got {slowdown}%"
+    );
+}
+
+#[test]
+fn dry_run_replay_equals_native_replay() {
+    // Fig. 2's point, end-to-end: configuring EINJ adds nothing, so the
+    // dry-run trace perturbs an application exactly like the native one.
+    let params = LogGopsParams::xc40();
+    let cfg = WorkloadConfig::default().with_steps(30);
+    let sched = workloads::build(AppId::MiniFe, 8, &cfg);
+    let sig_cfg = SignatureConfig::default();
+    let run_with = |kind| {
+        let trace = signature(kind, &sig_cfg);
+        let mut noise = TraceNoise::all_ranks(8, &trace);
+        simulate(&sched, &params, &mut noise).unwrap().finish
+    };
+    assert_eq!(
+        run_with(SignatureKind::Native),
+        run_with(SignatureKind::DryRun)
+    );
+}
