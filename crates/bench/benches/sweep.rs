@@ -1,0 +1,66 @@
+//! Serial-vs-parallel sweep bench.
+//!
+//! Times the Fig. 4 regeneration at `--threads 1` and `--threads <cores>`
+//! through the same code path, checks that the two produce **identical**
+//! cells (slowdown, stddev, CE events — the deterministic per-point
+//! seeding guarantee), and prints the measured speedup so `cargo bench`
+//! logs record it alongside the timings.
+
+use cesim_bench::{bench_apps, regen_scale};
+use cesim_core::figures::{fig4, FigureData, ScaleConfig};
+use cesim_core::report::figure_csv;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn scaled(threads: usize) -> ScaleConfig {
+    let mut cfg = regen_scale();
+    cfg.apps = bench_apps();
+    // More replicas than the regen default: replica- and cell-level jobs
+    // are what the parallel runner distributes.
+    cfg.reps = cfg.reps.max(4);
+    cfg.threads = threads;
+    cfg
+}
+
+fn time_once(f: impl FnOnce() -> FigureData) -> (FigureData, f64) {
+    let t0 = Instant::now();
+    let fig = f();
+    (fig, t0.elapsed().as_secs_f64())
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // One verification pass outside the timing loop: parallel output must
+    // be byte-identical to serial output.
+    let (serial, t_serial) = time_once(|| fig4(&scaled(1)));
+    let (parallel, t_parallel) = time_once(|| fig4(&scaled(cores)));
+    assert_eq!(
+        figure_csv(&serial),
+        figure_csv(&parallel),
+        "parallel sweep output diverged from serial"
+    );
+    println!(
+        "\n=== fig4 sweep: {:.2}s serial, {:.2}s on {cores} threads \
+         ({:.2}x speedup, identical output) ===",
+        t_serial,
+        t_parallel,
+        t_serial / t_parallel.max(1e-9)
+    );
+
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(5);
+    for threads in [1usize, cores] {
+        let cfg = scaled(threads);
+        g.bench_with_input(BenchmarkId::new("fig4", threads), &cfg, |b, cfg| {
+            b.iter(|| black_box(fig4(cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -32,6 +32,7 @@ const VALUED: &[&str] = &[
     "generate",
     "load",
     "extrapolate",
+    "threads",
 ];
 
 impl Args {

@@ -50,6 +50,11 @@ SCALE OPTIONS (fig3..fig7)
                     no machine-rate rescaling) — hours of CPU time
   --exact-rate      Do not rescale MTBCE when nodes < system size
   --seed N          Base RNG seed
+  --threads N       Sweep worker threads: 0 = all cores [default], 1 =
+                    serial. Output is byte-identical for every value —
+                    each cell/replica derives its RNG stream from stable
+                    (figure, cell, replica) coordinates, never from
+                    execution order
   --csv FILE        Also write the figure's cells as CSV
   --chart           Render as log-scale ASCII bar charts
   --quiet           No per-cell progress on stderr
@@ -61,6 +66,7 @@ RUN OPTIONS (cesim run)
                     [default 5544s]
   --single-node     Inject CEs on one rank only (Fig. 3 style)
   --steps N         Override workload step count
+  --threads N       Worker threads for the replicas [default 0 = all cores]
 
 FIG2 OPTIONS
   --window SECONDS  Observation window [default 300]
@@ -161,6 +167,7 @@ fn scale_config(args: &Args) -> Result<ScaleConfig, String> {
     cfg.reps = args.get_parsed("reps", cfg.reps)?;
     cfg.steps_scale = args.get_parsed("steps-scale", cfg.steps_scale)?;
     cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    cfg.threads = args.get_parsed("threads", cfg.threads)?;
     if args.has_flag("exact-rate") {
         cfg.preserve_machine_rate = false;
     }
@@ -473,7 +480,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "running {app} on {nodes} nodes, {mode}, MTBCE_node = {mtbce}, scope = {:?}, {reps} reps",
         exp.scope
     );
-    let out = run_experiment(&exp).map_err(|e| e.to_string())?;
+    let threads = args.get_parsed("threads", 0usize)?;
+    let out = figures::with_threads(threads, || run_experiment(&exp)).map_err(|e| e.to_string())?;
     println!("ranks simulated : {}", out.ranks);
     println!("baseline        : {}", out.baseline);
     match out.mean_slowdown_pct() {

@@ -13,11 +13,13 @@
 //! [`DIVERGENCE_LIMIT`] are not simulated; their outcome reports
 //! `slowdown = None`.
 
+use crate::seed::rep_seed;
 use cesim_engine::{simulate, NoNoise, SimError};
 use cesim_goal::Schedule;
 use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
 use cesim_noise::{CeNoise, Scope};
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
+use rayon::prelude::*;
 
 /// Per-node CE-handling utilization above which a configuration is
 /// treated as "no forward progress" instead of being simulated.
@@ -38,7 +40,9 @@ pub struct Experiment {
     pub scope: Scope,
     /// Perturbed replicas to average.
     pub reps: u32,
-    /// Base seed; replica `i` uses `seed + i`.
+    /// Base seed; replica `i` uses [`rep_seed`]`(seed, i)`, so the
+    /// replica stream is a pure function of `(seed, i)` regardless of
+    /// execution order or thread count.
     pub seed: u64,
     /// Network/CPU model.
     pub params: LogGopsParams,
@@ -231,21 +235,21 @@ pub fn run_against_baseline(
         });
     }
     let detour = exp.mode.per_event_cost();
-    let mut runs = Vec::with_capacity(exp.reps as usize);
-    for rep in 0..exp.reps {
-        let mut noise = CeNoise::new(
-            ranks,
-            exp.mtbce,
-            detour,
-            exp.scope,
-            exp.seed.wrapping_add(rep as u64),
-        );
-        let r = simulate(sched, &exp.params, &mut noise)?;
-        runs.push(RunStats {
-            finish: r.finish.since(Time::ZERO),
-            ce_events: r.noise_events,
-        });
-    }
+    // Each replica is a self-contained job — its own noise model, seeded
+    // from stable coordinates — so the replicas parallelize freely and
+    // results are reassembled in replica order (identical to serial).
+    let results: Vec<Result<RunStats, SimError>> = (0..exp.reps)
+        .into_par_iter()
+        .map(|rep| {
+            let mut noise =
+                CeNoise::new(ranks, exp.mtbce, detour, exp.scope, rep_seed(exp.seed, rep));
+            simulate(sched, &exp.params, &mut noise).map(|r| RunStats {
+                finish: r.finish.since(Time::ZERO),
+                ce_events: r.noise_events,
+            })
+        })
+        .collect();
+    let runs: Vec<RunStats> = results.into_iter().collect::<Result<_, _>>()?;
     Ok(Outcome {
         app: exp.app,
         ranks,

@@ -18,12 +18,14 @@
 //! * `steps_scale`, `reps`, `seed` — statistical effort.
 
 use crate::experiment::{run_against_baseline, Experiment};
+use crate::seed::point_seed;
 use cesim_engine::{simulate, NoNoise};
 use cesim_goal::Rank;
 use cesim_model::{LoggingMode, Span, SystemSpec};
 use cesim_noise::Scope;
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
-use std::collections::BTreeMap;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, HashMap};
 
 /// Cost/scale knobs shared by all figure sweeps.
 #[derive(Clone, Debug)]
@@ -43,6 +45,10 @@ pub struct ScaleConfig {
     pub apps: Vec<AppId>,
     /// Print per-cell progress to stderr.
     pub progress: bool,
+    /// Worker threads for the sweep: `0` uses every core (or
+    /// `RAYON_NUM_THREADS`), `1` runs serially. Results are identical for
+    /// every value — cells are seeded by position, not execution order.
+    pub threads: usize,
 }
 
 impl Default for ScaleConfig {
@@ -55,6 +61,7 @@ impl Default for ScaleConfig {
             seed: 0xF16,
             apps: AppId::all().to_vec(),
             progress: false,
+            threads: 0,
         }
     }
 }
@@ -98,6 +105,27 @@ impl ScaleConfig {
         } else {
             mtbce
         }
+    }
+
+    /// Run `f` under this config's thread count (see [`with_threads`]).
+    pub fn scoped<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        with_threads(self.threads, f)
+    }
+}
+
+/// Run `f` under an explicit worker-thread count: `0` leaves the ambient
+/// pool (all cores, or `RAYON_NUM_THREADS`), anything else installs a
+/// pool of exactly that size for the duration — `1` is the serial path
+/// through the same code.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    if threads == 0 {
+        f()
+    } else {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(f)
     }
 }
 
@@ -174,43 +202,75 @@ struct CellSpec {
     nodes: usize,
 }
 
-/// Run a figure sweep: for every app, build each needed scale once, run
-/// the baseline once, and evaluate all cells against it.
+/// Run a figure sweep as a list of self-contained cell jobs.
+///
+/// Two parallel stages, both executed under the config's thread count
+/// (see [`ScaleConfig::scoped`]):
+///
+/// 1. every distinct `(app, node count)` scale builds its schedule and
+///    simulates the noise-free baseline once;
+/// 2. every `(app, spec)` cell runs its perturbed replicas against the
+///    shared baseline.
+///
+/// Cells are collected **in job-index order** (app-major, then spec
+/// order), and each cell's RNG stream is derived from its stable
+/// coordinates via [`point_seed`] — never from execution order — so the
+/// output is byte-identical for any thread count.
 fn run_figure(
     id: &str,
     title: &str,
     cfg: &ScaleConfig,
-    scope_for: impl Fn(usize) -> Scope,
+    scope_for: impl Fn(usize) -> Scope + Sync,
     specs: &[CellSpec],
 ) -> FigureData {
-    let mut cells = Vec::with_capacity(specs.len() * cfg.apps.len());
-    for (ai, &app) in cfg.apps.iter().enumerate() {
-        let wcfg = cfg.workload_cfg(ai as u64);
-        // Group the specs by node count so each scale builds one schedule.
-        let mut node_counts: Vec<usize> = specs.iter().map(|s| s.nodes).collect();
-        node_counts.sort_unstable();
-        node_counts.dedup();
-        for nodes in node_counts {
-            let ranks = natural_ranks(app, nodes);
-            let sched = cesim_workloads::build(app, ranks, &wcfg);
-            let base = simulate(&sched, &cesim_model::LogGopsParams::xc40(), &mut NoNoise)
-                .expect("workload schedules are deadlock-free");
-            for spec in specs.iter().filter(|s| s.nodes == nodes) {
+    let cells = cfg.scoped(|| {
+        // Stage 1: distinct (app index, node count) scales.
+        let mut scales: Vec<(usize, usize)> = Vec::new();
+        for ai in 0..cfg.apps.len() {
+            for spec in specs {
+                if !scales.contains(&(ai, spec.nodes)) {
+                    scales.push((ai, spec.nodes));
+                }
+            }
+        }
+        let built: Vec<(usize, cesim_goal::Schedule, cesim_model::Time)> = scales
+            .par_iter()
+            .map(|&(ai, nodes)| {
+                let app = cfg.apps[ai];
+                let ranks = natural_ranks(app, nodes);
+                let sched = cesim_workloads::build(app, ranks, &cfg.workload_cfg(ai as u64));
+                let base = simulate(&sched, &cesim_model::LogGopsParams::xc40(), &mut NoNoise)
+                    .expect("workload schedules are deadlock-free");
+                (ranks, sched, base.finish)
+            })
+            .collect();
+        let scale_index: HashMap<(usize, usize), usize> = scales
+            .iter()
+            .enumerate()
+            .map(|(k, &key)| (key, k))
+            .collect();
+
+        // Stage 2: one job per (app, spec) cell, reassembled in job order.
+        let jobs: Vec<(usize, usize)> = (0..cfg.apps.len())
+            .flat_map(|ai| (0..specs.len()).map(move |si| (ai, si)))
+            .collect();
+        jobs.par_iter()
+            .map(|&(ai, si)| {
+                let app = cfg.apps[ai];
+                let spec = &specs[si];
+                let (ranks, sched, baseline) = &built[scale_index[&(ai, spec.nodes)]];
                 let exp = Experiment {
                     app,
-                    nodes,
+                    nodes: spec.nodes,
                     mode: spec.mode,
                     mtbce: spec.mtbce,
-                    scope: scope_for(ranks),
+                    scope: scope_for(*ranks),
                     reps: cfg.reps,
-                    seed: cfg
-                        .seed
-                        .wrapping_add((ai as u64) << 32)
-                        .wrapping_add(cells.len() as u64),
+                    seed: point_seed(cfg.seed, id, ai, si),
                     params: cesim_model::LogGopsParams::xc40(),
-                    workload: wcfg,
+                    workload: cfg.workload_cfg(ai as u64),
                 };
-                let out = run_against_baseline(&exp, ranks, &sched, base.finish)
+                let out = run_against_baseline(&exp, *ranks, sched, *baseline)
                     .expect("workload schedules are deadlock-free");
                 if cfg.progress {
                     eprintln!(
@@ -222,7 +282,7 @@ fn run_figure(
                             .unwrap_or_else(|| "no-progress".into())
                     );
                 }
-                cells.push(Cell {
+                Cell {
                     app,
                     group: spec.group.clone(),
                     mode: spec.mode,
@@ -231,11 +291,11 @@ fn run_figure(
                     stddev_pct: out.slowdown_stddev_pct(),
                     baseline_secs: out.baseline.as_secs_f64(),
                     ce_events: out.mean_ce_events(),
-                    ranks,
-                });
-            }
-        }
-    }
+                    ranks: *ranks,
+                }
+            })
+            .collect()
+    });
     FigureData {
         id: id.into(),
         title: title.into(),

@@ -39,6 +39,7 @@
 pub mod experiment;
 pub mod figures;
 pub mod report;
+pub mod seed;
 pub mod tables;
 
 /// Re-export: foundation types (time, LogGOPS params, systems, RNG).

@@ -29,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matchq;
 pub mod noise;
 pub mod queue;
 pub mod result;
 pub mod sim;
 pub mod topology;
 
+pub use matchq::TagQueue;
 pub use noise::{NoNoise, NoiseModel};
 pub use result::{SimError, SimResult};
 pub use sim::{simulate, Simulator};

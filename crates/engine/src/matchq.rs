@@ -1,0 +1,165 @@
+//! Tag-bucketed MPI match queues.
+//!
+//! The simulator keeps two match queues per rank: posted receives and
+//! unexpected messages. Both were flat `VecDeque`s searched with a linear
+//! `position` scan and removed from with `VecDeque::remove` — O(n) per
+//! match, which dominates on communication-heavy schedules where many
+//! operations share a rank.
+//!
+//! [`TagQueue`] replaces the flat queue with a per-[`Tag`] FIFO bucket.
+//! This is **order-equivalent** to the flat scan because MPI tags in this
+//! engine are always exact-match on both sides (there is no `MPI_ANY_TAG`):
+//! the flat scan `position(|e| e.tag == tag && pred(e))` only ever inspects
+//! entries of the requested tag, in insertion order — exactly the contents
+//! of that tag's bucket. The source wildcard (`MPI_ANY_SOURCE`, modelled as
+//! `src == None`) lives inside `pred` and is evaluated bucket-locally in
+//! the same FIFO order, so the matched entry is identical.
+//!
+//! Entries are pushed in simulation order and each bucket preserves it, so
+//! FIFO matching per `(source, tag)` — the MPI non-overtaking rule — is
+//! preserved. `tests/matchq_equivalence.rs` property-checks this module
+//! against the original linear scan on random post/arrive interleavings.
+
+use cesim_goal::Tag;
+use std::collections::{HashMap, VecDeque};
+
+/// A FIFO match queue bucketed by message [`Tag`].
+///
+/// Semantically a single FIFO of entries, each filed under a tag;
+/// [`take_first`](TagQueue::take_first) pops the earliest-pushed entry of a
+/// given tag that satisfies a predicate, in O(bucket length) instead of
+/// O(total length). Since tag match is exact, entries of other tags can
+/// never match and skipping them wholesale is safe.
+#[derive(Clone, Debug)]
+pub struct TagQueue<E> {
+    buckets: HashMap<Tag, VecDeque<E>>,
+    len: usize,
+}
+
+// Manual impl: the derive would needlessly bound `E: Default`.
+impl<E> Default for TagQueue<E> {
+    fn default() -> Self {
+        TagQueue::new()
+    }
+}
+
+impl<E> TagQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        TagQueue {
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Append `entry` under `tag` (the back of that tag's FIFO).
+    #[inline]
+    pub fn push(&mut self, tag: Tag, entry: E) {
+        self.buckets.entry(tag).or_default().push_back(entry);
+        self.len += 1;
+    }
+
+    /// Remove and return the earliest-pushed entry under `tag` for which
+    /// `pred` holds, or `None` if no such entry exists.
+    ///
+    /// The predicate carries the source filter: a posted receive with
+    /// `src == None` matches any arrival, and an arrival probes a posted
+    /// queue whose entries may themselves hold wildcards. Entries that fail
+    /// `pred` stay in place, preserving their FIFO position for later
+    /// matches.
+    pub fn take_first(&mut self, tag: Tag, mut pred: impl FnMut(&E) -> bool) -> Option<E> {
+        let bucket = self.buckets.get_mut(&tag)?;
+        let idx = bucket.iter().position(&mut pred)?;
+        let entry = bucket.remove(idx);
+        debug_assert!(entry.is_some());
+        self.len -= 1;
+        if bucket.is_empty() {
+            self.buckets.remove(&tag);
+        }
+        entry
+    }
+
+    /// Total entries across all tags.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are queued under any tag.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over all entries, grouped by tag, FIFO within each tag.
+    /// Tag group order is unspecified; use only for diagnostics.
+    pub fn iter(&self) -> impl Iterator<Item = (Tag, &E)> {
+        self.buckets
+            .iter()
+            .flat_map(|(&tag, bucket)| bucket.iter().map(move |e| (tag, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_tag() {
+        let mut q = TagQueue::new();
+        q.push(Tag(1), "a");
+        q.push(Tag(1), "b");
+        q.push(Tag(2), "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.take_first(Tag(1), |_| true), Some("a"));
+        assert_eq!(q.take_first(Tag(1), |_| true), Some("b"));
+        assert_eq!(q.take_first(Tag(1), |_| true), None);
+        assert_eq!(q.take_first(Tag(2), |_| true), Some("c"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn predicate_skips_without_disturbing_order() {
+        let mut q = TagQueue::new();
+        q.push(Tag(7), 10);
+        q.push(Tag(7), 20);
+        q.push(Tag(7), 30);
+        // Skip the head; FIFO among the rest is intact.
+        assert_eq!(q.take_first(Tag(7), |&e| e > 10), Some(20));
+        assert_eq!(q.take_first(Tag(7), |_| true), Some(10));
+        assert_eq!(q.take_first(Tag(7), |_| true), Some(30));
+    }
+
+    #[test]
+    fn missing_tag_is_none() {
+        let mut q: TagQueue<u32> = TagQueue::new();
+        assert_eq!(q.take_first(Tag(9), |_| true), None);
+        q.push(Tag(1), 1);
+        assert_eq!(q.take_first(Tag(9), |_| true), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_buckets_are_pruned() {
+        let mut q = TagQueue::new();
+        for i in 0..100u32 {
+            q.push(Tag(i), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.take_first(Tag(i), |_| true), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut q = TagQueue::new();
+        q.push(Tag(1), 'x');
+        q.push(Tag(2), 'y');
+        q.push(Tag(1), 'z');
+        let mut seen: Vec<(u32, char)> = q.iter().map(|(t, &e)| (t.0, e)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 'x'), (1, 'z'), (2, 'y')]);
+    }
+}

@@ -41,19 +41,43 @@ impl NoiseModel for NoNoise {
 /// triples; each detour is inserted into the first CPU interval on that
 /// rank that covers (or follows) `at`. Useful for reproducing the paper's
 /// Fig. 1 hand-example and for unit tests.
+///
+/// Detours are grouped per rank at construction and consumed through a
+/// monotone cursor: `stretch` only ever advances past detours it injects,
+/// so each call is O(detours injected) rather than a rescan of the whole
+/// script (the previous implementation `Vec::remove`d out of one flat
+/// list, O(script length) per CPU interval).
 #[derive(Clone, Debug, Default)]
 pub struct ScriptedNoise {
-    /// Pending detours, consumed in order per rank.
-    pending: Vec<(Rank, Time, Span)>,
+    /// Per-rank scripts; ranks are sparse, so a map rather than a Vec.
+    scripts: std::collections::HashMap<Rank, RankScript>,
     injected: u64,
+}
+
+/// One rank's detours, time-sorted, with the next-unapplied cursor.
+#[derive(Clone, Debug, Default)]
+struct RankScript {
+    /// `(at, detour)` pairs sorted by `at` (stable, preserving input
+    /// order among equal times).
+    detours: Vec<(Time, Span)>,
+    /// Index of the first detour not yet injected.
+    cursor: usize,
 }
 
 impl ScriptedNoise {
     /// Build from `(rank, at, detour)` triples.
-    pub fn new(mut detours: Vec<(Rank, Time, Span)>) -> Self {
-        detours.sort_by_key(|&(r, t, _)| (r, t));
+    pub fn new(detours: Vec<(Rank, Time, Span)>) -> Self {
+        let mut scripts: std::collections::HashMap<Rank, RankScript> =
+            std::collections::HashMap::new();
+        for (r, t, d) in detours {
+            scripts.entry(r).or_default().detours.push((t, d));
+        }
+        for script in scripts.values_mut() {
+            // Stable: equal-time detours keep their scripted order.
+            script.detours.sort_by_key(|&(t, _)| t);
+        }
         ScriptedNoise {
-            pending: detours,
+            scripts,
             injected: 0,
         }
     }
@@ -62,16 +86,17 @@ impl ScriptedNoise {
 impl NoiseModel for ScriptedNoise {
     fn stretch(&mut self, rank: Rank, start: Time, work: Span) -> Time {
         let mut end = start + work;
-        // Apply every pending detour for this rank scheduled before `end`.
-        let mut i = 0;
-        while i < self.pending.len() {
-            let (r, at, d) = self.pending[i];
-            if r == rank && at <= end {
+        // Inject every not-yet-applied detour due by `end`; each injection
+        // extends the interval, which may pull in further detours
+        // (cascading, same as the original scan-until-fixpoint).
+        if let Some(script) = self.scripts.get_mut(&rank) {
+            while let Some(&(at, d)) = script.detours.get(script.cursor) {
+                if at > end {
+                    break;
+                }
                 end += d;
-                self.pending.remove(i);
+                script.cursor += 1;
                 self.injected += 1;
-            } else {
-                i += 1;
             }
         }
         end

@@ -14,13 +14,13 @@
 //!   payload); RTS matches like a normal message, the payload is routed
 //!   directly to the matched receive.
 
+use crate::matchq::TagQueue;
 use crate::noise::NoiseModel;
 use crate::queue::EventQueue;
 use crate::result::{SimError, SimResult};
 use crate::topology::{FlatCrossbar, Topology};
 use cesim_goal::{OpKind, Rank, Schedule, Tag};
 use cesim_model::{LogGopsParams, Span, Time};
-use std::collections::VecDeque;
 
 #[derive(Clone, Copy, Debug)]
 enum MsgKind {
@@ -50,11 +50,12 @@ enum Event {
     Arrive(Msg),
 }
 
+// The matching tag is the `TagQueue` bucket key, not repeated in the
+// queued records.
 #[derive(Clone, Copy, Debug)]
 struct PostedRecv {
     op: u32,
     src: Option<u32>,
-    tag: Tag,
     posted_at: Time,
 }
 
@@ -67,7 +68,6 @@ enum UnexKind {
 #[derive(Clone, Copy, Debug)]
 struct UnexMsg {
     src: u32,
-    tag: Tag,
     bytes: u64,
     arrived: Time,
     kind: UnexKind,
@@ -78,8 +78,8 @@ struct RankState {
     cpu_free: Time,
     nic_free: Time,
     indeg: Vec<u32>,
-    posted: VecDeque<PostedRecv>,
-    unexpected: VecDeque<UnexMsg>,
+    posted: TagQueue<PostedRecv>,
+    unexpected: TagQueue<UnexMsg>,
     finish: Time,
     done: Vec<bool>,
     /// CPU-occupied time (useful work + injected detours).
@@ -170,7 +170,10 @@ impl<'a> Simulator<'a> {
             topology: Box::new(FlatCrossbar),
             deps,
             state,
-            queue: EventQueue::with_capacity(1024),
+            // Pre-size for the initial ready wavefront plus in-flight
+            // messages; bounded by the op count rather than a fixed guess
+            // so large schedules avoid repeated heap regrowth.
+            queue: EventQueue::with_capacity((total_ops as usize).clamp(64, 1 << 22)),
             total_ops,
             completed: 0,
             msgs_delivered: 0,
@@ -329,12 +332,14 @@ impl<'a> Simulator<'a> {
                     }
                 } else {
                     let st = &mut self.state[rank as usize];
-                    st.posted.push_back(PostedRecv {
-                        op,
-                        src: srcf,
+                    st.posted.push(
                         tag,
-                        posted_at: t,
-                    });
+                        PostedRecv {
+                            op,
+                            src: srcf,
+                            posted_at: t,
+                        },
+                    );
                     self.max_posted = self.max_posted.max(st.posted.len());
                 }
             }
@@ -366,13 +371,15 @@ impl<'a> Simulator<'a> {
                         _ => unreachable!(),
                     };
                     let st = &mut self.state[msg.dst as usize];
-                    st.unexpected.push_back(UnexMsg {
-                        src: msg.src,
-                        tag: msg.tag,
-                        bytes: msg.bytes,
-                        arrived: t,
-                        kind,
-                    });
+                    st.unexpected.push(
+                        msg.tag,
+                        UnexMsg {
+                            src: msg.src,
+                            bytes: msg.bytes,
+                            arrived: t,
+                            kind,
+                        },
+                    );
                     self.max_unexpected = self.max_unexpected.max(st.unexpected.len());
                 }
             }
@@ -452,23 +459,21 @@ impl<'a> Simulator<'a> {
     }
 
     /// First posted receive at `dst` matching `(src, tag)`, FIFO order.
+    ///
+    /// Tag match is exact, so only `tag`'s bucket needs scanning; the
+    /// `src == None` wildcard on a posted receive is handled in the
+    /// predicate (see [`TagQueue::take_first`] for the order argument).
     fn take_posted(&mut self, dst: u32, src: u32, tag: Tag) -> Option<PostedRecv> {
-        let st = &mut self.state[dst as usize];
-        let idx = st
+        self.state[dst as usize]
             .posted
-            .iter()
-            .position(|p| p.tag == tag && (p.src.is_none() || p.src == Some(src)))?;
-        st.posted.remove(idx)
+            .take_first(tag, |p| p.src.is_none() || p.src == Some(src))
     }
 
     /// First unexpected message at `rank` matching the receive's filter.
     fn take_unexpected(&mut self, rank: u32, srcf: Option<u32>, tag: Tag) -> Option<UnexMsg> {
-        let st = &mut self.state[rank as usize];
-        let idx = st
+        self.state[rank as usize]
             .unexpected
-            .iter()
-            .position(|u| u.tag == tag && (srcf.is_none() || srcf == Some(u.src)))?;
-        st.unexpected.remove(idx)
+            .take_first(tag, |u| srcf.is_none() || srcf == Some(u.src))
     }
 
     fn complete(&mut self, rank: u32, op: u32, t: Time) {

@@ -1,0 +1,375 @@
+//! An offline, dependency-free subset of the [`rayon`] API.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this workspace member shadows the real `rayon` crate and provides
+//! just the surface the sweep runner needs, implemented with
+//! `std::thread::scope`:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — fan a job list out
+//!   over worker threads and reassemble results **in index order**, so
+//!   parallel output is byte-identical to serial output;
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()` — owned variant;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scope a thread
+//!   count over a closure (`num_threads(1)` gives the serial path);
+//! * [`current_num_threads`] — the effective worker count, honoring the
+//!   `RAYON_NUM_THREADS` environment variable like the real crate.
+//!
+//! Semantics intentionally mirror rayon where it matters for this
+//! repository: worker panics propagate to the caller, nested parallel
+//! calls execute serially on the already-parallel worker (rayon instead
+//! work-steals, but either way no thread explosion), and results never
+//! depend on scheduling order.
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` / `.into_par_iter()` available.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+thread_local! {
+    /// Scoped thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Depth guard: >0 on a worker thread, where nested calls go serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of worker threads a parallel iterator will use right now:
+/// an installed [`ThreadPool`]'s size, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|p| p.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `items[i] -> f(&items[i])` across worker threads, returning results
+/// in index order. Serial (in-order, current thread) when one thread is
+/// effective or when already inside a worker.
+fn run_par_ref<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads == 1 || IN_WORKER.with(|w| w.get()) {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // A panic in `f` unwinds through `scope`, which then
+                    // re-panics on the caller thread — same observable
+                    // behavior as a rayon worker panic.
+                    let r = f(&items[i]);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("worker completed"))
+            .collect()
+    })
+}
+
+/// Borrowing parallel iterator over a slice (`.par_iter()`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` on a worker thread.
+    pub fn map<R, F>(self, f: F) -> ParMapRef<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMapRef {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting `collect`.
+pub struct ParMapRef<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMapRef<'a, T, F> {
+    /// Execute the map and collect results in index order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        run_par_ref(self.items, &self.f).into()
+    }
+}
+
+/// Owning parallel iterator (`.into_par_iter()`).
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync> IntoParIter<T> {
+    /// Map each owned item through `f` on a worker thread.
+    pub fn map<R, F>(self, f: F) -> ParMapOwned<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMapOwned {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`IntoParIter::map`], awaiting `collect`.
+pub struct ParMapOwned<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send + Sync, F> ParMapOwned<T, F> {
+    /// Execute the map and collect results in index order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        // Move items out through an Option so workers can take ownership
+        // by index while the scan itself borrows.
+        let slots: Vec<std::sync::Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| std::sync::Mutex::new(Some(t)))
+            .collect();
+        let f = &self.f;
+        run_par_ref(&slots, &|slot: &std::sync::Mutex<Option<T>>| {
+            let t = slot.lock().unwrap().take().expect("item taken once");
+            f(t)
+        })
+        .into()
+    }
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send + Sync;
+    /// Create the owning parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> IntoParIter<$t> {
+                IntoParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+range_par_iter!(u32, u64, usize);
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (ambient) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count; `0` keeps the ambient default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in this implementation; the `Result`
+    /// mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// Error type mirroring rayon's `ThreadPoolBuildError` (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count context: parallel iterators inside
+/// [`ThreadPool::install`] use this pool's thread count.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the ambient default.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(Some(self.threads)));
+        let out = f();
+        POOL_THREADS.with(|p| p.set(prev));
+        out
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let out: Vec<String> = vec!["a", "b", "c"]
+            .into_par_iter()
+            .map(|s| s.to_uppercase())
+            .collect();
+        assert_eq!(out, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn range_par_iter_matches_serial() {
+        let par: Vec<u32> = (0u32..100).into_par_iter().map(|i| i * i).collect();
+        let ser: Vec<u32> = (0u32..100).map(|i| i * i).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = one.install(|| {
+            let v: Vec<usize> = (0..10usize).collect();
+            v.par_iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_is_serial_not_exploding() {
+        let outer: Vec<usize> = (0..8usize).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..100usize).collect();
+                let v: Vec<usize> = inner.par_iter().map(|&j| i * j).collect();
+                v.into_iter().sum()
+            })
+            .collect();
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, i * 4950);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = items
+                .par_iter()
+                .map(|&x| {
+                    if x == 13 {
+                        panic!("boom");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+}

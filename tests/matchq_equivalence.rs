@@ -1,0 +1,131 @@
+//! Property check: the tag-bucketed match queue ([`TagQueue`]) picks the
+//! same entry as the original flat linear scan, on random post/arrive
+//! interleavings including `MPI_ANY_SOURCE` (`src = None`) wildcards.
+//!
+//! The engine's old matcher kept one `VecDeque` per rank and searched it
+//! with `position(|e| e.tag == tag && <source filter>)`. The reference
+//! model here reproduces that scan verbatim over a flat `Vec`; the
+//! property drives both structures through the same operation sequence
+//! and demands identical matches (by entry identity), identical misses,
+//! and identical final queue contents.
+
+use dram_ce_sim::engine::TagQueue;
+use dram_ce_sim::goal::Tag;
+use proptest::prelude::*;
+
+/// The original flat-queue scan: first entry of `tag` passing `pred`,
+/// FIFO over the whole queue.
+fn linear_take<E>(q: &mut Vec<(Tag, E)>, tag: Tag, pred: impl Fn(&E) -> bool) -> Option<E> {
+    let idx = q.iter().position(|(t, e)| *t == tag && pred(e))?;
+    Some(q.remove(idx).1)
+}
+
+/// Drain both structures tag-by-tag and compare the remaining FIFO order.
+fn assert_same_drain<E: PartialEq + std::fmt::Debug>(
+    bucketed: &mut TagQueue<E>,
+    flat: &mut Vec<(Tag, E)>,
+    tags: u32,
+) {
+    assert_eq!(bucketed.len(), flat.len());
+    for t in 0..tags {
+        loop {
+            let a = bucketed.take_first(Tag(t), |_| true);
+            let b = linear_take(flat, Tag(t), |_| true);
+            assert_eq!(a, b, "drain order diverged at tag {t}");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+    assert!(bucketed.is_empty() && flat.is_empty());
+}
+
+/// One step against the posted-receive queue: receives (with optional
+/// `ANY_SOURCE` wildcard) are posted; arrivals (concrete source) probe.
+#[derive(Clone, Debug)]
+enum PostedOp {
+    Post { tag: u32, src: Option<u32> },
+    Arrive { tag: u32, src: u32 },
+}
+
+fn posted_op() -> impl Strategy<Value = PostedOp> {
+    prop_oneof![
+        (0u32..4, prop_oneof![Just(None), (0u32..3).prop_map(Some),])
+            .prop_map(|(tag, src)| PostedOp::Post { tag, src }),
+        (0u32..4, 0u32..3).prop_map(|(tag, src)| PostedOp::Arrive { tag, src }),
+    ]
+}
+
+/// One step against the unexpected-message queue: arrivals (concrete
+/// source) are queued; receives (optional wildcard) probe.
+#[derive(Clone, Debug)]
+enum UnexOp {
+    Queue { tag: u32, src: u32 },
+    Recv { tag: u32, srcf: Option<u32> },
+}
+
+fn unex_op() -> impl Strategy<Value = UnexOp> {
+    prop_oneof![
+        (0u32..4, 0u32..3).prop_map(|(tag, src)| UnexOp::Queue { tag, src }),
+        (0u32..4, prop_oneof![Just(None), (0u32..3).prop_map(Some),])
+            .prop_map(|(tag, srcf)| UnexOp::Recv { tag, srcf }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn posted_queue_matches_linear_scan(
+        ops in proptest::collection::vec(posted_op(), 0..64usize),
+    ) {
+        // Entry = (source filter, unique id); the id is the identity the
+        // two structures must agree on.
+        let mut bucketed: TagQueue<(Option<u32>, usize)> = TagQueue::new();
+        let mut flat: Vec<(Tag, (Option<u32>, usize))> = Vec::new();
+        for (id, op) in ops.iter().enumerate() {
+            match *op {
+                PostedOp::Post { tag, src } => {
+                    bucketed.push(Tag(tag), (src, id));
+                    flat.push((Tag(tag), (src, id)));
+                }
+                PostedOp::Arrive { tag, src } => {
+                    let a = bucketed
+                        .take_first(Tag(tag), |&(f, _)| f.is_none() || f == Some(src));
+                    let b = linear_take(&mut flat, Tag(tag), |&(f, _)| {
+                        f.is_none() || f == Some(src)
+                    });
+                    prop_assert_eq!(a, b, "arrival (src {}, tag {}) matched differently", src, tag);
+                }
+            }
+            prop_assert_eq!(bucketed.len(), flat.len());
+        }
+        assert_same_drain(&mut bucketed, &mut flat, 4);
+    }
+
+    #[test]
+    fn unexpected_queue_matches_linear_scan(
+        ops in proptest::collection::vec(unex_op(), 0..64usize),
+    ) {
+        let mut bucketed: TagQueue<(u32, usize)> = TagQueue::new();
+        let mut flat: Vec<(Tag, (u32, usize))> = Vec::new();
+        for (id, op) in ops.iter().enumerate() {
+            match *op {
+                UnexOp::Queue { tag, src } => {
+                    bucketed.push(Tag(tag), (src, id));
+                    flat.push((Tag(tag), (src, id)));
+                }
+                UnexOp::Recv { tag, srcf } => {
+                    let a = bucketed
+                        .take_first(Tag(tag), |&(s, _)| srcf.is_none() || srcf == Some(s));
+                    let b = linear_take(&mut flat, Tag(tag), |&(s, _)| {
+                        srcf.is_none() || srcf == Some(s)
+                    });
+                    prop_assert_eq!(a, b, "recv (srcf {:?}, tag {}) matched differently", srcf, tag);
+                }
+            }
+            prop_assert_eq!(bucketed.len(), flat.len());
+        }
+        assert_same_drain(&mut bucketed, &mut flat, 4);
+    }
+}
