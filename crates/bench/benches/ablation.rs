@@ -39,7 +39,7 @@ fn slowdown_with(algo: AllreduceAlgo, params: &LogGopsParams) -> f64 {
             seed,
         );
         let pert = simulate(&sched, params, &mut noise).unwrap();
-        total += pert.slowdown_pct(base.finish);
+        total += pert.slowdown_pct(base.finish).expect("positive baseline");
     }
     total / reps as f64
 }
@@ -93,11 +93,13 @@ fn bench_ablation(c: &mut Criterion) {
             let mut bn = BurstyCeNoise::new(64, spec, detour, seed);
             bursty_total += simulate(&sched, &params, &mut bn)
                 .unwrap()
-                .slowdown_pct(base.finish);
+                .slowdown_pct(base.finish)
+                .expect("positive baseline");
             let mut sn = CeNoise::new(64, spec.equivalent_mtbce(), detour, Scope::AllRanks, seed);
             smooth_total += simulate(&sched, &params, &mut sn)
                 .unwrap()
-                .slowdown_pct(base.finish);
+                .slowdown_pct(base.finish)
+                .expect("positive baseline");
         }
         println!(
             "  equivalent MTBCE {}: memoryless {:.1}%, bursty {:.1}%",
@@ -143,7 +145,7 @@ fn bench_ablation(c: &mut Criterion) {
             println!(
                 "  {name:<16} baseline {}  CE slowdown {:.2}%",
                 base.finish,
-                pert.slowdown_pct(base.finish)
+                pert.slowdown_pct(base.finish).expect("positive baseline")
             );
         }
     }

@@ -1,0 +1,104 @@
+//! Observability overhead bench.
+//!
+//! The `Recorder` hooks in the engine are gated on `R::ENABLED`, a
+//! monomorphization-time constant, so the default `NullRecorder` path
+//! must compile to the pre-instrumentation engine. This bench verifies
+//! the claim empirically on the sweep fixture (LULESH at the regen
+//! scale): the explicit `NullRecorder` run must stay within 2% of
+//! `simulate()`, measured as interleaved min-of-N to shed scheduler
+//! noise. The active `TimelineRecorder` cost is printed alongside for
+//! the logs (it is allowed to cost — it records everything).
+
+use cesim_bench::regen_scale;
+use cesim_core::engine::{simulate, NoNoise, NullRecorder, Simulator};
+use cesim_core::model::LogGopsParams;
+use cesim_core::obs::TimelineRecorder;
+use cesim_core::workloads::{self, AppId, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench_obs(c: &mut Criterion) {
+    let scale = regen_scale();
+    let wl = WorkloadConfig {
+        steps_scale: scale.steps_scale,
+        ..WorkloadConfig::default()
+    };
+    let ranks = workloads::natural_ranks(AppId::Lulesh, scale.nodes);
+    let sched = workloads::build(AppId::Lulesh, ranks, &wl);
+    let params = LogGopsParams::xc40();
+
+    // Interleaved min-of-N: the minimum is the least noise-contaminated
+    // observation of each path.
+    let rounds = 20;
+    let mut t_plain = f64::INFINITY;
+    let mut t_null = f64::INFINITY;
+    let mut t_timeline = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        black_box(simulate(&sched, &params, &mut NoNoise).unwrap());
+        t_plain = t_plain.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        black_box(
+            Simulator::new(&sched, params)
+                .with_recorder(NullRecorder)
+                .run(&mut NoNoise)
+                .unwrap(),
+        );
+        t_null = t_null.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let mut rec = TimelineRecorder::with_capacity(1 << 22);
+        black_box(
+            Simulator::new(&sched, params)
+                .with_recorder(&mut rec)
+                .run(&mut NoNoise)
+                .unwrap(),
+        );
+        t_timeline = t_timeline.min(t0.elapsed().as_secs_f64());
+    }
+    let null_overhead = t_null / t_plain - 1.0;
+    println!(
+        "\n=== obs overhead (LULESH {} ranks, min of {rounds}): plain {:.3}ms, \
+         NullRecorder {:.3}ms ({:+.2}%), TimelineRecorder {:.3}ms ({:+.2}%) ===",
+        ranks,
+        t_plain * 1e3,
+        t_null * 1e3,
+        null_overhead * 100.0,
+        t_timeline * 1e3,
+        (t_timeline / t_plain - 1.0) * 100.0,
+    );
+    assert!(
+        null_overhead < 0.02,
+        "NullRecorder must be free: measured {:+.2}% vs the default path",
+        null_overhead * 100.0
+    );
+
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    g.bench_function("simulate_plain", |b| {
+        b.iter(|| simulate(black_box(&sched), &params, &mut NoNoise).unwrap())
+    });
+    g.bench_function("simulate_null_recorder", |b| {
+        b.iter(|| {
+            Simulator::new(black_box(&sched), params)
+                .with_recorder(NullRecorder)
+                .run(&mut NoNoise)
+                .unwrap()
+        })
+    });
+    g.bench_function("simulate_timeline_recorder", |b| {
+        b.iter(|| {
+            let mut rec = TimelineRecorder::with_capacity(1 << 22);
+            Simulator::new(black_box(&sched), params)
+                .with_recorder(&mut rec)
+                .run(&mut NoNoise)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -12,6 +12,9 @@ pub struct Args {
     pub options: HashMap<String, String>,
     /// Bare `--flag` switches.
     pub flags: Vec<String>,
+    /// Non-flag arguments after the subcommand (e.g. a trace file path).
+    /// Commands that take none reject them at dispatch time.
+    pub positionals: Vec<String>,
 }
 
 /// Options that take a value; everything else starting with `--` is a flag.
@@ -33,6 +36,9 @@ const VALUED: &[&str] = &[
     "load",
     "extrapolate",
     "threads",
+    "trace-out",
+    "metrics-interval",
+    "metrics-out",
 ];
 
 impl Args {
@@ -53,7 +59,7 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(a);
             } else {
-                return Err(format!("unexpected argument '{a}'"));
+                out.positionals.push(a);
             }
         }
         Ok(out)
@@ -116,7 +122,10 @@ mod tests {
     }
 
     #[test]
-    fn extra_positional_is_error() {
-        assert!(parse("fig3 bogus").is_err());
+    fn extra_positionals_are_collected() {
+        let a = parse("trace in.trc --trace-out t.json").unwrap();
+        assert_eq!(a.command.as_deref(), Some("trace"));
+        assert_eq!(a.positionals, vec!["in.trc".to_string()]);
+        assert_eq!(a.get("trace-out"), Some("t.json"));
     }
 }

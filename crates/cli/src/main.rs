@@ -35,7 +35,9 @@ COMMANDS
   fig7              Per-event duration sweep at MTBCE 720s / 0.2s (Fig. 7)
   run               One custom experiment (see options below)
   goal              Dump a workload's expanded schedule in GOAL text form
-  trace             Generate / extrapolate / simulate MPI traces
+  trace             Generate / extrapolate / simulate MPI traces; export
+                    Chrome traces and interval metrics (see TRACE OPTIONS)
+  trace-check FILE  Validate a Chrome trace written by trace --trace-out
   ablate            Compare CE sensitivity under both allreduce expansions
   skeletons         Print the calibrated workload-skeleton parameters
   list              List workloads and logging modes
@@ -58,6 +60,21 @@ SCALE OPTIONS (fig3..fig7)
   --csv FILE        Also write the figure's cells as CSV
   --chart           Render as log-scale ASCII bar charts
   --quiet           No per-cell progress on stderr
+  --progress        Sweep progress on stderr: cells completed / total and
+                    an ETA extrapolated from completed-cell wall time
+  --observe         Record replica 0 of every cell and append critical-path
+                    columns (cp_*_s) to --csv output; results unchanged
+
+TRACE OPTIONS (cesim trace [FILE])
+  --generate FILE   Write a synthetic PMPI-style trace and exit
+  --extrapolate K   Extrapolate the loaded trace k-fold before simulating
+  --mode M          hw | sw | fw | <microseconds> [default fw]
+  --mtbce DURATION  Per-node mean time between CEs [default 10]
+  --trace-out FILE  Record the perturbed run and write a Chrome trace_event
+                    JSON (load in Perfetto / chrome://tracing)
+  --metrics-interval DT
+                    Emit per-rank interval metrics CSV sampled every DT
+                    (e.g. 1ms) to stdout, or to --metrics-out FILE
 
 RUN OPTIONS (cesim run)
   --app NAME        Workload [default LULESH]
@@ -92,6 +109,12 @@ fn main() -> ExitCode {
 }
 
 fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
+    // Only the trace tools take positional arguments (a trace file path).
+    if !matches!(cmd, "trace" | "trace-check") {
+        if let Some(p) = args.positionals.first() {
+            return Err(format!("unexpected argument '{p}'"));
+        }
+    }
     match cmd {
         "help" | "-h" | "--help" => {
             print!("{HELP}");
@@ -117,6 +140,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
         "run" => cmd_run(args),
         "goal" => cmd_goal(args),
         "trace" => cmd_trace(args),
+        "trace-check" => cmd_trace_check(args),
         "ablate" => cmd_ablate(args),
         other => Err(format!("unknown command '{other}' (try 'cesim help')")),
     }
@@ -172,6 +196,8 @@ fn scale_config(args: &Args) -> Result<ScaleConfig, String> {
         cfg.preserve_machine_rate = false;
     }
     cfg.progress = !args.has_flag("quiet");
+    cfg.progress_eta = args.has_flag("progress");
+    cfg.observe = args.has_flag("observe");
     if let Some(list) = args.get("apps") {
         let mut apps = Vec::new();
         for name in list.split(',') {
@@ -335,13 +361,18 @@ fn cmd_goal(args: &Args) -> Result<(), String> {
 
 /// The trace tool-chain: generate a synthetic PMPI-style trace, or load
 /// one, optionally extrapolate it k-fold, convert it to a schedule and
-/// simulate it under CE noise.
+/// simulate it under CE noise — optionally recording the perturbed run
+/// into a Chrome trace, interval metrics CSV, and a critical-path
+/// attribution summary.
 ///
 /// `cesim trace --generate out.trc [--nodes N --steps S]`
-/// `cesim trace --load in.trc [--extrapolate K] [--mode fw --mtbce S]`
+/// `cesim trace IN.trc [--extrapolate K] [--mode fw --mtbce S]`
+/// `cesim trace IN.trc --trace-out t.json --metrics-interval 1ms`
 fn cmd_trace(args: &Args) -> Result<(), String> {
+    use cesim_core::engine::Simulator;
     use cesim_core::goal::collectives::CollectiveCosts;
     use cesim_core::noise::{CeNoise, Scope};
+    use cesim_core::obs::TimelineRecorder;
     use cesim_trace as tr;
 
     if let Some(path) = args.get("generate") {
@@ -360,8 +391,12 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         );
         return Ok(());
     }
-    let Some(path) = args.get("load") else {
-        return Err("trace needs --generate FILE or --load FILE".into());
+    // The input trace is the positional argument; --load remains as an
+    // alias for older invocations.
+    let path = match (args.positionals.first(), args.get("load")) {
+        (Some(p), _) => p.as_str(),
+        (None, Some(p)) => p,
+        (None, None) => return Err("trace needs --generate FILE or an input FILE".into()),
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let mut set = tr::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -389,12 +424,74 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         Scope::AllRanks,
         args.get_parsed("seed", 0xCE11u64)?,
     );
-    let pert = simulate(&sched, &params, &mut noise).map_err(|e| e.to_string())?;
+    let trace_out = args.get("trace-out");
+    let metrics_interval = args.get("metrics-interval");
+    let observe = trace_out.is_some() || metrics_interval.is_some();
+    let pert = if observe {
+        let cap = (sched.total_ops().saturating_mul(12)).clamp(1 << 10, 1 << 22);
+        let mut rec = TimelineRecorder::with_capacity(cap);
+        let r = Simulator::new(&sched, params)
+            .with_recorder(&mut rec)
+            .run(&mut noise)
+            .map_err(|e| e.to_string())?;
+        let events = rec.events();
+        if let Some(out) = trace_out {
+            let json = cesim_core::obs::export_chrome_trace(&events, rec.dropped());
+            std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!(
+                "wrote {out}: {} events recorded, {} dropped",
+                rec.total(),
+                rec.dropped()
+            );
+        }
+        if let Some(dt) = metrics_interval {
+            let dt = cesim_core::model::parse_span(dt)?;
+            let csv = cesim_core::obs::interval_metrics_csv(&events, dt);
+            match args.get("metrics-out") {
+                Some(out) => {
+                    std::fs::write(out, csv).map_err(|e| format!("writing {out}: {e}"))?;
+                    eprintln!("wrote {out}");
+                }
+                None => print!("{csv}"),
+            }
+        }
+        let attr = cesim_core::obs::critical::attribute(&events);
+        eprintln!(
+            "critical path: {} total = {} compute + {} comm-cpu + {} network + {} detour + {} blocked{}",
+            attr.finish,
+            attr.compute,
+            attr.comm_cpu,
+            attr.network,
+            attr.detour,
+            attr.blocked,
+            if attr.truncated { " (truncated)" } else { "" }
+        );
+        r
+    } else {
+        simulate(&sched, &params, &mut noise).map_err(|e| e.to_string())?
+    };
     println!(
         "with CEs ({mode}, MTBCE {mtbce}): {} -> {:.2}% slowdown ({} detours)",
         pert.finish,
-        pert.slowdown_pct(base.finish),
+        pert.slowdown_pct(base.finish).expect("positive baseline"),
         pert.noise_events
+    );
+    Ok(())
+}
+
+/// Validate a Chrome trace file written by `trace --trace-out`: parse
+/// the JSON and check the `trace_event` shape plus per-track timestamp
+/// monotonicity.
+fn cmd_trace_check(args: &Args) -> Result<(), String> {
+    let Some(path) = args.positionals.first() else {
+        return Err("trace-check needs a trace file argument".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let stats =
+        cesim_core::obs::validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: ok ({} events: {} slices, {} counters, {} tracks)",
+        stats.events, stats.slices, stats.counters, stats.tracks
     );
     Ok(())
 }

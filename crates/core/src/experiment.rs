@@ -14,10 +14,12 @@
 //! `slowdown = None`.
 
 use crate::seed::rep_seed;
-use cesim_engine::{simulate, NoNoise, SimError};
+use cesim_engine::{simulate, NoNoise, SimError, Simulator};
 use cesim_goal::Schedule;
 use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
 use cesim_noise::{CeNoise, Scope};
+use cesim_obs::critical::Attribution;
+use cesim_obs::TimelineRecorder;
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
 use rayon::prelude::*;
 
@@ -114,6 +116,18 @@ impl Experiment {
     }
 }
 
+/// Per-cell observability summary, recorded on the first replica when
+/// tracing is enabled (see [`run_against_baseline_observed`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellObs {
+    /// Critical-path makespan attribution of replica 0.
+    pub attr: Attribution,
+    /// Events retained by the ring buffer.
+    pub events: u64,
+    /// Events dropped by the ring buffer (0 = complete timeline).
+    pub dropped: u64,
+}
+
 /// One perturbed replica's result.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunStats {
@@ -136,6 +150,10 @@ pub struct Outcome {
     pub runs: Vec<RunStats>,
     /// True when the configuration was treated as "no forward progress".
     pub diverged: bool,
+    /// Observability summary from replica 0; `None` unless the
+    /// experiment ran through [`run_against_baseline_observed`] with
+    /// observation enabled.
+    pub obs: Option<CellObs>,
 }
 
 impl Outcome {
@@ -217,12 +235,32 @@ pub fn run_on_schedule(
     run_against_baseline(exp, ranks, sched, base.finish)
 }
 
-/// Innermost variant: baseline already known.
+/// Innermost variant: baseline already known, no observability.
 pub fn run_against_baseline(
     exp: &Experiment,
     ranks: usize,
     sched: &Schedule,
     baseline: Time,
+) -> Result<Outcome, SimError> {
+    run_against_baseline_observed(exp, ranks, sched, baseline, false)
+}
+
+/// Like [`run_against_baseline`], optionally recording replica 0 with a
+/// bounded [`TimelineRecorder`] and attaching a critical-path summary
+/// ([`CellObs`]) to the outcome.
+///
+/// **Determinism contract.** The recorder never alters simulation state
+/// (the engine's instrumentation only observes), each replica still
+/// derives its RNG stream from stable coordinates, and the recorder is
+/// private to replica 0's job — so outcomes (and any CSV rendered from
+/// them) are byte-identical for every thread count, with or without
+/// observation.
+pub fn run_against_baseline_observed(
+    exp: &Experiment,
+    ranks: usize,
+    sched: &Schedule,
+    baseline: Time,
+    observe: bool,
 ) -> Result<Outcome, SimError> {
     let baseline_span = baseline.since(Time::ZERO);
     if exp.diverges() {
@@ -232,30 +270,62 @@ pub fn run_against_baseline(
             baseline: baseline_span,
             runs: Vec::new(),
             diverged: true,
+            obs: None,
         });
     }
     let detour = exp.mode.per_event_cost();
     // Each replica is a self-contained job — its own noise model, seeded
     // from stable coordinates — so the replicas parallelize freely and
     // results are reassembled in replica order (identical to serial).
-    let results: Vec<Result<RunStats, SimError>> = (0..exp.reps)
+    let results: Vec<Result<(RunStats, Option<CellObs>), SimError>> = (0..exp.reps)
         .into_par_iter()
         .map(|rep| {
             let mut noise =
                 CeNoise::new(ranks, exp.mtbce, detour, exp.scope, rep_seed(exp.seed, rep));
-            simulate(sched, &exp.params, &mut noise).map(|r| RunStats {
-                finish: r.finish.since(Time::ZERO),
-                ce_events: r.noise_events,
-            })
+            if observe && rep == 0 {
+                // Size the ring for the full event stream of typical
+                // schedules (~a dozen events per op), bounded above so a
+                // huge sweep cell cannot exhaust memory.
+                let cap = (sched.total_ops().saturating_mul(12)).clamp(1 << 10, 1 << 22);
+                let mut rec = TimelineRecorder::with_capacity(cap);
+                let r = Simulator::new(sched, exp.params)
+                    .with_recorder(&mut rec)
+                    .run(&mut noise)?;
+                let attr = cesim_obs::critical::attribute(&rec.events());
+                Ok((
+                    RunStats {
+                        finish: r.finish.since(Time::ZERO),
+                        ce_events: r.noise_events,
+                    },
+                    Some(CellObs {
+                        attr,
+                        events: rec.len() as u64,
+                        dropped: rec.dropped(),
+                    }),
+                ))
+            } else {
+                simulate(sched, &exp.params, &mut noise).map(|r| {
+                    (
+                        RunStats {
+                            finish: r.finish.since(Time::ZERO),
+                            ce_events: r.noise_events,
+                        },
+                        None,
+                    )
+                })
+            }
         })
         .collect();
-    let runs: Vec<RunStats> = results.into_iter().collect::<Result<_, _>>()?;
+    let pairs: Vec<(RunStats, Option<CellObs>)> = results.into_iter().collect::<Result<_, _>>()?;
+    let obs = pairs.iter().find_map(|(_, o)| *o);
+    let runs: Vec<RunStats> = pairs.into_iter().map(|(r, _)| r).collect();
     Ok(Outcome {
         app: exp.app,
         ranks,
         baseline: baseline_span,
         runs,
         diverged: false,
+        obs,
     })
 }
 
@@ -353,6 +423,32 @@ mod tests {
         // One replica: no interval.
         let one = Experiment::new(AppId::Milc, 4).reps(1).steps(2);
         assert_eq!(run(&one).unwrap().slowdown_ci95_pct(), None);
+    }
+
+    #[test]
+    fn observed_run_attaches_summary_without_changing_results() {
+        let exp = Experiment::new(AppId::Lulesh, 8)
+            .mode(LoggingMode::Firmware)
+            .mtbce(Span::from_secs(1))
+            .reps(2)
+            .steps(4);
+        let ranks = natural_ranks(exp.app, exp.nodes);
+        let sched = cesim_workloads::build(exp.app, ranks, &exp.workload);
+        let base = simulate(&sched, &exp.params, &mut NoNoise).unwrap();
+        let plain = run_against_baseline(&exp, ranks, &sched, base.finish).unwrap();
+        let observed =
+            run_against_baseline_observed(&exp, ranks, &sched, base.finish, true).unwrap();
+        // Observation is a pure add-on: replica results are identical.
+        assert_eq!(plain.runs, observed.runs);
+        assert!(plain.obs.is_none());
+        let obs = observed.obs.expect("replica 0 was recorded");
+        assert!(obs.events > 0);
+        assert_eq!(obs.dropped, 0, "small schedule must fit the ring");
+        // The attribution covers replica 0's makespan exactly.
+        assert_eq!(obs.attr.total(), obs.attr.finish);
+        assert_eq!(obs.attr.finish, observed.runs[0].finish);
+        assert!(!obs.attr.truncated);
+        assert!(obs.attr.compute > Span::ZERO);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   Fig. 3's single-process study needs no scaling.
 //! * `steps_scale`, `reps`, `seed` — statistical effort.
 
-use crate::experiment::{run_against_baseline, Experiment};
+use crate::experiment::{run_against_baseline_observed, CellObs, Experiment};
 use crate::seed::point_seed;
 use cesim_engine::{simulate, NoNoise};
 use cesim_goal::Rank;
@@ -45,6 +45,12 @@ pub struct ScaleConfig {
     pub apps: Vec<AppId>,
     /// Print per-cell progress to stderr.
     pub progress: bool,
+    /// Print sweep-level progress (cells completed / total, plus an ETA
+    /// extrapolated from completed-cell wall time) to stderr.
+    pub progress_eta: bool,
+    /// Record replica 0 of every cell and attach a critical-path summary
+    /// ([`CellObs`]) to the cell. Never alters results or determinism.
+    pub observe: bool,
     /// Worker threads for the sweep: `0` uses every core (or
     /// `RAYON_NUM_THREADS`), `1` runs serially. Results are identical for
     /// every value — cells are seeded by position, not execution order.
@@ -61,6 +67,8 @@ impl Default for ScaleConfig {
             seed: 0xF16,
             apps: AppId::all().to_vec(),
             progress: false,
+            progress_eta: false,
+            observe: false,
             threads: 0,
         }
     }
@@ -150,6 +158,9 @@ pub struct Cell {
     pub ce_events: f64,
     /// Ranks simulated.
     pub ranks: usize,
+    /// Critical-path summary of replica 0, when the sweep ran with
+    /// [`ScaleConfig::observe`] enabled.
+    pub obs: Option<CellObs>,
 }
 
 /// All cells of one regenerated figure.
@@ -254,6 +265,9 @@ fn run_figure(
         let jobs: Vec<(usize, usize)> = (0..cfg.apps.len())
             .flat_map(|ai| (0..specs.len()).map(move |si| (ai, si)))
             .collect();
+        let total_jobs = jobs.len();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let sweep_start = std::time::Instant::now();
         jobs.par_iter()
             .map(|&(ai, si)| {
                 let app = cfg.apps[ai];
@@ -270,8 +284,9 @@ fn run_figure(
                     params: cesim_model::LogGopsParams::xc40(),
                     workload: cfg.workload_cfg(ai as u64),
                 };
-                let out = run_against_baseline(&exp, *ranks, sched, *baseline)
-                    .expect("workload schedules are deadlock-free");
+                let out =
+                    run_against_baseline_observed(&exp, *ranks, sched, *baseline, cfg.observe)
+                        .expect("workload schedules are deadlock-free");
                 if cfg.progress {
                     eprintln!(
                         "[{id}] {app} {} {}: {}",
@@ -280,6 +295,14 @@ fn run_figure(
                         out.mean_slowdown_pct()
                             .map(|s| format!("{s:.2}%"))
                             .unwrap_or_else(|| "no-progress".into())
+                    );
+                }
+                if cfg.progress_eta {
+                    let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    let elapsed = sweep_start.elapsed().as_secs_f64();
+                    let eta = elapsed / d as f64 * (total_jobs - d) as f64;
+                    eprintln!(
+                        "[{id}] {d}/{total_jobs} cells ({elapsed:.1}s elapsed, ETA {eta:.1}s)"
                     );
                 }
                 Cell {
@@ -292,6 +315,7 @@ fn run_figure(
                     baseline_secs: out.baseline.as_secs_f64(),
                     ce_events: out.mean_ce_events(),
                     ranks: *ranks,
+                    obs: out.obs,
                 }
             })
             .collect()

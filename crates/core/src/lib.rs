@@ -57,5 +57,8 @@ pub use cesim_noise as noise;
 /// Re-export: the nine workload skeletons.
 pub use cesim_workloads as workloads;
 
-pub use experiment::{Experiment, Outcome};
+/// Re-export: tracing, metrics, and Chrome-trace export.
+pub use cesim_obs as obs;
+
+pub use experiment::{CellObs, Experiment, Outcome};
 pub use figures::{FigureData, ScaleConfig};

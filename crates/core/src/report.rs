@@ -158,14 +158,25 @@ pub fn render_chart(fig: &FigureData) -> String {
 }
 
 /// Render a figure as CSV (one row per cell, full detail).
+///
+/// When the sweep ran with observation enabled (any cell carries a
+/// [`crate::experiment::CellObs`]), five critical-path columns are
+/// appended — `cp_compute_s,cp_comm_s,cp_network_s,cp_detour_s,
+/// cp_blocked_s` — reporting replica 0's makespan decomposition in
+/// seconds. Without observation the output is byte-identical to
+/// earlier versions.
 pub fn figure_csv(fig: &FigureData) -> String {
+    let observed = fig.cells.iter().any(|c| c.obs.is_some());
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "figure,app,group,mode,mtbce_s,ranks,baseline_s,slowdown_pct,stddev_pct,ce_events"
+    out.push_str(
+        "figure,app,group,mode,mtbce_s,ranks,baseline_s,slowdown_pct,stddev_pct,ce_events",
     );
+    if observed {
+        out.push_str(",cp_compute_s,cp_comm_s,cp_network_s,cp_detour_s,cp_blocked_s");
+    }
+    out.push('\n');
     for c in &fig.cells {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{},{},{:?},{},{},{},{},{},{},{}",
             fig.id,
@@ -179,6 +190,23 @@ pub fn figure_csv(fig: &FigureData) -> String {
             c.stddev_pct.map(|v| v.to_string()).unwrap_or_default(),
             c.ce_events
         );
+        if observed {
+            match &c.obs {
+                Some(o) => {
+                    let _ = write!(
+                        out,
+                        ",{},{},{},{},{}",
+                        o.attr.compute.as_secs_f64(),
+                        o.attr.comm_cpu.as_secs_f64(),
+                        o.attr.network.as_secs_f64(),
+                        o.attr.detour.as_secs_f64(),
+                        o.attr.blocked.as_secs_f64()
+                    );
+                }
+                None => out.push_str(",,,,,"),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -205,6 +233,7 @@ mod tests {
                     baseline_secs: 2.0,
                     ce_events: 10.0,
                     ranks: 16,
+                    obs: None,
                 },
                 Cell {
                     app: AppId::Hpcg,
@@ -216,6 +245,7 @@ mod tests {
                     baseline_secs: 2.0,
                     ce_events: 0.0,
                     ranks: 16,
+                    obs: None,
                 },
                 Cell {
                     app: AppId::Lulesh,
@@ -227,6 +257,7 @@ mod tests {
                     baseline_secs: 2.0,
                     ce_events: 99.0,
                     ranks: 16,
+                    obs: None,
                 },
             ],
         }
@@ -283,5 +314,37 @@ mod tests {
         assert!(csv.lines().nth(1).unwrap().contains("LULESH"));
         // Diverged cells leave the slowdown field empty.
         assert!(csv.lines().nth(2).unwrap().contains(",,"));
+    }
+
+    #[test]
+    fn csv_obs_columns_appear_only_when_observed() {
+        use crate::experiment::CellObs;
+        use cesim_obs::critical::Attribution;
+        let mut fig = sample_fig();
+        // Unobserved sweeps keep the legacy header byte-for-byte.
+        let plain = figure_csv(&fig);
+        assert!(plain.lines().next().unwrap().ends_with("ce_events"));
+        fig.cells[0].obs = Some(CellObs {
+            attr: Attribution {
+                finish: Span::from_secs(2),
+                compute: Span::from_secs(1),
+                comm_cpu: Span::from_ms(500),
+                network: Span::from_ms(300),
+                detour: Span::from_ms(150),
+                blocked: Span::from_ms(50),
+                truncated: false,
+            },
+            events: 42,
+            dropped: 0,
+        });
+        let csv = figure_csv(&fig);
+        assert!(csv.lines().next().unwrap().ends_with("cp_blocked_s"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with(",1,0.5,0.3,0.15,0.05"));
+        // Cells without a summary get empty critical-path fields.
+        assert!(csv.lines().nth(2).unwrap().ends_with(",,,,,"));
     }
 }

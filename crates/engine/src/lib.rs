@@ -32,12 +32,14 @@
 pub mod matchq;
 pub mod noise;
 pub mod queue;
+pub mod record;
 pub mod result;
 pub mod sim;
 pub mod topology;
 
 pub use matchq::TagQueue;
 pub use noise::{NoNoise, NoiseModel};
+pub use record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent, VecRecorder};
 pub use result::{SimError, SimResult};
 pub use sim::{simulate, Simulator};
 pub use topology::{Dragonfly, FatTree, FlatCrossbar, Topology, Torus3D};

@@ -44,10 +44,13 @@ impl SimResult {
     }
 
     /// Slowdown of this run relative to a baseline completion time, as a
-    /// percentage (`0.0` = identical, `100.0` = twice as slow).
-    pub fn slowdown_pct(&self, baseline: Time) -> f64 {
-        assert!(baseline > Time::ZERO, "baseline must be positive");
-        (self.finish.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0
+    /// percentage (`0.0` = identical, `100.0` = twice as slow). Returns
+    /// `None` for a non-positive baseline, where the ratio is undefined.
+    pub fn slowdown_pct(&self, baseline: Time) -> Option<f64> {
+        if baseline <= Time::ZERO {
+            return None;
+        }
+        Some((self.finish.as_secs_f64() / baseline.as_secs_f64() - 1.0) * 100.0)
     }
 
     /// Spread between the last and first rank to finish.
@@ -66,11 +69,11 @@ impl SimResult {
     }
 
     /// Time a rank spent neither computing nor in detours (blocked on
-    /// messages or done early).
-    pub fn blocked_time(&self, rank: usize) -> Span {
-        self.per_rank_finish[rank]
-            .since(Time::ZERO)
-            .saturating_sub(self.per_rank_busy[rank])
+    /// messages or done early). Returns `None` for an out-of-range rank.
+    pub fn blocked_time(&self, rank: usize) -> Option<Span> {
+        let finish = self.per_rank_finish.get(rank)?;
+        let busy = self.per_rank_busy.get(rank)?;
+        Some(finish.since(Time::ZERO).saturating_sub(*busy))
     }
 
     /// Noise amplification: wall-clock time added per second of CPU time
@@ -170,8 +173,10 @@ mod tests {
     #[test]
     fn slowdown_math() {
         let r = result();
-        assert!((r.slowdown_pct(Time::from_ps(1_000)) - 100.0).abs() < 1e-9);
-        assert!((r.slowdown_pct(Time::from_ps(2_000))).abs() < 1e-9);
+        assert!((r.slowdown_pct(Time::from_ps(1_000)).unwrap() - 100.0).abs() < 1e-9);
+        assert!((r.slowdown_pct(Time::from_ps(2_000)).unwrap()).abs() < 1e-9);
+        // Undefined against a zero baseline, not a panic.
+        assert_eq!(r.slowdown_pct(Time::ZERO), None);
     }
 
     #[test]
@@ -185,8 +190,10 @@ mod tests {
     fn accounting_metrics() {
         let r = result();
         assert_eq!(r.total_stolen(), Span::from_ps(200));
-        assert_eq!(r.blocked_time(0), Span::from_ps(300));
-        assert_eq!(r.blocked_time(1), Span::from_ps(1_000));
+        assert_eq!(r.blocked_time(0), Some(Span::from_ps(300)));
+        assert_eq!(r.blocked_time(1), Some(Span::from_ps(1_000)));
+        // Out-of-range rank is None, not a panic.
+        assert_eq!(r.blocked_time(2), None);
         // 2000 finish vs 1800 baseline: 200 ps added; stolen/rank = 100 ps.
         let amp = r.amplification(Time::from_ps(1_800)).unwrap();
         assert!((amp - 2.0).abs() < 1e-9);

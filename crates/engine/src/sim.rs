@@ -17,6 +17,7 @@
 use crate::matchq::TagQueue;
 use crate::noise::NoiseModel;
 use crate::queue::EventQueue;
+use crate::record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent};
 use crate::result::{SimError, SimResult};
 use crate::topology::{FlatCrossbar, Topology};
 use cesim_goal::{OpKind, Rank, Schedule, Tag};
@@ -37,11 +38,27 @@ enum MsgKind {
 
 #[derive(Clone, Copy, Debug)]
 struct Msg {
+    /// Unique id tying a recorder's `MsgSend` to its `MsgDeliver`.
+    id: u64,
     src: u32,
     dst: u32,
     tag: Tag,
     bytes: u64,
+    /// The op on `src` this message serves (recorder attribution; for a
+    /// CTS this is the *receive* op answering the RTS).
+    src_op: u32,
     kind: MsgKind,
+}
+
+impl Msg {
+    fn class(&self) -> MsgClass {
+        match self.kind {
+            MsgKind::Eager => MsgClass::Eager,
+            MsgKind::Rts { .. } => MsgClass::Rts,
+            MsgKind::Cts { .. } => MsgClass::Cts,
+            MsgKind::Payload { .. } => MsgClass::Payload,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +84,11 @@ enum UnexKind {
 
 #[derive(Clone, Copy, Debug)]
 struct UnexMsg {
+    /// Message id (recorder attribution, see [`Msg::id`]).
+    id: u64,
     src: u32,
+    /// Sender-side op (recorder attribution).
+    src_op: u32,
     bytes: u64,
     arrived: Time,
     kind: UnexKind,
@@ -96,7 +117,11 @@ struct DepCsr {
 }
 
 /// A configured simulation, ready to [`run`](Simulator::run).
-pub struct Simulator<'a> {
+///
+/// Generic over a [`Recorder`]; the default [`NullRecorder`] compiles all
+/// instrumentation away (see [`crate::record`]). Attach a live recorder
+/// with [`Simulator::with_recorder`].
+pub struct Simulator<'a, R: Recorder = NullRecorder> {
     sched: &'a Schedule,
     params: LogGopsParams,
     topology: Box<dyn Topology>,
@@ -110,6 +135,8 @@ pub struct Simulator<'a> {
     max_unexpected: usize,
     max_posted: usize,
     events_processed: u64,
+    next_msg_id: u64,
+    rec: R,
 }
 
 /// Simulate `sched` under `params`, injecting noise from `noise`.
@@ -124,7 +151,8 @@ pub fn simulate<N: NoiseModel + ?Sized>(
 }
 
 impl<'a> Simulator<'a> {
-    /// Prepare a simulation of `sched` under `params`.
+    /// Prepare a simulation of `sched` under `params` (instrumentation
+    /// disabled; see [`Simulator::with_recorder`]).
     pub fn new(sched: &'a Schedule, params: LogGopsParams) -> Self {
         let nranks = sched.num_ranks();
         let mut deps = Vec::with_capacity(nranks);
@@ -181,6 +209,34 @@ impl<'a> Simulator<'a> {
             max_unexpected: 0,
             max_posted: 0,
             events_processed: 0,
+            next_msg_id: 0,
+            rec: NullRecorder,
+        }
+    }
+}
+
+impl<'a, R: Recorder> Simulator<'a, R> {
+    /// Attach a recorder, enabling instrumentation for this run.
+    ///
+    /// Pass `&mut recorder` to keep ownership and inspect the recorder
+    /// after [`run`](Simulator::run) consumes the simulator.
+    pub fn with_recorder<R2: Recorder>(self, rec: R2) -> Simulator<'a, R2> {
+        Simulator {
+            sched: self.sched,
+            params: self.params,
+            topology: self.topology,
+            deps: self.deps,
+            state: self.state,
+            queue: self.queue,
+            total_ops: self.total_ops,
+            completed: self.completed,
+            msgs_delivered: self.msgs_delivered,
+            control_msgs: self.control_msgs,
+            max_unexpected: self.max_unexpected,
+            max_posted: self.max_posted,
+            events_processed: self.events_processed,
+            next_msg_id: self.next_msg_id,
+            rec,
         }
     }
 
@@ -189,6 +245,46 @@ impl<'a> Simulator<'a> {
     pub fn with_topology(mut self, topology: Box<dyn Topology>) -> Self {
         self.topology = topology;
         self
+    }
+
+    /// Next unique message id (ties `MsgSend` to `MsgDeliver` records).
+    #[inline]
+    fn new_msg_id(&mut self) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        id
+    }
+
+    /// Record a message injection (recorder enabled only).
+    #[inline]
+    fn record_send(&mut self, msg: &Msg, inject: Time, arrive: Time) {
+        if R::ENABLED {
+            self.rec.record(SimEvent::MsgSend {
+                id: msg.id,
+                src: msg.src,
+                dst: msg.dst,
+                src_op: msg.src_op,
+                class: msg.class(),
+                bytes: msg.bytes,
+                tag: msg.tag,
+                inject,
+                arrive,
+            });
+        }
+    }
+
+    /// Record queue depths on `rank` after a match-queue mutation.
+    #[inline]
+    fn record_queues(&mut self, rank: u32, at: Time) {
+        if R::ENABLED {
+            let st = &self.state[rank as usize];
+            self.rec.record(SimEvent::QueueDepth {
+                rank,
+                at,
+                unexpected: st.unexpected.len() as u32,
+                posted: st.posted.len() as u32,
+            });
+        }
     }
 
     /// Per-hop latency surcharge for a `src → dst` message:
@@ -248,13 +344,15 @@ impl<'a> Simulator<'a> {
         })
     }
 
-    /// Occupy `rank`'s CPU with `work`, starting no earlier than `ready`,
-    /// routing the interval through the noise model and accounting busy /
-    /// useful time.
+    /// Occupy `rank`'s CPU with `work` on behalf of `op`, starting no
+    /// earlier than `ready`, routing the interval through the noise model
+    /// and accounting busy / useful time.
     fn occupy_cpu<N: NoiseModel + ?Sized>(
         &mut self,
         noise: &mut N,
         rank: u32,
+        op: u32,
+        seg: SegKind,
         ready: Time,
         work: Span,
     ) -> Time {
@@ -264,6 +362,28 @@ impl<'a> Simulator<'a> {
         st.cpu_free = end;
         st.busy += end.since(start);
         st.work += work;
+        if R::ENABLED {
+            self.rec.record(SimEvent::Exec {
+                rank,
+                op,
+                seg,
+                start,
+                end,
+                work,
+            });
+            let detour = end.since(start).saturating_sub(work);
+            if !detour.is_zero() {
+                // Tail-placement convention: the noise model reports only
+                // the stretched end, so place the detour at the segment
+                // tail (`start + work .. end`).
+                self.rec.record(SimEvent::Detour {
+                    rank,
+                    op,
+                    at: start + work,
+                    dur: detour,
+                });
+            }
+        }
         end
     }
 
@@ -271,45 +391,55 @@ impl<'a> Simulator<'a> {
         let kind = self.sched.ranks[rank as usize].ops[op as usize].kind;
         match kind {
             OpKind::Calc { dur } => {
-                let end = self.occupy_cpu(noise, rank, t, dur);
+                let end = self.occupy_cpu(noise, rank, op, SegKind::Calc, t, dur);
                 self.complete(rank, op, end);
             }
             OpKind::Send { dst, bytes, tag } => {
                 if self.params.is_rendezvous(bytes) {
                     // RTS control message; the send op stays open until the
                     // CTS returns and the payload is injected.
-                    let cpu_end = self.occupy_cpu(noise, rank, t, self.params.overhead);
+                    let cpu_end =
+                        self.occupy_cpu(noise, rank, op, SegKind::Rts, t, self.params.overhead);
                     let st = &mut self.state[rank as usize];
                     let inject = cpu_end.max(st.nic_free);
                     st.nic_free = inject + self.params.gap;
                     let arrive = inject + self.params.latency + self.wire_extra(rank, dst.0);
-                    self.queue.push(
-                        arrive,
-                        Event::Arrive(Msg {
-                            src: rank,
-                            dst: dst.0,
-                            tag,
-                            bytes,
-                            kind: MsgKind::Rts { send_op: op },
-                        }),
-                    );
+                    let msg = Msg {
+                        id: self.new_msg_id(),
+                        src: rank,
+                        dst: dst.0,
+                        tag,
+                        bytes,
+                        src_op: op,
+                        kind: MsgKind::Rts { send_op: op },
+                    };
+                    self.record_send(&msg, inject, arrive);
+                    self.queue.push(arrive, Event::Arrive(msg));
                 } else {
-                    let cpu_end = self.occupy_cpu(noise, rank, t, self.params.cpu_cost(bytes));
+                    let cpu_end = self.occupy_cpu(
+                        noise,
+                        rank,
+                        op,
+                        SegKind::SendCpu,
+                        t,
+                        self.params.cpu_cost(bytes),
+                    );
                     let st = &mut self.state[rank as usize];
                     let inject = cpu_end.max(st.nic_free);
                     st.nic_free = inject + self.params.nic_cost(bytes);
                     let arrive =
                         inject + self.params.wire_time(bytes) + self.wire_extra(rank, dst.0);
-                    self.queue.push(
-                        arrive,
-                        Event::Arrive(Msg {
-                            src: rank,
-                            dst: dst.0,
-                            tag,
-                            bytes,
-                            kind: MsgKind::Eager,
-                        }),
-                    );
+                    let msg = Msg {
+                        id: self.new_msg_id(),
+                        src: rank,
+                        dst: dst.0,
+                        tag,
+                        bytes,
+                        src_op: op,
+                        kind: MsgKind::Eager,
+                    };
+                    self.record_send(&msg, inject, arrive);
+                    self.queue.push(arrive, Event::Arrive(msg));
                     // Eager sends complete locally once buffered.
                     self.complete(rank, op, cpu_end);
                 }
@@ -317,6 +447,22 @@ impl<'a> Simulator<'a> {
             OpKind::Recv { src, tag, .. } => {
                 let srcf = src.map(|r| r.0);
                 if let Some(u) = self.take_unexpected(rank, srcf, tag) {
+                    if R::ENABLED {
+                        self.rec.record(SimEvent::MsgDeliver {
+                            id: u.id,
+                            src: u.src,
+                            dst: rank,
+                            src_op: u.src_op,
+                            dst_op: op,
+                            class: match u.kind {
+                                UnexKind::Eager => MsgClass::Eager,
+                                UnexKind::Rts { .. } => MsgClass::Rts,
+                            },
+                            bytes: u.bytes,
+                            at: t,
+                        });
+                        self.record_queues(rank, t);
+                    }
                     match u.kind {
                         UnexKind::Eager => self.finish_recv(noise, rank, op, u.arrived, u.bytes, t),
                         UnexKind::Rts { send_op } => self.send_cts(
@@ -341,6 +487,10 @@ impl<'a> Simulator<'a> {
                         },
                     );
                     self.max_posted = self.max_posted.max(st.posted.len());
+                    if R::ENABLED {
+                        self.rec.record(SimEvent::RecvPosted { rank, op, at: t });
+                        self.record_queues(rank, t);
+                    }
                 }
             }
         }
@@ -355,6 +505,19 @@ impl<'a> Simulator<'a> {
                     self.control_msgs += 1;
                 }
                 if let Some(p) = self.take_posted(msg.dst, msg.src, msg.tag) {
+                    if R::ENABLED {
+                        self.rec.record(SimEvent::MsgDeliver {
+                            id: msg.id,
+                            src: msg.src,
+                            dst: msg.dst,
+                            src_op: msg.src_op,
+                            dst_op: p.op,
+                            class: msg.class(),
+                            bytes: msg.bytes,
+                            at: t,
+                        });
+                        self.record_queues(msg.dst, t);
+                    }
                     match msg.kind {
                         MsgKind::Eager => {
                             self.finish_recv(noise, msg.dst, p.op, t, msg.bytes, p.posted_at)
@@ -374,39 +537,74 @@ impl<'a> Simulator<'a> {
                     st.unexpected.push(
                         msg.tag,
                         UnexMsg {
+                            id: msg.id,
                             src: msg.src,
+                            src_op: msg.src_op,
                             bytes: msg.bytes,
                             arrived: t,
                             kind,
                         },
                     );
                     self.max_unexpected = self.max_unexpected.max(st.unexpected.len());
+                    self.record_queues(msg.dst, t);
                 }
             }
             MsgKind::Cts { send_op, recv_op } => {
                 // Back at the original sender: inject the payload.
                 self.control_msgs += 1;
+                if R::ENABLED {
+                    self.rec.record(SimEvent::MsgDeliver {
+                        id: msg.id,
+                        src: msg.src,
+                        dst: msg.dst,
+                        src_op: msg.src_op,
+                        dst_op: send_op,
+                        class: MsgClass::Cts,
+                        bytes: msg.bytes,
+                        at: t,
+                    });
+                }
                 let sender = msg.dst;
-                let cpu_end = self.occupy_cpu(noise, sender, t, self.params.cpu_cost(msg.bytes));
+                let cpu_end = self.occupy_cpu(
+                    noise,
+                    sender,
+                    send_op,
+                    SegKind::RendPayload,
+                    t,
+                    self.params.cpu_cost(msg.bytes),
+                );
                 let st = &mut self.state[sender as usize];
                 let inject = cpu_end.max(st.nic_free);
                 st.nic_free = inject + self.params.nic_cost(msg.bytes);
                 let arrive =
                     inject + self.params.wire_time(msg.bytes) + self.wire_extra(sender, msg.src);
-                self.queue.push(
-                    arrive,
-                    Event::Arrive(Msg {
-                        src: sender,
-                        dst: msg.src,
-                        tag: msg.tag,
-                        bytes: msg.bytes,
-                        kind: MsgKind::Payload { recv_op },
-                    }),
-                );
+                let payload = Msg {
+                    id: self.new_msg_id(),
+                    src: sender,
+                    dst: msg.src,
+                    tag: msg.tag,
+                    bytes: msg.bytes,
+                    src_op: send_op,
+                    kind: MsgKind::Payload { recv_op },
+                };
+                self.record_send(&payload, inject, arrive);
+                self.queue.push(arrive, Event::Arrive(payload));
                 self.complete(sender, send_op, cpu_end);
             }
             MsgKind::Payload { recv_op } => {
                 self.msgs_delivered += 1;
+                if R::ENABLED {
+                    self.rec.record(SimEvent::MsgDeliver {
+                        id: msg.id,
+                        src: msg.src,
+                        dst: msg.dst,
+                        src_op: msg.src_op,
+                        dst_op: recv_op,
+                        class: MsgClass::Payload,
+                        bytes: msg.bytes,
+                        at: t,
+                    });
+                }
                 self.finish_recv(noise, msg.dst, recv_op, t, msg.bytes, t);
             }
         }
@@ -424,7 +622,14 @@ impl<'a> Simulator<'a> {
         posted_at: Time,
     ) {
         let ready = avail.max(posted_at);
-        let end = self.occupy_cpu(noise, rank, ready, self.params.cpu_cost(bytes));
+        let end = self.occupy_cpu(
+            noise,
+            rank,
+            op,
+            SegKind::RecvCpu,
+            ready,
+            self.params.cpu_cost(bytes),
+        );
         self.complete(rank, op, end);
     }
 
@@ -441,21 +646,29 @@ impl<'a> Simulator<'a> {
         recv_op: u32,
         t: Time,
     ) {
-        let cpu_end = self.occupy_cpu(noise, rank, t, self.params.overhead);
+        let cpu_end = self.occupy_cpu(
+            noise,
+            rank,
+            recv_op,
+            SegKind::CtsReply,
+            t,
+            self.params.overhead,
+        );
         let st = &mut self.state[rank as usize];
         let inject = cpu_end.max(st.nic_free);
         st.nic_free = inject + self.params.gap;
         let arrive = inject + self.params.latency + self.wire_extra(rank, sender);
-        self.queue.push(
-            arrive,
-            Event::Arrive(Msg {
-                src: rank,
-                dst: sender,
-                tag,
-                bytes: payload_bytes,
-                kind: MsgKind::Cts { send_op, recv_op },
-            }),
-        );
+        let msg = Msg {
+            id: self.new_msg_id(),
+            src: rank,
+            dst: sender,
+            tag,
+            bytes: payload_bytes,
+            src_op: recv_op,
+            kind: MsgKind::Cts { send_op, recv_op },
+        };
+        self.record_send(&msg, inject, arrive);
+        self.queue.push(arrive, Event::Arrive(msg));
     }
 
     /// First posted receive at `dst` matching `(src, tag)`, FIFO order.
@@ -485,6 +698,9 @@ impl<'a> Simulator<'a> {
             st.finish = st.finish.max(t);
         }
         self.completed += 1;
+        if R::ENABLED {
+            self.rec.record(SimEvent::OpDone { rank, op, at: t });
+        }
         let csr = &self.deps[r];
         let lo = csr.off[op as usize] as usize;
         let hi = csr.off[op as usize + 1] as usize;
@@ -493,6 +709,14 @@ impl<'a> Simulator<'a> {
             let indeg = &mut self.state[r].indeg[d as usize];
             *indeg -= 1;
             if *indeg == 0 {
+                if R::ENABLED {
+                    self.rec.record(SimEvent::DepEdge {
+                        rank,
+                        from: op,
+                        to: d,
+                        at: t,
+                    });
+                }
                 self.queue.push(t, Event::OpReady { rank, op: d });
             }
         }
@@ -926,7 +1150,8 @@ mod tests {
         assert_eq!(r.total_stolen(), Span::ZERO);
         assert_eq!(r.per_rank_work[0], Span::from_us(10) + p.cpu_cost(bytes));
         assert_eq!(r.per_rank_work[1], p.cpu_cost(bytes));
-        assert!(r.blocked_time(1) > Span::ZERO);
+        assert!(r.blocked_time(1).unwrap() > Span::ZERO);
+        assert_eq!(r.blocked_time(99), None);
         // With one scripted detour on rank 0: exactly that much stolen.
         let d = Span::from_ms(3);
         let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, d)]);
@@ -937,6 +1162,134 @@ mod tests {
         // is (added wall) / (stolen per rank) = d / (d/2) = 2.
         let amp = rn.amplification(r.finish).unwrap();
         assert!((amp - 2.0).abs() < 0.01, "amp = {amp}");
+    }
+
+    #[test]
+    fn recorder_captures_eager_ping() {
+        use crate::record::{MsgClass, SegKind, SimEvent, VecRecorder};
+        let p = xc40();
+        let bytes = 8u64;
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), bytes, Tag(7), &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(7), &[]);
+        let s = b.build();
+        let mut rec = VecRecorder::default();
+        let r = Simulator::new(&s, p)
+            .with_recorder(&mut rec)
+            .run(&mut NoNoise)
+            .unwrap();
+        let send_end = Time::ZERO + p.cpu_cost(bytes);
+        let arrive = send_end + p.wire_time(bytes);
+        // One send segment, one recv segment, a matching MsgSend/MsgDeliver
+        // pair, two OpDones, and queue-depth samples.
+        let execs: Vec<_> = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Exec { .. }))
+            .collect();
+        assert_eq!(execs.len(), 2);
+        assert!(matches!(
+            execs[0],
+            SimEvent::Exec {
+                rank: 0,
+                op: 0,
+                seg: SegKind::SendCpu,
+                start: Time::ZERO,
+                ..
+            }
+        ));
+        let sends: Vec<_> = rec
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::MsgSend {
+                    id,
+                    class,
+                    inject,
+                    arrive,
+                    ..
+                } => Some((id, class, inject, arrive)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends, vec![(0, MsgClass::Eager, send_end, arrive)]);
+        let delivers: Vec<_> = rec
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::MsgDeliver {
+                    id,
+                    src_op,
+                    dst_op,
+                    at,
+                    ..
+                } => Some((id, src_op, dst_op, at)),
+                _ => None,
+            })
+            .collect();
+        // Recv posted at t=0, message arrives later: delivered at arrival.
+        assert_eq!(delivers, vec![(0, 0, 0, arrive)]);
+        let dones: Vec<_> = rec
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::OpDone { rank, at, .. } => Some((rank, at)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dones, vec![(0, send_end), (1, r.per_rank_finish[1])]);
+        // Detour-free run records no detours; events are time-ordered
+        // per rank.
+        assert!(!rec
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::Detour { .. })));
+    }
+
+    #[test]
+    fn recorder_detour_event_matches_script() {
+        use crate::record::{SimEvent, VecRecorder};
+        let mut b = ScheduleBuilder::new(1);
+        b.calc(Rank(0), Span::from_us(10), &[]);
+        let s = b.build();
+        let d = Span::from_us(3);
+        let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, d)]);
+        let mut rec = VecRecorder::default();
+        Simulator::new(&s, xc40())
+            .with_recorder(&mut rec)
+            .run(&mut noise)
+            .unwrap();
+        let detours: Vec<_> = rec
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::Detour { rank, at, dur, .. } => Some((rank, at, dur)),
+                _ => None,
+            })
+            .collect();
+        // Tail placement: detour sits after the 10 us of useful work.
+        assert_eq!(detours, vec![(0, Time::ZERO + Span::from_us(10), d)]);
+        let stolen: Span = detours.iter().map(|&(_, _, dur)| dur).sum();
+        assert_eq!(stolen, d);
+    }
+
+    /// The recorder must not perturb simulation results.
+    #[test]
+    fn recorder_does_not_change_results() {
+        use crate::record::VecRecorder;
+        let mut b = ScheduleBuilder::new(2);
+        let c = b.calc(Rank(0), Span::from_us(5), &[]);
+        b.send(Rank(0), Rank(1), 64 * 1024, Tag(1), &[c]);
+        b.recv(Rank(1), Some(Rank(0)), 64 * 1024, Tag(1), &[]);
+        let s = b.build();
+        let plain = simulate(&s, &xc40(), &mut NoNoise).unwrap();
+        let mut rec = VecRecorder::default();
+        let traced = Simulator::new(&s, xc40())
+            .with_recorder(&mut rec)
+            .run(&mut NoNoise)
+            .unwrap();
+        assert_eq!(plain, traced);
+        assert!(!rec.events.is_empty());
     }
 
     #[test]

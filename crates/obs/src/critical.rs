@@ -1,0 +1,429 @@
+//! Critical-path extraction and makespan attribution.
+//!
+//! Walks backward from the last-finishing op through the recorded event
+//! stream, at each step finding the constraint that bound the current
+//! segment's start: an earlier CPU segment on the same rank (CPU
+//! serialization or a dependency edge), or a message delivery (hopping
+//! to the sender's rank across the wire). Every picosecond of the
+//! makespan is attributed to exactly one bucket:
+//!
+//! * **compute** — useful `calc` work on the path,
+//! * **comm_cpu** — message-processing CPU overheads (send/recv/RTS/CTS)
+//!   on the path,
+//! * **network** — wire latency plus NIC serialization gaps,
+//! * **detour** — injected noise inside path segments: the paper's
+//!   "propagated" noise, the detours that actually moved the finish
+//!   line (absorbed detours happen off-path and do not appear here),
+//! * **blocked** — waiting not explained by the above (e.g. a message
+//!   that sat in the unexpected queue, or path truncated by ring-buffer
+//!   drops).
+//!
+//! The buckets always sum to the finish time, and `detour` is bounded
+//! above by `SimResult::total_stolen()` (the path visits a subset of all
+//! stretched segments).
+
+use std::collections::HashMap;
+
+use cesim_engine::record::{SegKind, SimEvent};
+use cesim_model::{Span, Time};
+
+/// One CPU segment on the critical path (most-recent first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathSeg {
+    /// Executing rank.
+    pub rank: u32,
+    /// Op the segment served.
+    pub op: u32,
+    /// Segment purpose.
+    pub seg: SegKind,
+    /// Segment start.
+    pub start: Time,
+    /// Segment end.
+    pub end: Time,
+    /// Useful work inside the segment.
+    pub work: Span,
+}
+
+/// Makespan attribution along the critical path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Attribution {
+    /// The finish time the walk started from.
+    pub finish: Span,
+    /// Useful `calc` work on the path.
+    pub compute: Span,
+    /// Message-processing CPU overhead on the path.
+    pub comm_cpu: Span,
+    /// Wire latency and NIC serialization on the path.
+    pub network: Span,
+    /// Injected noise detours on the path (propagated noise).
+    pub detour: Span,
+    /// Unattributed waiting (unexpected-queue time, truncation).
+    pub blocked: Span,
+    /// True when the walk could not reach t = 0 (incomplete event
+    /// stream, e.g. ring-buffer drops); the gap is folded into
+    /// `blocked`.
+    pub truncated: bool,
+}
+
+impl Attribution {
+    /// Sum of all buckets; equals [`Attribution::finish`] by
+    /// construction.
+    pub fn total(&self) -> Span {
+        self.compute + self.comm_cpu + self.network + self.detour + self.blocked
+    }
+
+    /// Fraction of the makespan in `bucket` (0 when the run is empty).
+    fn frac(&self, bucket: Span) -> f64 {
+        if self.finish.is_zero() {
+            0.0
+        } else {
+            bucket.as_secs_f64() / self.finish.as_secs_f64()
+        }
+    }
+
+    /// Detour (propagated-noise) fraction of the makespan.
+    pub fn detour_frac(&self) -> f64 {
+        self.frac(self.detour)
+    }
+
+    /// Compute fraction of the makespan.
+    pub fn compute_frac(&self) -> f64 {
+        self.frac(self.compute)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendRec {
+    src: u32,
+    src_op: u32,
+    inject: Time,
+    arrive: Time,
+}
+
+#[derive(Clone, Copy)]
+struct DeliverRec {
+    id: u64,
+    at: Time,
+}
+
+/// The indexed event stream, ready to walk.
+pub struct CriticalPath {
+    segs: Vec<PathSeg>,
+    /// Segment indices by (rank, end) — exact-end lookup.
+    by_end: HashMap<(u32, u64), Vec<usize>>,
+    /// Segment indices by (rank, op), each list sorted by end time.
+    by_op: HashMap<(u32, u32), Vec<usize>>,
+    /// Deliveries by (dst, dst_op).
+    delivers: HashMap<(u32, u32), Vec<DeliverRec>>,
+    /// Sends by message id.
+    sends: HashMap<u64, SendRec>,
+    /// The last op completion seen: (rank, op, at).
+    last_done: Option<(u32, u32, Time)>,
+}
+
+impl CriticalPath {
+    /// Index `events` for walking. Accepts the stream in any order.
+    pub fn index(events: &[SimEvent]) -> Self {
+        let mut cp = CriticalPath {
+            segs: Vec::new(),
+            by_end: HashMap::new(),
+            by_op: HashMap::new(),
+            delivers: HashMap::new(),
+            sends: HashMap::new(),
+            last_done: None,
+        };
+        for ev in events {
+            match *ev {
+                SimEvent::Exec {
+                    rank,
+                    op,
+                    seg,
+                    start,
+                    end,
+                    work,
+                } => {
+                    let idx = cp.segs.len();
+                    cp.segs.push(PathSeg {
+                        rank,
+                        op,
+                        seg,
+                        start,
+                        end,
+                        work,
+                    });
+                    cp.by_end.entry((rank, end.as_ps())).or_default().push(idx);
+                    cp.by_op.entry((rank, op)).or_default().push(idx);
+                }
+                SimEvent::OpDone { rank, op, at }
+                    if cp.last_done.is_none_or(|(_, _, t)| at >= t) =>
+                {
+                    cp.last_done = Some((rank, op, at));
+                }
+                SimEvent::MsgSend {
+                    id,
+                    src,
+                    src_op,
+                    inject,
+                    arrive,
+                    ..
+                } => {
+                    cp.sends.insert(
+                        id,
+                        SendRec {
+                            src,
+                            src_op,
+                            inject,
+                            arrive,
+                        },
+                    );
+                }
+                SimEvent::MsgDeliver {
+                    id,
+                    dst,
+                    dst_op,
+                    at,
+                    ..
+                } => {
+                    cp.delivers
+                        .entry((dst, dst_op))
+                        .or_default()
+                        .push(DeliverRec { id, at });
+                }
+                _ => {}
+            }
+        }
+        for list in cp.by_op.values_mut() {
+            list.sort_by_key(|&i| cp.segs[i].end);
+        }
+        cp
+    }
+
+    /// The last segment of `(rank, op)` ending at or before `t`.
+    fn seg_ending_by(&self, rank: u32, op: u32, t: Time) -> Option<usize> {
+        let list = self.by_op.get(&(rank, op))?;
+        list.iter().rev().copied().find(|&i| self.segs[i].end <= t)
+    }
+
+    /// Walk the critical path, returning the attribution and the path
+    /// segments (most recent first).
+    pub fn walk(&self) -> (Attribution, Vec<PathSeg>) {
+        let mut attr = Attribution::default();
+        let mut path = Vec::new();
+        let Some((rank, op, finish)) = self.last_done else {
+            return (attr, path);
+        };
+        attr.finish = finish.since(Time::ZERO);
+        // The op's completing segment ends exactly at its OpDone time.
+        let Some(mut cur) = self.seg_at_end(rank, op, finish) else {
+            attr.blocked = attr.finish;
+            attr.truncated = true;
+            return (attr, path);
+        };
+        let mut visited = vec![false; self.segs.len()];
+        loop {
+            if visited[cur] {
+                // Cycle guard (malformed stream): stop, fold the still
+                // unaccounted prefix [0, end] into blocked.
+                attr.truncated = true;
+                attr.blocked += self.segs[cur].end.since(Time::ZERO);
+                break;
+            }
+            visited[cur] = true;
+            let s = self.segs[cur];
+            path.push(s);
+            let span = s.end.since(s.start);
+            let det = span.saturating_sub(s.work);
+            attr.detour += det;
+            if s.seg.is_compute() {
+                attr.compute += s.work;
+            } else {
+                attr.comm_cpu += s.work;
+            }
+            let cursor = s.start;
+            if cursor == Time::ZERO {
+                break;
+            }
+            match self.predecessor(s.rank, s.op, cursor, &visited) {
+                Some(Pred::Cpu(idx)) => cur = idx,
+                Some(Pred::Wire {
+                    sender_seg,
+                    wire,
+                    queued,
+                }) => {
+                    attr.network += wire;
+                    attr.blocked += queued;
+                    match sender_seg {
+                        Some(idx) => cur = idx,
+                        None => {
+                            // Sender segment missing (dropped): the
+                            // remainder is unexplained.
+                            let covered = wire + queued;
+                            attr.blocked += cursor.since(Time::ZERO).saturating_sub(covered);
+                            attr.truncated = true;
+                            break;
+                        }
+                    }
+                }
+                None => {
+                    attr.blocked += cursor.since(Time::ZERO);
+                    attr.truncated = true;
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(
+            attr.total(),
+            attr.finish,
+            "attribution must cover the makespan"
+        );
+        (attr, path)
+    }
+
+    fn seg_at_end(&self, rank: u32, op: u32, end: Time) -> Option<usize> {
+        self.by_end
+            .get(&(rank, end.as_ps()))?
+            .iter()
+            .copied()
+            .find(|&i| self.segs[i].op == op)
+            .or_else(|| self.by_end.get(&(rank, end.as_ps()))?.first().copied())
+    }
+
+    /// What bound a segment of `op` on `rank` to start at `cursor`?
+    fn predecessor(&self, rank: u32, op: u32, cursor: Time, visited: &[bool]) -> Option<Pred> {
+        // 1. A message delivered to this op exactly at cursor whose wire
+        //    arrival *is* the cursor: network-bound. Hop to the sender.
+        let delivers = self.delivers.get(&(rank, op));
+        if let Some(list) = delivers {
+            for d in list {
+                if d.at != cursor {
+                    continue;
+                }
+                if let Some(snd) = self.sends.get(&d.id) {
+                    if snd.arrive == cursor {
+                        let sender_seg = self.seg_ending_by(snd.src, snd.src_op, snd.inject);
+                        let nic_gap = match sender_seg {
+                            Some(i) => snd.inject.since(self.segs[i].end),
+                            None => Span::ZERO,
+                        };
+                        return Some(Pred::Wire {
+                            sender_seg,
+                            wire: snd.arrive.since(snd.inject) + nic_gap,
+                            queued: Span::ZERO,
+                        });
+                    }
+                }
+            }
+        }
+        // 2. CPU chain: a segment on this rank ending exactly at cursor
+        //    (covers both CPU serialization and same-rank dependency
+        //    completion, whose finishing segment ends at the same time).
+        if let Some(list) = self.by_end.get(&(rank, cursor.as_ps())) {
+            // Prefer an unvisited segment — zero-length segments can
+            // share an end time with an already-walked one.
+            if let Some(&idx) = list.iter().find(|&&i| !visited[i]) {
+                return Some(Pred::Cpu(idx));
+            }
+        }
+        // 3. Fallback: a delivery at cursor whose message arrived
+        //    earlier (it waited in the unexpected queue). The wait is
+        //    blocked time; before that, the wire.
+        if let Some(list) = delivers {
+            for d in list {
+                if d.at != cursor {
+                    continue;
+                }
+                if let Some(snd) = self.sends.get(&d.id) {
+                    let sender_seg = self.seg_ending_by(snd.src, snd.src_op, snd.inject);
+                    let nic_gap = match sender_seg {
+                        Some(i) => snd.inject.since(self.segs[i].end),
+                        None => Span::ZERO,
+                    };
+                    return Some(Pred::Wire {
+                        sender_seg,
+                        wire: snd.arrive.since(snd.inject) + nic_gap,
+                        queued: cursor.since(snd.arrive),
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+enum Pred {
+    /// Bound by a same-rank segment ending at the cursor.
+    Cpu(usize),
+    /// Bound by a message: wire + NIC time, optional queued wait, and
+    /// the sender's segment to continue from.
+    Wire {
+        sender_seg: Option<usize>,
+        wire: Span,
+        queued: Span,
+    },
+}
+
+/// Index and walk in one call.
+pub fn attribute(events: &[SimEvent]) -> Attribution {
+    CriticalPath::index(events).walk().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesim_engine::record::VecRecorder;
+    use cesim_engine::{NoNoise, Simulator};
+    use cesim_goal::{Rank, ScheduleBuilder, Tag};
+    use cesim_model::LogGopsParams;
+
+    #[test]
+    fn empty_stream_is_empty_attribution() {
+        let a = attribute(&[]);
+        assert_eq!(a.finish, Span::ZERO);
+        assert_eq!(a.total(), Span::ZERO);
+    }
+
+    #[test]
+    fn pure_compute_chain_is_all_compute() {
+        let mut b = ScheduleBuilder::new(1);
+        let a = b.calc(Rank(0), Span::from_us(2), &[]);
+        let c = b.calc(Rank(0), Span::from_us(3), &[a]);
+        b.calc(Rank(0), Span::from_us(4), &[c]);
+        let s = b.build();
+        let mut rec = VecRecorder::default();
+        let r = Simulator::new(&s, LogGopsParams::xc40())
+            .with_recorder(&mut rec)
+            .run(&mut NoNoise)
+            .unwrap();
+        let attr = attribute(&rec.events);
+        assert_eq!(attr.finish, r.finish.since(Time::ZERO));
+        assert_eq!(attr.compute, Span::from_us(9));
+        assert_eq!(attr.comm_cpu, Span::ZERO);
+        assert_eq!(attr.network, Span::ZERO);
+        assert_eq!(attr.detour, Span::ZERO);
+        assert_eq!(attr.blocked, Span::ZERO);
+        assert!(!attr.truncated);
+    }
+
+    #[test]
+    fn eager_ping_attributes_wire_time() {
+        let p = LogGopsParams::xc40();
+        let bytes = 8u64;
+        let mut b = ScheduleBuilder::new(2);
+        b.send(Rank(0), Rank(1), bytes, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), bytes, Tag(1), &[]);
+        let s = b.build();
+        let mut rec = VecRecorder::default();
+        let r = Simulator::new(&s, p)
+            .with_recorder(&mut rec)
+            .run(&mut NoNoise)
+            .unwrap();
+        let attr = attribute(&rec.events);
+        assert_eq!(attr.finish, r.finish.since(Time::ZERO));
+        // Path: recv cpu <- wire <- send cpu.
+        assert_eq!(attr.comm_cpu, p.cpu_cost(bytes) + p.cpu_cost(bytes));
+        assert_eq!(attr.network, p.wire_time(bytes));
+        assert_eq!(attr.compute, Span::ZERO);
+        assert_eq!(attr.blocked, Span::ZERO);
+        assert!(!attr.truncated);
+    }
+}

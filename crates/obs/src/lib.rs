@@ -1,0 +1,40 @@
+//! # cesim-obs
+//!
+//! Observability layer on top of the engine's [`Recorder`] hooks:
+//!
+//! * [`TimelineRecorder`] — a bounded ring-buffer recorder suitable for
+//!   production runs (oldest events are dropped, never reallocation in
+//!   the hot path),
+//! * [`chrome`] — Chrome `trace_event` JSON export, loadable in
+//!   `chrome://tracing` / [Perfetto](https://ui.perfetto.dev),
+//! * [`critical`] — a critical-path walker that backtracks dependency
+//!   and message edges from the last-finishing op and attributes the
+//!   run's makespan to compute, communication CPU, network, injected
+//!   detours, and blocked time,
+//! * [`metrics`] — periodic per-rank interval metrics (busy / detour /
+//!   blocked fractions, match-queue depths) as CSV,
+//! * [`json`] — a dependency-free JSON parser used to validate exported
+//!   traces.
+//!
+//! The event taxonomy itself ([`SimEvent`], [`Recorder`]) lives in
+//! `cesim_engine::record` so the engine carries no dependency on this
+//! crate; everything here is pure post-processing over the recorded
+//! stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod critical;
+pub mod json;
+pub mod metrics;
+pub mod timeline;
+
+pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
+pub use critical::{Attribution, CriticalPath};
+pub use json::JsonValue;
+pub use metrics::{interval_metrics_csv, IntervalMetrics};
+pub use timeline::TimelineRecorder;
+
+// Re-export the engine-side contract so downstream users need one import.
+pub use cesim_engine::record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent, VecRecorder};

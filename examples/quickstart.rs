@@ -41,7 +41,7 @@ fn main() {
         "with CEs: {} ({} detours injected) -> {:.1}% slowdown",
         pert.finish,
         pert.noise_events,
-        pert.slowdown_pct(base.finish),
+        pert.slowdown_pct(base.finish).expect("positive baseline"),
     );
 
     // 4. Or let the experiment layer do baseline + replicas + stats.

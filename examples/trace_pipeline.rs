@@ -61,7 +61,7 @@ fn main() {
     println!(
         "with firmware CE logging @ 1 CE/node/s: {} -> {:.1}% slowdown, {} detours, {} CPU time stolen",
         pert.finish,
-        pert.slowdown_pct(base.finish),
+        pert.slowdown_pct(base.finish).expect("positive baseline"),
         pert.noise_events,
         pert.total_stolen(),
     );

@@ -31,11 +31,13 @@ fn bursty_and_memoryless_agree_within_small_factor() {
         let mut bn = BurstyCeNoise::new(32, s, detour, seed);
         bursty += simulate(&sched, &params, &mut bn)
             .unwrap()
-            .slowdown_pct(base.finish);
+            .slowdown_pct(base.finish)
+            .expect("positive baseline");
         let mut sn = CeNoise::new(32, s.equivalent_mtbce(), detour, Scope::AllRanks, seed);
         smooth += simulate(&sched, &params, &mut sn)
             .unwrap()
-            .slowdown_pct(base.finish);
+            .slowdown_pct(base.finish)
+            .expect("positive baseline");
     }
     let (bursty, smooth) = (bursty / reps as f64, smooth / reps as f64);
     assert!(bursty > 0.0 && smooth > 0.0);
@@ -75,15 +77,18 @@ fn composition_of_ce_and_background_noise_is_additive_ish() {
     let mut only_ce = ce();
     let s_ce = simulate(&sched, &params, &mut only_ce)
         .unwrap()
-        .slowdown_pct(base.finish);
+        .slowdown_pct(base.finish)
+        .expect("positive baseline");
     let mut only_bg = bg();
     let s_bg = simulate(&sched, &params, &mut only_bg)
         .unwrap()
-        .slowdown_pct(base.finish);
+        .slowdown_pct(base.finish)
+        .expect("positive baseline");
     let mut both = ComposedNoise::new(ce(), bg());
     let s_both = simulate(&sched, &params, &mut both)
         .unwrap()
-        .slowdown_pct(base.finish);
+        .slowdown_pct(base.finish)
+        .expect("positive baseline");
     // Composition must be on the order of the dominant component (the
     // background shifts interval boundaries, so a few CE arrivals can
     // migrate into idle windows — allow 15% relative slack).

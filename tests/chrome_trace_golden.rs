@@ -1,0 +1,62 @@
+//! Golden-file test for the Chrome `trace_event` exporter: the trace of
+//! a fixed two-rank ping schedule with one scripted detour must not
+//! drift silently. Any intentional exporter change must update
+//! `tests/golden/chrome_ping.json` (set `REGEN_GOLDEN=1` and rerun this
+//! test to rewrite it).
+
+use dram_ce_sim::engine::noise::ScriptedNoise;
+use dram_ce_sim::engine::{Simulator, VecRecorder};
+use dram_ce_sim::goal::{Rank, ScheduleBuilder, Tag};
+use dram_ce_sim::model::{LogGopsParams, Span, Time};
+use dram_ce_sim::obs::{export_chrome_trace, validate_chrome_trace};
+
+const GOLDEN: &str = include_str!("golden/chrome_ping.json");
+
+fn fixture_trace() -> String {
+    let mut b = ScheduleBuilder::new(2);
+    let c0 = b.calc(Rank(0), Span::from_us(100), &[]);
+    b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+    let r1 = b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+    b.calc(Rank(1), Span::from_us(100), &[r1]);
+    let s = b.build();
+    let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, Span::from_us(30))]);
+    let mut rec = VecRecorder::default();
+    Simulator::new(&s, LogGopsParams::xc40())
+        .with_recorder(&mut rec)
+        .run(&mut noise)
+        .unwrap();
+    export_chrome_trace(&rec.events, 0)
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let trace = fixture_trace();
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chrome_ping.json"),
+            &trace,
+        )
+        .unwrap();
+        return;
+    }
+    assert_eq!(
+        trace, GOLDEN,
+        "Chrome-trace drift detected — if intentional, regenerate with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_is_valid_chrome_json_with_monotone_tracks() {
+    let stats = validate_chrome_trace(GOLDEN).expect("golden trace must validate");
+    // 2 ranks: slices for calc/send/recv plus the detour slice on the
+    // noise track, and metadata names for every (pid, tid).
+    assert!(stats.slices >= 4, "expected the fixture's CPU segments");
+    assert!(stats.tracks >= 3, "two rank tracks plus the noise track");
+    assert!(
+        stats.events > stats.slices,
+        "metadata/instants must be present"
+    );
+    // The detour is on the dedicated noise track.
+    assert!(GOLDEN.contains("\"name\":\"noise\""));
+    assert!(GOLDEN.contains("detour"));
+}

@@ -1,0 +1,148 @@
+//! Critical-path attribution on hand-built schedules with known paths,
+//! plus the paper-level invariant on real workload schedules: the
+//! detour time attributed to the critical path (propagated noise) never
+//! exceeds the total CPU time stolen across all ranks.
+
+use dram_ce_sim::engine::noise::ScriptedNoise;
+use dram_ce_sim::engine::{NoNoise, Simulator, VecRecorder};
+use dram_ce_sim::goal::{Rank, ScheduleBuilder, Tag};
+use dram_ce_sim::model::{LogGopsParams, Span, Time};
+use dram_ce_sim::noise::{CeNoise, Scope};
+use dram_ce_sim::obs::critical::attribute;
+use dram_ce_sim::obs::TimelineRecorder;
+use dram_ce_sim::workloads::{self, AppId, WorkloadConfig};
+
+const WORK: Span = Span::from_us(100);
+
+/// Rank 0 computes then sends; rank 1 receives then computes. The whole
+/// chain is the critical path.
+fn ping_schedule() -> dram_ce_sim::goal::Schedule {
+    let mut b = ScheduleBuilder::new(2);
+    let c0 = b.calc(Rank(0), WORK, &[]);
+    b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+    let r1 = b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+    b.calc(Rank(1), WORK, &[r1]);
+    b.build()
+}
+
+#[test]
+fn compute_chain_attributes_exact_work() {
+    let mut b = ScheduleBuilder::new(1);
+    let a = b.calc(Rank(0), Span::from_us(2), &[]);
+    let c = b.calc(Rank(0), Span::from_us(3), &[a]);
+    b.calc(Rank(0), Span::from_us(4), &[c]);
+    let s = b.build();
+    let mut rec = VecRecorder::default();
+    let r = Simulator::new(&s, LogGopsParams::xc40())
+        .with_recorder(&mut rec)
+        .run(&mut NoNoise)
+        .unwrap();
+    let attr = attribute(&rec.events);
+    assert_eq!(attr.finish, r.finish.since(Time::ZERO));
+    assert_eq!(attr.compute, Span::from_us(9));
+    assert_eq!(
+        attr.comm_cpu + attr.network + attr.detour + attr.blocked,
+        Span::ZERO
+    );
+    assert!(!attr.truncated);
+}
+
+#[test]
+fn detour_on_critical_path_is_fully_attributed() {
+    let p = LogGopsParams::xc40();
+    let s = ping_schedule();
+    let base = dram_ce_sim::engine::simulate(&s, &p, &mut NoNoise).unwrap();
+
+    let detour = Span::from_ms(1);
+    let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, detour)]);
+    let mut rec = VecRecorder::default();
+    let r = Simulator::new(&s, p)
+        .with_recorder(&mut rec)
+        .run(&mut noise)
+        .unwrap();
+    // The detour lands inside rank 0's leading calc: it delays the send,
+    // the delivery, and rank 1's trailing calc — pure propagation.
+    assert_eq!(r.finish, base.finish + detour);
+
+    let attr = attribute(&rec.events);
+    assert_eq!(attr.finish, r.finish.since(Time::ZERO));
+    assert_eq!(attr.detour, detour, "on-path detour must appear in full");
+    assert_eq!(attr.compute, WORK + WORK);
+    assert_eq!(attr.blocked, Span::ZERO);
+    assert_eq!(attr.total(), attr.finish);
+    assert!(!attr.truncated);
+    // Propagated noise is a subset of stolen CPU time.
+    assert!(attr.detour <= r.total_stolen());
+}
+
+#[test]
+fn detour_off_critical_path_is_absorbed() {
+    let p = LogGopsParams::xc40();
+    // The ping chain plus a third rank with a short independent calc:
+    // rank 2 has ~190us of slack before the chain finishes.
+    let mut b = ScheduleBuilder::new(3);
+    let c0 = b.calc(Rank(0), WORK, &[]);
+    b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+    let r1 = b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+    b.calc(Rank(1), WORK, &[r1]);
+    b.calc(Rank(2), Span::from_us(10), &[]);
+    let s = b.build();
+    let base = dram_ce_sim::engine::simulate(&s, &p, &mut NoNoise).unwrap();
+
+    let detour = Span::from_us(50);
+    let mut noise = ScriptedNoise::new(vec![(Rank(2), Time::ZERO, detour)]);
+    let mut rec = VecRecorder::default();
+    let r = Simulator::new(&s, p)
+        .with_recorder(&mut rec)
+        .run(&mut noise)
+        .unwrap();
+    // Rank 2 finishes at 60us — still inside its slack: fully absorbed.
+    assert_eq!(r.finish, base.finish);
+
+    let attr = attribute(&rec.events);
+    assert_eq!(attr.detour, Span::ZERO, "absorbed detours are off-path");
+    assert_eq!(attr.compute, WORK + WORK);
+    assert_eq!(attr.total(), attr.finish);
+    assert!(!attr.truncated);
+    // The stolen time is real, it just never reached the critical path.
+    assert_eq!(r.total_stolen(), detour);
+}
+
+/// On real workload schedules under Poisson CE noise, the walk must
+/// cover the makespan exactly and attribute at most `total_stolen()` to
+/// detours.
+#[test]
+fn workload_attribution_bounds_hold() {
+    let p = LogGopsParams::xc40();
+    for app in [AppId::Lulesh, AppId::Hpcg, AppId::LammpsLj] {
+        let cfg = WorkloadConfig::default().with_steps(2);
+        let ranks = workloads::natural_ranks(app, 16);
+        let sched = workloads::build(app, ranks, &cfg);
+        // Software logging at a 5 ms MTBCE: frequent detours without the
+        // firmware-mode divergence (rho << 1).
+        let mut noise = CeNoise::new(
+            ranks,
+            Span::from_ms(5),
+            dram_ce_sim::model::LoggingMode::Software.per_event_cost(),
+            Scope::AllRanks,
+            0xC9A1,
+        );
+        let mut rec = TimelineRecorder::with_capacity(1 << 22);
+        let r = Simulator::new(&sched, p)
+            .with_recorder(&mut rec)
+            .run(&mut noise)
+            .unwrap();
+        assert_eq!(rec.dropped(), 0, "{app}: ring buffer must hold the run");
+        let attr = attribute(&rec.events());
+        assert_eq!(attr.finish, r.finish.since(Time::ZERO), "{app}");
+        assert_eq!(attr.total(), attr.finish, "{app}: buckets must cover");
+        assert!(!attr.truncated, "{app}");
+        assert!(
+            attr.detour <= r.total_stolen(),
+            "{app}: path detour {} exceeds stolen {}",
+            attr.detour,
+            r.total_stolen()
+        );
+        assert!(r.noise_events > 0, "{app}: noise must actually fire");
+    }
+}

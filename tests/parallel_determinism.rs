@@ -41,6 +41,40 @@ fn fig4_csv_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The recorder path must not weaken the guarantee: with observation
+/// enabled (replica 0 of every cell recorded, critical-path columns in
+/// the CSV), the output is still byte-identical for every thread count —
+/// and the base columns are byte-identical to the unobserved sweep.
+#[test]
+fn observed_fig4_csv_is_byte_identical_across_thread_counts() {
+    let observed = |threads: usize| {
+        let mut cfg = small(threads);
+        cfg.observe = true;
+        figure_csv(&fig4(&cfg))
+    };
+    let serial = observed(1);
+    assert!(
+        serial.lines().next().unwrap().ends_with("cp_blocked_s"),
+        "observed sweeps must emit the critical-path columns"
+    );
+    for threads in [4, 0] {
+        assert_eq!(
+            observed(threads),
+            serial,
+            "observed fig4 CSV diverged at --threads {threads}"
+        );
+    }
+    // Observation is purely additive: stripping the cp_* columns
+    // reproduces the unobserved CSV exactly.
+    let base_cols = |csv: &str| {
+        csv.lines()
+            .map(|l| l.split(',').take(10).collect::<Vec<_>>().join(","))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(base_cols(&serial), base_cols(&csv_of(fig4, 1)));
+}
+
 #[test]
 fn fig5_csv_is_byte_identical_across_thread_counts() {
     let serial = csv_of(fig5, 1);

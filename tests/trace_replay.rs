@@ -49,7 +49,7 @@ fn native_signature_replay_is_nearly_harmless() {
     let trace = signature(SignatureKind::Native, &SignatureConfig::default());
     let mut noise = TraceNoise::all_ranks(8, &trace);
     let pert = simulate(&sched, &params, &mut noise).unwrap();
-    let slowdown = pert.slowdown_pct(base.finish);
+    let slowdown = pert.slowdown_pct(base.finish).expect("positive baseline");
     assert!(
         slowdown < 1.0,
         "native OS noise should be <1%, got {slowdown}%"
