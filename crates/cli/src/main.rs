@@ -60,8 +60,10 @@ SCALE OPTIONS (fig3..fig7)
   --csv FILE        Also write the figure's cells as CSV
   --chart           Render as log-scale ASCII bar charts
   --quiet           No per-cell progress on stderr
-  --progress        Sweep progress on stderr: cells completed / total and
-                    an ETA extrapolated from completed-cell wall time
+  --progress        Sweep progress on stderr: cells completed / total plus
+                    engine throughput (events/s and simulated seconds per
+                    wall second), and an ETA extrapolated from
+                    completed-cell wall time
   --observe         Record replica 0 of every cell and append critical-path
                     columns (cp_*_s) to --csv output; results unchanged
 

@@ -14,7 +14,7 @@
 //! `slowdown = None`.
 
 use crate::seed::rep_seed;
-use cesim_engine::{simulate, NoNoise, SimError, Simulator};
+use cesim_engine::{simulate_compiled, CompiledSchedule, NoNoise, SimError, Simulator};
 use cesim_goal::Schedule;
 use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
 use cesim_noise::{CeNoise, Scope};
@@ -22,6 +22,7 @@ use cesim_obs::critical::Attribution;
 use cesim_obs::TimelineRecorder;
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Per-node CE-handling utilization above which a configuration is
 /// treated as "no forward progress" instead of being simulated.
@@ -135,6 +136,8 @@ pub struct RunStats {
     pub finish: Span,
     /// CE detours injected during the run.
     pub ce_events: u64,
+    /// Engine events processed (for throughput reporting).
+    pub events: u64,
 }
 
 /// Aggregated result of an [`Experiment`].
@@ -225,17 +228,20 @@ pub fn run(exp: &Experiment) -> Result<Outcome, SimError> {
 }
 
 /// Like [`run`], but against a pre-built schedule (lets figure sweeps
-/// share one schedule and baseline across many cells).
+/// share one schedule and baseline across many cells). Compiles the
+/// schedule once; the baseline and every replica run the compiled form.
 pub fn run_on_schedule(
     exp: &Experiment,
     ranks: usize,
     sched: &Schedule,
 ) -> Result<Outcome, SimError> {
-    let base = simulate(sched, &exp.params, &mut NoNoise)?;
-    run_against_baseline(exp, ranks, sched, base.finish)
+    let cs = Arc::new(CompiledSchedule::compile(sched));
+    let base = simulate_compiled(&cs, &exp.params, &mut NoNoise)?;
+    run_against_baseline_compiled(exp, ranks, &cs, base.finish, false)
 }
 
-/// Innermost variant: baseline already known, no observability.
+/// Innermost schedule-based variant: baseline already known, no
+/// observability. Thin wrapper over the compiled path.
 pub fn run_against_baseline(
     exp: &Experiment,
     ranks: usize,
@@ -247,18 +253,37 @@ pub fn run_against_baseline(
 
 /// Like [`run_against_baseline`], optionally recording replica 0 with a
 /// bounded [`TimelineRecorder`] and attaching a critical-path summary
-/// ([`CellObs`]) to the outcome.
+/// ([`CellObs`]) to the outcome. Thin wrapper: compiles the schedule,
+/// then delegates to [`run_against_baseline_compiled`].
+pub fn run_against_baseline_observed(
+    exp: &Experiment,
+    ranks: usize,
+    sched: &Schedule,
+    baseline: Time,
+    observe: bool,
+) -> Result<Outcome, SimError> {
+    let cs = Arc::new(CompiledSchedule::compile(sched));
+    run_against_baseline_compiled(exp, ranks, &cs, baseline, observe)
+}
+
+/// Innermost variant: replicas of an already-compiled schedule against a
+/// known baseline. This is the sweep fast path — callers compile once
+/// per (app, ranks, workload), wrap in an [`Arc`], and every cell and
+/// replica shares the same immutable table while reusing per-thread
+/// [`cesim_engine::RunScratch`] state across runs.
 ///
 /// **Determinism contract.** The recorder never alters simulation state
 /// (the engine's instrumentation only observes), each replica still
 /// derives its RNG stream from stable coordinates, and the recorder is
 /// private to replica 0's job — so outcomes (and any CSV rendered from
 /// them) are byte-identical for every thread count, with or without
-/// observation.
-pub fn run_against_baseline_observed(
+/// observation. Compilation itself is result-invariant: the compiled
+/// engine path is property-tested bit-identical to the legacy
+/// rebuild-per-run path (`tests/compiled_equivalence.rs`).
+pub fn run_against_baseline_compiled(
     exp: &Experiment,
     ranks: usize,
-    sched: &Schedule,
+    cs: &Arc<CompiledSchedule>,
     baseline: Time,
     observe: bool,
 ) -> Result<Outcome, SimError> {
@@ -286,9 +311,9 @@ pub fn run_against_baseline_observed(
                 // Size the ring for the full event stream of typical
                 // schedules (~a dozen events per op), bounded above so a
                 // huge sweep cell cannot exhaust memory.
-                let cap = (sched.total_ops().saturating_mul(12)).clamp(1 << 10, 1 << 22);
+                let cap = ((cs.total_ops() as usize).saturating_mul(12)).clamp(1 << 10, 1 << 22);
                 let mut rec = TimelineRecorder::with_capacity(cap);
-                let r = Simulator::new(sched, exp.params)
+                let r = Simulator::from_compiled(Arc::clone(cs), exp.params)
                     .with_recorder(&mut rec)
                     .run(&mut noise)?;
                 let attr = cesim_obs::critical::attribute(&rec.events());
@@ -296,6 +321,7 @@ pub fn run_against_baseline_observed(
                     RunStats {
                         finish: r.finish.since(Time::ZERO),
                         ce_events: r.noise_events,
+                        events: r.events_processed,
                     },
                     Some(CellObs {
                         attr,
@@ -304,11 +330,12 @@ pub fn run_against_baseline_observed(
                     }),
                 ))
             } else {
-                simulate(sched, &exp.params, &mut noise).map(|r| {
+                simulate_compiled(cs, &exp.params, &mut noise).map(|r| {
                     (
                         RunStats {
                             finish: r.finish.since(Time::ZERO),
                             ce_events: r.noise_events,
+                            events: r.events_processed,
                         },
                         None,
                     )
@@ -332,6 +359,7 @@ pub fn run_against_baseline_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cesim_engine::simulate;
     use cesim_goal::Rank;
 
     #[test]

@@ -17,15 +17,16 @@
 //!   Fig. 3's single-process study needs no scaling.
 //! * `steps_scale`, `reps`, `seed` — statistical effort.
 
-use crate::experiment::{run_against_baseline_observed, CellObs, Experiment};
+use crate::experiment::{run_against_baseline_compiled, CellObs, Experiment};
 use crate::seed::point_seed;
-use cesim_engine::{simulate, NoNoise};
+use cesim_engine::{simulate_compiled, CompiledSchedule, NoNoise};
 use cesim_goal::Rank;
 use cesim_model::{LoggingMode, Span, SystemSpec};
 use cesim_noise::Scope;
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Cost/scale knobs shared by all figure sweeps.
 #[derive(Clone, Debug)]
@@ -218,10 +219,13 @@ struct CellSpec {
 /// Two parallel stages, both executed under the config's thread count
 /// (see [`ScaleConfig::scoped`]):
 ///
-/// 1. every distinct `(app, node count)` scale builds its schedule and
-///    simulates the noise-free baseline once;
+/// 1. every distinct `(app, node count)` scale builds its schedule,
+///    **compiles it once** into an [`Arc`]-shared
+///    [`CompiledSchedule`], and simulates the noise-free baseline;
 /// 2. every `(app, spec)` cell runs its perturbed replicas against the
-///    shared baseline.
+///    shared compiled schedule and baseline — workers clone the `Arc`,
+///    not the schedule, and reuse per-thread run scratch across
+///    replicas.
 ///
 /// Cells are collected **in job-index order** (app-major, then spec
 /// order), and each cell's RNG stream is derived from its stable
@@ -244,15 +248,17 @@ fn run_figure(
                 }
             }
         }
-        let built: Vec<(usize, cesim_goal::Schedule, cesim_model::Time)> = scales
+        let built: Vec<(usize, Arc<CompiledSchedule>, cesim_model::Time)> = scales
             .par_iter()
             .map(|&(ai, nodes)| {
                 let app = cfg.apps[ai];
                 let ranks = natural_ranks(app, nodes);
                 let sched = cesim_workloads::build(app, ranks, &cfg.workload_cfg(ai as u64));
-                let base = simulate(&sched, &cesim_model::LogGopsParams::xc40(), &mut NoNoise)
-                    .expect("workload schedules are deadlock-free");
-                (ranks, sched, base.finish)
+                let cs = Arc::new(CompiledSchedule::compile(&sched));
+                let base =
+                    simulate_compiled(&cs, &cesim_model::LogGopsParams::xc40(), &mut NoNoise)
+                        .expect("workload schedules are deadlock-free");
+                (ranks, cs, base.finish)
             })
             .collect();
         let scale_index: HashMap<(usize, usize), usize> = scales
@@ -267,12 +273,16 @@ fn run_figure(
             .collect();
         let total_jobs = jobs.len();
         let done = std::sync::atomic::AtomicUsize::new(0);
+        // Cumulative engine-throughput counters across completed cells
+        // (stderr reporting only — never part of the figure data).
+        let events_done = std::sync::atomic::AtomicU64::new(0);
+        let sim_ps_done = std::sync::atomic::AtomicU64::new(0);
         let sweep_start = std::time::Instant::now();
         jobs.par_iter()
             .map(|&(ai, si)| {
                 let app = cfg.apps[ai];
                 let spec = &specs[si];
-                let (ranks, sched, baseline) = &built[scale_index[&(ai, spec.nodes)]];
+                let (ranks, cs, baseline) = &built[scale_index[&(ai, spec.nodes)]];
                 let exp = Experiment {
                     app,
                     nodes: spec.nodes,
@@ -284,26 +294,37 @@ fn run_figure(
                     params: cesim_model::LogGopsParams::xc40(),
                     workload: cfg.workload_cfg(ai as u64),
                 };
-                let out =
-                    run_against_baseline_observed(&exp, *ranks, sched, *baseline, cfg.observe)
-                        .expect("workload schedules are deadlock-free");
-                if cfg.progress {
-                    eprintln!(
-                        "[{id}] {app} {} {}: {}",
-                        spec.group,
-                        spec.mode.short_label(),
-                        out.mean_slowdown_pct()
-                            .map(|s| format!("{s:.2}%"))
-                            .unwrap_or_else(|| "no-progress".into())
-                    );
-                }
-                if cfg.progress_eta {
-                    let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                let out = run_against_baseline_compiled(&exp, *ranks, cs, *baseline, cfg.observe)
+                    .expect("workload schedules are deadlock-free");
+                if cfg.progress || cfg.progress_eta {
+                    use std::sync::atomic::Ordering::Relaxed;
+                    let cell_events: u64 = out.runs.iter().map(|r| r.events).sum();
+                    let cell_sim_ps: u64 = out.runs.iter().map(|r| r.finish.as_ps()).sum();
+                    let events = events_done.fetch_add(cell_events, Relaxed) + cell_events;
+                    let sim_ps = sim_ps_done.fetch_add(cell_sim_ps, Relaxed) + cell_sim_ps;
                     let elapsed = sweep_start.elapsed().as_secs_f64();
-                    let eta = elapsed / d as f64 * (total_jobs - d) as f64;
-                    eprintln!(
-                        "[{id}] {d}/{total_jobs} cells ({elapsed:.1}s elapsed, ETA {eta:.1}s)"
-                    );
+                    // Engine throughput over the sweep so far: events/sec
+                    // of wall time, and simulated seconds per wall second.
+                    let ev_rate = events as f64 / elapsed.max(1e-9);
+                    let sim_rate = sim_ps as f64 / 1e12 / elapsed.max(1e-9);
+                    if cfg.progress {
+                        eprintln!(
+                            "[{id}] {app} {} {}: {} [{ev_rate:.0} events/s, {sim_rate:.1} sim-s/s]",
+                            spec.group,
+                            spec.mode.short_label(),
+                            out.mean_slowdown_pct()
+                                .map(|s| format!("{s:.2}%"))
+                                .unwrap_or_else(|| "no-progress".into())
+                        );
+                    }
+                    if cfg.progress_eta {
+                        let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                        let eta = elapsed / d as f64 * (total_jobs - d) as f64;
+                        eprintln!(
+                            "[{id}] {d}/{total_jobs} cells ({elapsed:.1}s elapsed, ETA {eta:.1}s, \
+                             {ev_rate:.0} events/s, {sim_rate:.1} sim-s/s)"
+                        );
+                    }
                 }
                 Cell {
                     app,

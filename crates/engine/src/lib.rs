@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod matchq;
 pub mod noise;
 pub mod queue;
@@ -37,9 +38,10 @@ pub mod result;
 pub mod sim;
 pub mod topology;
 
+pub use compile::CompiledSchedule;
 pub use matchq::TagQueue;
 pub use noise::{NoNoise, NoiseModel};
 pub use record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent, VecRecorder};
 pub use result::{SimError, SimResult};
-pub use sim::{simulate, Simulator};
+pub use sim::{simulate, simulate_compiled, simulate_compiled_with, RunScratch, Simulator};
 pub use topology::{Dragonfly, FatTree, FlatCrossbar, Topology, Torus3D};

@@ -22,6 +22,44 @@
 
 use cesim_goal::Tag;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-multiply hasher for the 4-byte [`Tag`] keys.
+///
+/// The default SipHash is keyed and DoS-resistant, which costs ~10× more
+/// per lookup than this workload needs: tags are small dense program
+/// constants, the map is process-internal, and every message match does
+/// at least one lookup. A single odd-constant multiply mixes the low
+/// bits (which `HashMap` uses for bucket selection) well enough.
+/// Deterministic across runs — but note match results never depend on
+/// bucket order anyway (matching is exact-tag FIFO; only the diagnostic
+/// [`TagQueue::iter`] observes map order).
+#[derive(Default)]
+pub struct TagHasher(u64);
+
+impl Hasher for TagHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by `Tag`, which hashes as one u32).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.0 = (self.0 ^ u64::from(x)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; fold them
+        // down so the map's low-bit masking sees them.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type TagMap<V> = HashMap<Tag, V, BuildHasherDefault<TagHasher>>;
 
 /// A FIFO match queue bucketed by message [`Tag`].
 ///
@@ -32,8 +70,14 @@ use std::collections::{HashMap, VecDeque};
 /// never match and skipping them wholesale is safe.
 #[derive(Clone, Debug)]
 pub struct TagQueue<E> {
-    buckets: HashMap<Tag, VecDeque<E>>,
+    buckets: TagMap<VecDeque<E>>,
     len: usize,
+    /// Drained bucket ring buffers, kept for reuse: pruning a bucket
+    /// parks its (empty) `VecDeque` here and the next push under a fresh
+    /// tag adopts one instead of allocating. Run-scratch reuse relies on
+    /// this — repeated simulations of the same schedule reach a steady
+    /// state with no match-queue allocation at all.
+    spare: Vec<VecDeque<E>>,
 }
 
 // Manual impl: the derive would needlessly bound `E: Default`.
@@ -47,16 +91,32 @@ impl<E> TagQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         TagQueue {
-            buckets: HashMap::new(),
+            buckets: TagMap::default(),
             len: 0,
+            spare: Vec::new(),
         }
     }
 
     /// Append `entry` under `tag` (the back of that tag's FIFO).
     #[inline]
     pub fn push(&mut self, tag: Tag, entry: E) {
-        self.buckets.entry(tag).or_default().push_back(entry);
+        self.buckets
+            .entry(tag)
+            .or_insert_with(|| self.spare.pop().unwrap_or_default())
+            .push_back(entry);
         self.len += 1;
+    }
+
+    /// Drop all entries while retaining bucket allocations (parked in
+    /// the spare pool) and the map's capacity — a cleared queue is
+    /// observationally an empty one, but re-filling it with the same
+    /// tag population allocates nothing.
+    pub fn clear(&mut self) {
+        for (_, mut bucket) in self.buckets.drain() {
+            bucket.clear();
+            self.spare.push(bucket);
+        }
+        self.len = 0;
     }
 
     /// Remove and return the earliest-pushed entry under `tag` for which
@@ -74,7 +134,9 @@ impl<E> TagQueue<E> {
         debug_assert!(entry.is_some());
         self.len -= 1;
         if bucket.is_empty() {
-            self.buckets.remove(&tag);
+            if let Some(drained) = self.buckets.remove(&tag) {
+                self.spare.push(drained);
+            }
         }
         entry
     }
@@ -150,6 +212,25 @@ mod tests {
         }
         assert!(q.is_empty());
         assert_eq!(q.iter().count(), 0);
+    }
+
+    #[test]
+    fn clear_retains_bucket_allocations() {
+        let mut q = TagQueue::new();
+        for round in 0..3 {
+            for i in 0..50u32 {
+                q.push(Tag(i % 5), i + round);
+            }
+            assert_eq!(q.len(), 50);
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.iter().count(), 0);
+            assert_eq!(q.take_first(Tag(0), |_| true), None);
+        }
+        // After a clear the drained buckets are reusable spares.
+        assert!(q.spare.len() >= 5);
+        q.push(Tag(9), 1);
+        assert_eq!(q.take_first(Tag(9), |_| true), Some(1));
     }
 
     #[test]

@@ -73,10 +73,47 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { time, seq, event });
     }
 
+    /// Bulk-schedule `events` in one O(n) heapify instead of n·O(log n)
+    /// pushes — the fast path for seeding the initial ready wavefront.
+    ///
+    /// Sequence numbers are assigned in iteration order, exactly as a
+    /// loop of [`push`](EventQueue::push) calls would, and `(time, seq)`
+    /// keys are unique, so the pop order is **identical** to the
+    /// push-one-at-a-time path (a heap's pop order is fully determined
+    /// by its comparator once keys are distinct).
+    pub fn seed(&mut self, events: impl IntoIterator<Item = (Time, E)>) {
+        // Reuse the heap's existing buffer: take it apart, extend, and
+        // rebuild. `BinaryHeap::from(Vec)` is the linear-time heapify.
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        for (time, event) in events {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pushed += 1;
+            entries.push(Entry { time, seq, event });
+        }
+        self.heap = BinaryHeap::from(entries);
+    }
+
     /// Remove and return the earliest event.
     #[inline]
     pub fn pop(&mut self) -> Option<(Time, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Remove all events and reset the sequence counter, retaining the
+    /// allocated buffer — a cleared queue behaves exactly like a fresh
+    /// one (tie-breaking restarts at sequence 0), without reallocating.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.pushed = 0;
+    }
+
+    /// Grow the backing buffer to hold at least `additional` more events
+    /// (no-op when capacity is already there — reused queues keep their
+    /// high-water allocation).
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Number of events currently queued.
@@ -129,6 +166,70 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    /// The bulk-heapify path must pop in exactly the order the
+    /// push-one-at-a-time path would, including ties (broken by the
+    /// sequence counter) — many distinct times collide on purpose here.
+    #[test]
+    fn seed_matches_sequential_pushes() {
+        let times: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(7919) % 50).collect();
+        let mut pushed = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            pushed.push(Time::from_ps(t), i);
+        }
+        let mut seeded = EventQueue::new();
+        seeded.seed(
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (Time::from_ps(t), i)),
+        );
+        assert_eq!(seeded.len(), pushed.len());
+        assert_eq!(seeded.total_pushed(), pushed.total_pushed());
+        while !pushed.is_empty() {
+            assert_eq!(seeded.pop(), pushed.pop());
+        }
+        assert_eq!(seeded.pop(), None);
+    }
+
+    /// Seeding a non-empty queue continues the sequence counter, so
+    /// mixing push and seed stays equivalent to pushing everything.
+    #[test]
+    fn seed_after_pushes_continues_tie_order() {
+        let mut mixed = EventQueue::new();
+        mixed.push(Time::from_ps(5), 0);
+        mixed.push(Time::from_ps(5), 1);
+        mixed.seed([(Time::from_ps(5), 2), (Time::from_ps(3), 3)]);
+        let mut plain = EventQueue::new();
+        for (t, e) in [
+            (Time::from_ps(5), 0),
+            (Time::from_ps(5), 1),
+            (Time::from_ps(5), 2),
+            (Time::from_ps(3), 3),
+        ] {
+            plain.push(t, e);
+        }
+        while !plain.is_empty() {
+            assert_eq!(mixed.pop(), plain.pop());
+        }
+        assert!(mixed.is_empty());
+    }
+
+    /// `clear` resets the sequence counter: a cleared queue breaks ties
+    /// exactly like a fresh one.
+    #[test]
+    fn clear_behaves_like_fresh() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(1), 100);
+        q.push(Time::from_ps(1), 200);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushed(), 0);
+        q.push(Time::from_ps(9), 300);
+        q.push(Time::from_ps(9), 400);
+        assert_eq!(q.pop(), Some((Time::from_ps(9), 300)));
+        assert_eq!(q.pop(), Some((Time::from_ps(9), 400)));
     }
 
     #[test]

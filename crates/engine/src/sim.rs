@@ -7,21 +7,27 @@
 //!   *message arrival* — resource waiting is folded into start-time
 //!   computation (`start = max(ready, cpu_free)`), which keeps the event
 //!   count at O(ops + messages).
-//! * Dependency fan-out uses a CSR adjacency built once per run.
+//! * Dependency fan-out uses the global CSR of the immutable
+//!   [`CompiledSchedule`], built **once** per schedule and shared across
+//!   runs; all mutable per-run state lives in a [`RunScratch`] that is
+//!   reset in place (no reallocation) between runs.
 //! * All CPU intervals pass through the [`NoiseModel`], in non-decreasing
 //!   start order per rank.
 //! * Rendezvous transfers are three chained messages (RTS → CTS →
 //!   payload); RTS matches like a normal message, the payload is routed
 //!   directly to the matched receive.
 
+use crate::compile::{CompiledSchedule, OpClass, ANY_SOURCE};
 use crate::matchq::TagQueue;
 use crate::noise::NoiseModel;
 use crate::queue::EventQueue;
 use crate::record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent};
 use crate::result::{SimError, SimResult};
 use crate::topology::{FlatCrossbar, Topology};
-use cesim_goal::{OpKind, Rank, Schedule, Tag};
+use cesim_goal::{Rank, Schedule, Tag};
 use cesim_model::{LogGopsParams, Span, Time};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 #[derive(Clone, Copy, Debug)]
 enum MsgKind {
@@ -94,48 +100,113 @@ struct UnexMsg {
     kind: UnexKind,
 }
 
-#[derive(Clone, Debug, Default)]
-struct RankState {
-    cpu_free: Time,
-    nic_free: Time,
-    indeg: Vec<u32>,
-    posted: TagQueue<PostedRecv>,
-    unexpected: TagQueue<UnexMsg>,
-    finish: Time,
-    done: Vec<bool>,
-    /// CPU-occupied time (useful work + injected detours).
-    busy: Span,
-    /// Useful work requested (busy minus detours).
-    work: Span,
-}
-
-/// Immutable dependency fan-out for one rank (CSR layout).
-#[derive(Clone, Debug, Default)]
-struct DepCsr {
-    off: Vec<u32>,
-    tgt: Vec<u32>,
-}
-
-/// A configured simulation, ready to [`run`](Simulator::run).
+/// All mutable per-run simulation state, reusable across runs.
 ///
-/// Generic over a [`Recorder`]; the default [`NullRecorder`] compiles all
-/// instrumentation away (see [`crate::record`]). Attach a live recorder
-/// with [`Simulator::with_recorder`].
-pub struct Simulator<'a, R: Recorder = NullRecorder> {
-    sched: &'a Schedule,
-    params: LogGopsParams,
-    topology: Box<dyn Topology>,
-    deps: Vec<DepCsr>,
-    state: Vec<RankState>,
+/// The immutable half of a prepared simulation is the
+/// [`CompiledSchedule`]; everything the event loop mutates — CPU/NIC
+/// cursors, the indegree working copy, done bits, match queues, the
+/// event heap, statistics counters — lives here. [`reset`](RunScratch::reset)
+/// clears it in O(touched) **without freeing**: vectors keep their
+/// capacity, the heap keeps its buffer, and [`TagQueue`]s park drained
+/// buckets for reuse, so repeated runs of the same schedule reach a
+/// steady state with near-zero allocator traffic.
+///
+/// [`simulate_compiled`] maintains one scratch per thread automatically;
+/// hold one explicitly (via [`RunScratch::new`] +
+/// [`simulate_compiled_with`]) to control reuse yourself.
+#[derive(Default)]
+pub struct RunScratch {
+    // Per-rank resource cursors and accounting (indexed by rank).
+    cpu_free: Vec<Time>,
+    nic_free: Vec<Time>,
+    finish: Vec<Time>,
+    /// CPU-occupied time (useful work + injected detours).
+    busy: Vec<Span>,
+    /// Useful work requested (busy minus detours).
+    work: Vec<Span>,
+    // Per-op state (indexed by flat op id).
+    indeg: Vec<u32>,
+    done: Vec<bool>,
+    // Per-rank MPI match queues.
+    posted: Vec<TagQueue<PostedRecv>>,
+    unexpected: Vec<TagQueue<UnexMsg>>,
     queue: EventQueue<Event>,
-    total_ops: u64,
+    // Run statistics.
     completed: u64,
     msgs_delivered: u64,
     control_msgs: u64,
     max_unexpected: usize,
     max_posted: usize,
-    events_processed: u64,
     next_msg_id: u64,
+}
+
+impl RunScratch {
+    /// An empty scratch; sized lazily by the first
+    /// [`reset`](RunScratch::reset).
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+
+    /// Re-initialize for a run of `cs`, retaining every allocation:
+    /// vectors are cleared and refilled in place, the event heap keeps
+    /// its buffer, and the match queues recycle their bucket `VecDeque`s.
+    /// A reset scratch is indistinguishable from a fresh one (event
+    /// sequence numbers restart at zero), which is what keeps reuse
+    /// byte-identical to fresh-per-run simulation.
+    pub fn reset(&mut self, cs: &CompiledSchedule) {
+        let nranks = cs.num_ranks();
+        let total = cs.total_ops() as usize;
+        reset_fill(&mut self.cpu_free, nranks, Time::ZERO);
+        reset_fill(&mut self.nic_free, nranks, Time::ZERO);
+        reset_fill(&mut self.finish, nranks, Time::ZERO);
+        reset_fill(&mut self.busy, nranks, Span::ZERO);
+        reset_fill(&mut self.work, nranks, Span::ZERO);
+        self.indeg.clear();
+        self.indeg.extend_from_slice(&cs.indeg0);
+        reset_fill(&mut self.done, total, false);
+        self.posted.resize_with(nranks, TagQueue::new);
+        self.unexpected.resize_with(nranks, TagQueue::new);
+        for q in &mut self.posted {
+            q.clear();
+        }
+        for q in &mut self.unexpected {
+            q.clear();
+        }
+        self.queue.clear();
+        // Pre-size for the initial ready wavefront plus in-flight
+        // messages; bounded by the op count rather than a fixed guess so
+        // large schedules avoid repeated heap regrowth (no-op once the
+        // buffer is warm).
+        self.queue.reserve(total.clamp(64, 1 << 22));
+        self.completed = 0;
+        self.msgs_delivered = 0;
+        self.control_msgs = 0;
+        self.max_unexpected = 0;
+        self.max_posted = 0;
+        self.next_msg_id = 0;
+    }
+}
+
+/// Clear + refill a vector in place, keeping its capacity.
+fn reset_fill<T: Copy>(v: &mut Vec<T>, n: usize, val: T) {
+    v.clear();
+    v.resize(n, val);
+}
+
+/// A configured simulation, ready to [`run`](Simulator::run).
+///
+/// Owns an [`Arc`]-shared [`CompiledSchedule`] plus one [`RunScratch`].
+/// Generic over a [`Recorder`]; the default [`NullRecorder`] compiles all
+/// instrumentation away (see [`crate::record`]). Attach a live recorder
+/// with [`Simulator::with_recorder`].
+///
+/// For many runs of one schedule prefer [`simulate_compiled`] (pooled
+/// per-thread scratch) — this type pays a fresh scratch per simulator.
+pub struct Simulator<R: Recorder = NullRecorder> {
+    cs: Arc<CompiledSchedule>,
+    params: LogGopsParams,
+    topology: Box<dyn Topology>,
+    scratch: RunScratch,
     rec: R,
 }
 
@@ -150,92 +221,72 @@ pub fn simulate<N: NoiseModel + ?Sized>(
     Simulator::new(sched, *params).run(noise)
 }
 
-impl<'a> Simulator<'a> {
+/// Simulate a [`CompiledSchedule`] under `params`, reusing a per-thread
+/// [`RunScratch`] pool — the fast path for replica sweeps: compile once,
+/// wrap in an [`Arc`], and call this from every worker. Results are
+/// byte-identical to [`simulate`] on the source [`Schedule`].
+pub fn simulate_compiled<N: NoiseModel + ?Sized>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    noise: &mut N,
+) -> Result<SimResult, SimError> {
+    thread_local! {
+        static SCRATCH: RefCell<RunScratch> = RefCell::new(RunScratch::new());
+    }
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        simulate_compiled_with(cs, params, &mut scratch, noise)
+    })
+}
+
+/// [`simulate_compiled`] with caller-managed scratch: resets `scratch`
+/// and runs `cs` in it. Reusing one scratch across runs (any mix of
+/// schedules and noise seeds) gives results identical to a fresh scratch
+/// per run.
+pub fn simulate_compiled_with<N: NoiseModel + ?Sized>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    scratch: &mut RunScratch,
+    noise: &mut N,
+) -> Result<SimResult, SimError> {
+    run_engine(cs, *params, &FlatCrossbar, scratch, NullRecorder, noise)
+}
+
+impl Simulator {
     /// Prepare a simulation of `sched` under `params` (instrumentation
     /// disabled; see [`Simulator::with_recorder`]).
-    pub fn new(sched: &'a Schedule, params: LogGopsParams) -> Self {
-        let nranks = sched.num_ranks();
-        let mut deps = Vec::with_capacity(nranks);
-        let mut state = Vec::with_capacity(nranks);
-        let mut total_ops = 0u64;
-        for rank in &sched.ranks {
-            let n = rank.ops.len();
-            total_ops += n as u64;
-            // Build CSR of dependents: edges dep -> op.
-            let mut counts = vec![0u32; n];
-            let mut indeg = vec![0u32; n];
-            for op in &rank.ops {
-                for d in &op.deps {
-                    counts[d.idx()] += 1;
-                }
-            }
-            for (i, op) in rank.ops.iter().enumerate() {
-                indeg[i] = op.deps.len() as u32;
-            }
-            let mut off = vec![0u32; n + 1];
-            for i in 0..n {
-                off[i + 1] = off[i] + counts[i];
-            }
-            let mut tgt = vec![0u32; off[n] as usize];
-            let mut cursor = off.clone();
-            for (i, op) in rank.ops.iter().enumerate() {
-                for d in &op.deps {
-                    let c = &mut cursor[d.idx()];
-                    tgt[*c as usize] = i as u32;
-                    *c += 1;
-                }
-            }
-            deps.push(DepCsr { off, tgt });
-            state.push(RankState {
-                indeg,
-                done: vec![false; n],
-                ..RankState::default()
-            });
-        }
+    ///
+    /// Thin wrapper over [`CompiledSchedule::compile`] +
+    /// [`Simulator::from_compiled`]: compiles the schedule privately and
+    /// runs it once.
+    pub fn new(sched: &Schedule, params: LogGopsParams) -> Self {
+        Simulator::from_compiled(Arc::new(CompiledSchedule::compile(sched)), params)
+    }
+
+    /// Prepare a simulation of an already-compiled schedule, sharing the
+    /// [`Arc`] instead of recompiling.
+    pub fn from_compiled(cs: Arc<CompiledSchedule>, params: LogGopsParams) -> Self {
         Simulator {
-            sched,
+            cs,
             params,
             topology: Box::new(FlatCrossbar),
-            deps,
-            state,
-            // Pre-size for the initial ready wavefront plus in-flight
-            // messages; bounded by the op count rather than a fixed guess
-            // so large schedules avoid repeated heap regrowth.
-            queue: EventQueue::with_capacity((total_ops as usize).clamp(64, 1 << 22)),
-            total_ops,
-            completed: 0,
-            msgs_delivered: 0,
-            control_msgs: 0,
-            max_unexpected: 0,
-            max_posted: 0,
-            events_processed: 0,
-            next_msg_id: 0,
+            scratch: RunScratch::new(),
             rec: NullRecorder,
         }
     }
 }
 
-impl<'a, R: Recorder> Simulator<'a, R> {
+impl<R: Recorder> Simulator<R> {
     /// Attach a recorder, enabling instrumentation for this run.
     ///
     /// Pass `&mut recorder` to keep ownership and inspect the recorder
     /// after [`run`](Simulator::run) consumes the simulator.
-    pub fn with_recorder<R2: Recorder>(self, rec: R2) -> Simulator<'a, R2> {
+    pub fn with_recorder<R2: Recorder>(self, rec: R2) -> Simulator<R2> {
         Simulator {
-            sched: self.sched,
+            cs: self.cs,
             params: self.params,
             topology: self.topology,
-            deps: self.deps,
-            state: self.state,
-            queue: self.queue,
-            total_ops: self.total_ops,
-            completed: self.completed,
-            msgs_delivered: self.msgs_delivered,
-            control_msgs: self.control_msgs,
-            max_unexpected: self.max_unexpected,
-            max_posted: self.max_posted,
-            events_processed: self.events_processed,
-            next_msg_id: self.next_msg_id,
+            scratch: self.scratch,
             rec,
         }
     }
@@ -247,11 +298,90 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         self
     }
 
+    /// Run to completion (or deadlock).
+    pub fn run<N: NoiseModel + ?Sized>(mut self, noise: &mut N) -> Result<SimResult, SimError> {
+        run_engine(
+            &self.cs,
+            self.params,
+            self.topology.as_ref(),
+            &mut self.scratch,
+            self.rec,
+            noise,
+        )
+    }
+}
+
+/// The event loop: run `cs` in `scratch` (reset first) to completion.
+fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
+    cs: &CompiledSchedule,
+    params: LogGopsParams,
+    topology: &dyn Topology,
+    scratch: &mut RunScratch,
+    rec: R,
+    noise: &mut N,
+) -> Result<SimResult, SimError> {
+    if cs.num_ranks() == 0 {
+        return Err(SimError::EmptySchedule);
+    }
+    scratch.reset(cs);
+    // Seed the initial ready wavefront in one O(n) heapify; root order is
+    // the legacy rank-major seeding order, and pop order is identical to
+    // pushing one at a time (see `EventQueue::seed`).
+    scratch.queue.seed(
+        cs.roots
+            .iter()
+            .map(|&(rank, op)| (Time::ZERO, Event::OpReady { rank, op })),
+    );
+    let mut eng = Engine {
+        cs,
+        params,
+        topology,
+        s: scratch,
+        rec,
+    };
+    let mut events_processed = 0u64;
+    while let Some((t, ev)) = eng.s.queue.pop() {
+        events_processed += 1;
+        match ev {
+            Event::OpReady { rank, op } => eng.exec_op(noise, rank, op, t),
+            Event::Arrive(msg) => eng.arrive(noise, msg, t),
+        }
+    }
+    if eng.s.completed != cs.total_ops() {
+        return Err(eng.deadlock_report());
+    }
+    let per_rank_finish = eng.s.finish.clone();
+    let finish = per_rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
+    Ok(SimResult {
+        finish,
+        per_rank_finish,
+        per_rank_busy: eng.s.busy.clone(),
+        per_rank_work: eng.s.work.clone(),
+        ops_executed: eng.s.completed,
+        msgs_delivered: eng.s.msgs_delivered,
+        control_msgs: eng.s.control_msgs,
+        noise_events: noise.events_injected(),
+        max_unexpected: eng.s.max_unexpected,
+        max_posted: eng.s.max_posted,
+        events_processed,
+    })
+}
+
+/// The hot-loop view: immutable compiled schedule + mutable scratch.
+struct Engine<'e, R: Recorder> {
+    cs: &'e CompiledSchedule,
+    params: LogGopsParams,
+    topology: &'e dyn Topology,
+    s: &'e mut RunScratch,
+    rec: R,
+}
+
+impl<'e, R: Recorder> Engine<'e, R> {
     /// Next unique message id (ties `MsgSend` to `MsgDeliver` records).
     #[inline]
     fn new_msg_id(&mut self) -> u64 {
-        let id = self.next_msg_id;
-        self.next_msg_id += 1;
+        let id = self.s.next_msg_id;
+        self.s.next_msg_id += 1;
         id
     }
 
@@ -277,12 +407,11 @@ impl<'a, R: Recorder> Simulator<'a, R> {
     #[inline]
     fn record_queues(&mut self, rank: u32, at: Time) {
         if R::ENABLED {
-            let st = &self.state[rank as usize];
             self.rec.record(SimEvent::QueueDepth {
                 rank,
                 at,
-                unexpected: st.unexpected.len() as u32,
-                posted: st.posted.len() as u32,
+                unexpected: self.s.unexpected[rank as usize].len() as u32,
+                posted: self.s.posted[rank as usize].len() as u32,
             });
         }
     }
@@ -298,52 +427,6 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         self.params.hop_latency * hops.saturating_sub(1) as u64
     }
 
-    /// Run to completion (or deadlock).
-    pub fn run<N: NoiseModel + ?Sized>(mut self, noise: &mut N) -> Result<SimResult, SimError> {
-        if self.sched.num_ranks() == 0 {
-            return Err(SimError::EmptySchedule);
-        }
-        // Seed: every op with no dependencies is ready at t = 0.
-        for (r, st) in self.state.iter().enumerate() {
-            for (i, &d) in st.indeg.iter().enumerate() {
-                if d == 0 {
-                    self.queue.push(
-                        Time::ZERO,
-                        Event::OpReady {
-                            rank: r as u32,
-                            op: i as u32,
-                        },
-                    );
-                }
-            }
-        }
-        while let Some((t, ev)) = self.queue.pop() {
-            self.events_processed += 1;
-            match ev {
-                Event::OpReady { rank, op } => self.exec_op(noise, rank, op, t),
-                Event::Arrive(msg) => self.arrive(noise, msg, t),
-            }
-        }
-        if self.completed != self.total_ops {
-            return Err(self.deadlock_report());
-        }
-        let per_rank_finish: Vec<Time> = self.state.iter().map(|s| s.finish).collect();
-        let finish = per_rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
-        Ok(SimResult {
-            finish,
-            per_rank_finish,
-            per_rank_busy: self.state.iter().map(|s| s.busy).collect(),
-            per_rank_work: self.state.iter().map(|s| s.work).collect(),
-            ops_executed: self.completed,
-            msgs_delivered: self.msgs_delivered,
-            control_msgs: self.control_msgs,
-            noise_events: noise.events_injected(),
-            max_unexpected: self.max_unexpected,
-            max_posted: self.max_posted,
-            events_processed: self.events_processed,
-        })
-    }
-
     /// Occupy `rank`'s CPU with `work` on behalf of `op`, starting no
     /// earlier than `ready`, routing the interval through the noise model
     /// and accounting busy / useful time.
@@ -356,12 +439,12 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         ready: Time,
         work: Span,
     ) -> Time {
-        let st = &mut self.state[rank as usize];
-        let start = ready.max(st.cpu_free);
+        let r = rank as usize;
+        let start = ready.max(self.s.cpu_free[r]);
         let end = noise.stretch(Rank(rank), start, work);
-        st.cpu_free = end;
-        st.busy += end.since(start);
-        st.work += work;
+        self.s.cpu_free[r] = end;
+        self.s.busy[r] += end.since(start);
+        self.s.work[r] += work;
         if R::ENABLED {
             self.rec.record(SimEvent::Exec {
                 rank,
@@ -388,33 +471,37 @@ impl<'a, R: Recorder> Simulator<'a, R> {
     }
 
     fn exec_op<N: NoiseModel + ?Sized>(&mut self, noise: &mut N, rank: u32, op: u32, t: Time) {
-        let kind = self.sched.ranks[rank as usize].ops[op as usize].kind;
-        match kind {
-            OpKind::Calc { dur } => {
+        let f = self.cs.flat(rank, op);
+        match self.cs.class[f] {
+            OpClass::Calc => {
+                let dur = self.cs.dur[f];
                 let end = self.occupy_cpu(noise, rank, op, SegKind::Calc, t, dur);
                 self.complete(rank, op, end);
             }
-            OpKind::Send { dst, bytes, tag } => {
+            OpClass::Send => {
+                let dst = self.cs.peer[f];
+                let bytes = self.cs.bytes[f];
+                let tag = self.cs.tag[f];
                 if self.params.is_rendezvous(bytes) {
                     // RTS control message; the send op stays open until the
                     // CTS returns and the payload is injected.
                     let cpu_end =
                         self.occupy_cpu(noise, rank, op, SegKind::Rts, t, self.params.overhead);
-                    let st = &mut self.state[rank as usize];
-                    let inject = cpu_end.max(st.nic_free);
-                    st.nic_free = inject + self.params.gap;
-                    let arrive = inject + self.params.latency + self.wire_extra(rank, dst.0);
+                    let r = rank as usize;
+                    let inject = cpu_end.max(self.s.nic_free[r]);
+                    self.s.nic_free[r] = inject + self.params.gap;
+                    let arrive = inject + self.params.latency + self.wire_extra(rank, dst);
                     let msg = Msg {
                         id: self.new_msg_id(),
                         src: rank,
-                        dst: dst.0,
+                        dst,
                         tag,
                         bytes,
                         src_op: op,
                         kind: MsgKind::Rts { send_op: op },
                     };
                     self.record_send(&msg, inject, arrive);
-                    self.queue.push(arrive, Event::Arrive(msg));
+                    self.s.queue.push(arrive, Event::Arrive(msg));
                 } else {
                     let cpu_end = self.occupy_cpu(
                         noise,
@@ -424,28 +511,29 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                         t,
                         self.params.cpu_cost(bytes),
                     );
-                    let st = &mut self.state[rank as usize];
-                    let inject = cpu_end.max(st.nic_free);
-                    st.nic_free = inject + self.params.nic_cost(bytes);
-                    let arrive =
-                        inject + self.params.wire_time(bytes) + self.wire_extra(rank, dst.0);
+                    let r = rank as usize;
+                    let inject = cpu_end.max(self.s.nic_free[r]);
+                    self.s.nic_free[r] = inject + self.params.nic_cost(bytes);
+                    let arrive = inject + self.params.wire_time(bytes) + self.wire_extra(rank, dst);
                     let msg = Msg {
                         id: self.new_msg_id(),
                         src: rank,
-                        dst: dst.0,
+                        dst,
                         tag,
                         bytes,
                         src_op: op,
                         kind: MsgKind::Eager,
                     };
                     self.record_send(&msg, inject, arrive);
-                    self.queue.push(arrive, Event::Arrive(msg));
+                    self.s.queue.push(arrive, Event::Arrive(msg));
                     // Eager sends complete locally once buffered.
                     self.complete(rank, op, cpu_end);
                 }
             }
-            OpKind::Recv { src, tag, .. } => {
-                let srcf = src.map(|r| r.0);
+            OpClass::Recv => {
+                let peer = self.cs.peer[f];
+                let tag = self.cs.tag[f];
+                let srcf = (peer != ANY_SOURCE).then_some(peer);
                 if let Some(u) = self.take_unexpected(rank, srcf, tag) {
                     if R::ENABLED {
                         self.rec.record(SimEvent::MsgDeliver {
@@ -477,8 +565,8 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                         ),
                     }
                 } else {
-                    let st = &mut self.state[rank as usize];
-                    st.posted.push(
+                    let posted = &mut self.s.posted[rank as usize];
+                    posted.push(
                         tag,
                         PostedRecv {
                             op,
@@ -486,7 +574,7 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                             posted_at: t,
                         },
                     );
-                    self.max_posted = self.max_posted.max(st.posted.len());
+                    self.s.max_posted = self.s.max_posted.max(posted.len());
                     if R::ENABLED {
                         self.rec.record(SimEvent::RecvPosted { rank, op, at: t });
                         self.record_queues(rank, t);
@@ -500,9 +588,9 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         match msg.kind {
             MsgKind::Eager | MsgKind::Rts { .. } => {
                 if matches!(msg.kind, MsgKind::Eager) {
-                    self.msgs_delivered += 1;
+                    self.s.msgs_delivered += 1;
                 } else {
-                    self.control_msgs += 1;
+                    self.s.control_msgs += 1;
                 }
                 if let Some(p) = self.take_posted(msg.dst, msg.src, msg.tag) {
                     if R::ENABLED {
@@ -533,8 +621,8 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                         MsgKind::Rts { send_op } => UnexKind::Rts { send_op },
                         _ => unreachable!(),
                     };
-                    let st = &mut self.state[msg.dst as usize];
-                    st.unexpected.push(
+                    let unexpected = &mut self.s.unexpected[msg.dst as usize];
+                    unexpected.push(
                         msg.tag,
                         UnexMsg {
                             id: msg.id,
@@ -545,13 +633,13 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                             kind,
                         },
                     );
-                    self.max_unexpected = self.max_unexpected.max(st.unexpected.len());
+                    self.s.max_unexpected = self.s.max_unexpected.max(unexpected.len());
                     self.record_queues(msg.dst, t);
                 }
             }
             MsgKind::Cts { send_op, recv_op } => {
                 // Back at the original sender: inject the payload.
-                self.control_msgs += 1;
+                self.s.control_msgs += 1;
                 if R::ENABLED {
                     self.rec.record(SimEvent::MsgDeliver {
                         id: msg.id,
@@ -573,9 +661,8 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                     t,
                     self.params.cpu_cost(msg.bytes),
                 );
-                let st = &mut self.state[sender as usize];
-                let inject = cpu_end.max(st.nic_free);
-                st.nic_free = inject + self.params.nic_cost(msg.bytes);
+                let inject = cpu_end.max(self.s.nic_free[sender as usize]);
+                self.s.nic_free[sender as usize] = inject + self.params.nic_cost(msg.bytes);
                 let arrive =
                     inject + self.params.wire_time(msg.bytes) + self.wire_extra(sender, msg.src);
                 let payload = Msg {
@@ -588,11 +675,11 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                     kind: MsgKind::Payload { recv_op },
                 };
                 self.record_send(&payload, inject, arrive);
-                self.queue.push(arrive, Event::Arrive(payload));
+                self.s.queue.push(arrive, Event::Arrive(payload));
                 self.complete(sender, send_op, cpu_end);
             }
             MsgKind::Payload { recv_op } => {
-                self.msgs_delivered += 1;
+                self.s.msgs_delivered += 1;
                 if R::ENABLED {
                     self.rec.record(SimEvent::MsgDeliver {
                         id: msg.id,
@@ -654,9 +741,8 @@ impl<'a, R: Recorder> Simulator<'a, R> {
             t,
             self.params.overhead,
         );
-        let st = &mut self.state[rank as usize];
-        let inject = cpu_end.max(st.nic_free);
-        st.nic_free = inject + self.params.gap;
+        let inject = cpu_end.max(self.s.nic_free[rank as usize]);
+        self.s.nic_free[rank as usize] = inject + self.params.gap;
         let arrive = inject + self.params.latency + self.wire_extra(rank, sender);
         let msg = Msg {
             id: self.new_msg_id(),
@@ -668,7 +754,7 @@ impl<'a, R: Recorder> Simulator<'a, R> {
             kind: MsgKind::Cts { send_op, recv_op },
         };
         self.record_send(&msg, inject, arrive);
-        self.queue.push(arrive, Event::Arrive(msg));
+        self.s.queue.push(arrive, Event::Arrive(msg));
     }
 
     /// First posted receive at `dst` matching `(src, tag)`, FIFO order.
@@ -677,36 +763,33 @@ impl<'a, R: Recorder> Simulator<'a, R> {
     /// `src == None` wildcard on a posted receive is handled in the
     /// predicate (see [`TagQueue::take_first`] for the order argument).
     fn take_posted(&mut self, dst: u32, src: u32, tag: Tag) -> Option<PostedRecv> {
-        self.state[dst as usize]
-            .posted
-            .take_first(tag, |p| p.src.is_none() || p.src == Some(src))
+        self.s.posted[dst as usize].take_first(tag, |p| p.src.is_none() || p.src == Some(src))
     }
 
     /// First unexpected message at `rank` matching the receive's filter.
     fn take_unexpected(&mut self, rank: u32, srcf: Option<u32>, tag: Tag) -> Option<UnexMsg> {
-        self.state[rank as usize]
-            .unexpected
-            .take_first(tag, |u| srcf.is_none() || srcf == Some(u.src))
+        self.s.unexpected[rank as usize].take_first(tag, |u| srcf.is_none() || srcf == Some(u.src))
     }
 
     fn complete(&mut self, rank: u32, op: u32, t: Time) {
-        let r = rank as usize;
-        {
-            let st = &mut self.state[r];
-            debug_assert!(!st.done[op as usize], "op completed twice");
-            st.done[op as usize] = true;
-            st.finish = st.finish.max(t);
-        }
-        self.completed += 1;
+        let f = self.cs.flat(rank, op);
+        debug_assert!(!self.s.done[f], "op completed twice");
+        self.s.done[f] = true;
+        let finish = &mut self.s.finish[rank as usize];
+        *finish = (*finish).max(t);
+        self.s.completed += 1;
         if R::ENABLED {
             self.rec.record(SimEvent::OpDone { rank, op, at: t });
         }
-        let csr = &self.deps[r];
-        let lo = csr.off[op as usize] as usize;
-        let hi = csr.off[op as usize + 1] as usize;
+        // Dependency fan-out: CSR targets are rank-local op ids (deps
+        // never cross ranks), so the dependent's flat id shares this
+        // rank's base offset.
+        let base = self.cs.rank_off[rank as usize] as usize;
+        let lo = self.cs.dep_off[f] as usize;
+        let hi = self.cs.dep_off[f + 1] as usize;
         for i in lo..hi {
-            let d = csr.tgt[i];
-            let indeg = &mut self.state[r].indeg[d as usize];
+            let d = self.cs.dep_tgt[i];
+            let indeg = &mut self.s.indeg[base + d as usize];
             *indeg -= 1;
             if *indeg == 0 {
                 if R::ENABLED {
@@ -717,20 +800,22 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                         at: t,
                     });
                 }
-                self.queue.push(t, Event::OpReady { rank, op: d });
+                self.s.queue.push(t, Event::OpReady { rank, op: d });
             }
         }
     }
 
     fn deadlock_report(&self) -> SimError {
         let mut stuck = Vec::new();
-        'outer: for (r, st) in self.state.iter().enumerate() {
-            for (i, &d) in st.done.iter().enumerate() {
-                if !d {
-                    let op = &self.sched.ranks[r].ops[i];
+        'outer: for r in 0..self.cs.num_ranks() {
+            let base = self.cs.rank_off[r] as usize;
+            for i in 0..self.cs.ops_on(r as u32) {
+                let f = base + i;
+                if !self.s.done[f] {
                     stuck.push(format!(
                         "rank {r} op {i}: {} (unmet deps: {})",
-                        op.kind, st.indeg[i]
+                        self.cs.op_kind(f),
+                        self.s.indeg[f]
                     ));
                     if stuck.len() >= 8 {
                         break 'outer;
@@ -739,8 +824,8 @@ impl<'a, R: Recorder> Simulator<'a, R> {
             }
         }
         SimError::Deadlock {
-            completed: self.completed,
-            total: self.total_ops,
+            completed: self.s.completed,
+            total: self.cs.total_ops(),
             stuck_examples: stuck,
         }
     }
@@ -1289,6 +1374,76 @@ mod tests {
             .run(&mut NoNoise)
             .unwrap();
         assert_eq!(plain, traced);
+        assert!(!rec.events.is_empty());
+    }
+
+    /// The compiled fast path and the legacy wrapper agree exactly, and
+    /// one scratch reused across schedules and error cases never bleeds
+    /// state into later runs.
+    #[test]
+    fn compiled_path_matches_legacy_and_scratch_reuse_is_clean() {
+        use crate::compile::CompiledSchedule;
+        let p = xc40();
+        // A communication mix: eager + rendezvous + ANY_SOURCE + calc.
+        let mut b = ScheduleBuilder::new(3);
+        let c = b.calc(Rank(0), Span::from_us(2), &[]);
+        b.send(Rank(0), Rank(2), 8, Tag(1), &[c]);
+        b.send(Rank(1), Rank(2), 64 * 1024, Tag(2), &[]);
+        let r1 = b.recv(Rank(2), None, 8, Tag(1), &[]);
+        b.recv(Rank(2), Some(Rank(1)), 64 * 1024, Tag(2), &[r1]);
+        let s = b.build();
+        let legacy = simulate(&s, &p, &mut NoNoise).unwrap();
+
+        let cs = CompiledSchedule::compile(&s);
+        assert_eq!(simulate_compiled(&cs, &p, &mut NoNoise).unwrap(), legacy);
+
+        let mut scratch = RunScratch::new();
+        // Run a *different* schedule through the scratch first, then a
+        // deadlocking one — neither may affect the next result.
+        let mut b2 = ScheduleBuilder::new(2);
+        b2.send(Rank(0), Rank(1), 8, Tag(9), &[]);
+        b2.recv(Rank(1), Some(Rank(0)), 8, Tag(9), &[]);
+        let other = CompiledSchedule::compile(&b2.build());
+        simulate_compiled_with(&other, &p, &mut scratch, &mut NoNoise).unwrap();
+        let mut b3 = ScheduleBuilder::new(1);
+        b3.recv(Rank(0), None, 8, Tag(1), &[]);
+        let stuck = CompiledSchedule::compile(&b3.build());
+        simulate_compiled_with(&stuck, &p, &mut scratch, &mut NoNoise).unwrap_err();
+        assert_eq!(
+            simulate_compiled_with(&cs, &p, &mut scratch, &mut NoNoise).unwrap(),
+            legacy
+        );
+        // And again: back-to-back reuse of the (now warm) scratch.
+        assert_eq!(
+            simulate_compiled_with(&cs, &p, &mut scratch, &mut NoNoise).unwrap(),
+            legacy
+        );
+    }
+
+    /// `Simulator::from_compiled` shares one Arc across runs (including
+    /// a recorded one) and matches `Simulator::new`.
+    #[test]
+    fn from_compiled_shares_schedule_across_runs() {
+        use crate::compile::CompiledSchedule;
+        use crate::record::VecRecorder;
+        let p = xc40();
+        let mut b = ScheduleBuilder::new(2);
+        let c = b.calc(Rank(0), Span::from_us(5), &[]);
+        b.send(Rank(0), Rank(1), 32 * 1024, Tag(4), &[c]);
+        b.recv(Rank(1), Some(Rank(0)), 32 * 1024, Tag(4), &[]);
+        let s = b.build();
+        let cs = Arc::new(CompiledSchedule::compile(&s));
+        let base = Simulator::new(&s, p).run(&mut NoNoise).unwrap();
+        let a = Simulator::from_compiled(Arc::clone(&cs), p)
+            .run(&mut NoNoise)
+            .unwrap();
+        let mut rec = VecRecorder::default();
+        let traced = Simulator::from_compiled(Arc::clone(&cs), p)
+            .with_recorder(&mut rec)
+            .run(&mut NoNoise)
+            .unwrap();
+        assert_eq!(a, base);
+        assert_eq!(traced, base);
         assert!(!rec.events.is_empty());
     }
 

@@ -54,6 +54,35 @@ impl Schedule {
         self.ranks.iter().map(|r| r.ops.len()).sum()
     }
 
+    /// Flat-layout rank offsets: `offsets[r]..offsets[r + 1]` is rank
+    /// `r`'s slice of the global op index space `0..total_ops()` used by
+    /// compiled (struct-of-arrays) schedule representations. The flat
+    /// index of `(rank, op)` is `offsets[rank] + op`.
+    pub fn flat_offsets(&self) -> Vec<u32> {
+        let mut offsets = Vec::with_capacity(self.ranks.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for r in &self.ranks {
+            total = total
+                .checked_add(u32::try_from(r.ops.len()).expect("rank op count exceeds u32"))
+                .expect("total op count exceeds u32");
+            offsets.push(total);
+        }
+        offsets
+    }
+
+    /// Iterate every op in flat order (rank-major, then op insertion
+    /// order) — the exact order of the flat index space described by
+    /// [`flat_offsets`](Schedule::flat_offsets).
+    pub fn iter_flat(&self) -> impl Iterator<Item = (Rank, crate::op::OpId, &Op)> {
+        self.ranks.iter().enumerate().flat_map(|(r, rank)| {
+            rank.ops
+                .iter()
+                .enumerate()
+                .map(move |(i, op)| (Rank(r as u32), crate::op::OpId(i as u32), op))
+        })
+    }
+
     /// Aggregate statistics (op mix, bytes, compute time).
     pub fn stats(&self) -> ScheduleStats {
         let mut s = ScheduleStats {
@@ -136,6 +165,24 @@ mod tests {
         assert_eq!(s.total_ops(), 0);
         assert!(s.rank(Rank(0)).is_empty());
         assert_eq!(s.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn flat_offsets_and_iteration_agree() {
+        let mut b = ScheduleBuilder::new(3);
+        b.calc(Rank(0), Span::from_us(1), &[]);
+        b.send(Rank(0), Rank(1), 8, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+        // Rank 2 stays empty.
+        let s = b.build();
+        assert_eq!(s.flat_offsets(), vec![0, 2, 3, 3]);
+        let flat: Vec<(u32, u32)> = s.iter_flat().map(|(r, i, _)| (r.0, i.0)).collect();
+        assert_eq!(flat, vec![(0, 0), (0, 1), (1, 0)]);
+        let off = s.flat_offsets();
+        for (k, (r, i, op)) in s.iter_flat().enumerate() {
+            assert_eq!(off[r.idx()] + i.0, k as u32);
+            assert_eq!(&s.ranks[r.idx()].ops[i.idx()], op);
+        }
     }
 
     #[test]
