@@ -39,6 +39,10 @@ const VALUED: &[&str] = &[
     "trace-out",
     "metrics-interval",
     "metrics-out",
+    "observe-replicas",
+    "provenance-out",
+    "heatmap-out",
+    "bins",
 ];
 
 impl Args {

@@ -38,6 +38,9 @@ COMMANDS
   trace             Generate / extrapolate / simulate MPI traces; export
                     Chrome traces and interval metrics (see TRACE OPTIONS)
   trace-check FILE  Validate a Chrome trace written by trace --trace-out
+  attribute FILE    Per-event CE detour provenance for a simulated trace:
+                    absorbed/propagated classification, amplification
+                    factors, JSONL + heatmap reports (ATTRIBUTE OPTIONS)
   ablate            Compare CE sensitivity under both allreduce expansions
   skeletons         Print the calibrated workload-skeleton parameters
   list              List workloads and logging modes
@@ -64,8 +67,13 @@ SCALE OPTIONS (fig3..fig7)
                     engine throughput (events/s and simulated seconds per
                     wall second), and an ETA extrapolated from
                     completed-cell wall time
-  --observe         Record replica 0 of every cell and append critical-path
-                    columns (cp_*_s) to --csv output; results unchanged
+  --observe         Record replicas of every cell and append critical-path
+                    (cp_*_s mean/stddev) and provenance columns
+                    (events_absorbed, events_propagated, max_amplification,
+                    p99_amplification) to --csv output; results unchanged
+  --observe-replicas N
+                    Number of replicas per cell to record and aggregate
+                    [default 1; implies --observe]
 
 TRACE OPTIONS (cesim trace [FILE])
   --generate FILE   Write a synthetic PMPI-style trace and exit
@@ -77,6 +85,18 @@ TRACE OPTIONS (cesim trace [FILE])
   --metrics-interval DT
                     Emit per-rank interval metrics CSV sampled every DT
                     (e.g. 1ms) to stdout, or to --metrics-out FILE
+
+ATTRIBUTE OPTIONS (cesim attribute FILE)
+  --mode M          hw | sw | fw | <microseconds> [default sw]
+  --mtbce DURATION  Per-node mean time between CEs [default 10]
+  --seed N          Noise RNG seed
+  --provenance-out FILE
+                    Write per-event provenance JSONL (one record per
+                    detour plus a trailing summary object)
+  --heatmap-out FILE
+                    Write a rank x time-bin heatmap CSV (detour counts,
+                    stolen CPU time, induced delay per cell)
+  --bins N          Heatmap time bins [default 32]
 
 RUN OPTIONS (cesim run)
   --app NAME        Workload [default LULESH]
@@ -112,7 +132,7 @@ fn main() -> ExitCode {
 
 fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
     // Only the trace tools take positional arguments (a trace file path).
-    if !matches!(cmd, "trace" | "trace-check") {
+    if !matches!(cmd, "trace" | "trace-check" | "attribute") {
         if let Some(p) = args.positionals.first() {
             return Err(format!("unexpected argument '{p}'"));
         }
@@ -143,6 +163,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
         "goal" => cmd_goal(args),
         "trace" => cmd_trace(args),
         "trace-check" => cmd_trace_check(args),
+        "attribute" => cmd_attribute(args),
         "ablate" => cmd_ablate(args),
         other => Err(format!("unknown command '{other}' (try 'cesim help')")),
     }
@@ -199,7 +220,11 @@ fn scale_config(args: &Args) -> Result<ScaleConfig, String> {
     }
     cfg.progress = !args.has_flag("quiet");
     cfg.progress_eta = args.has_flag("progress");
-    cfg.observe = args.has_flag("observe");
+    cfg.observe = args.has_flag("observe") || args.get("observe-replicas").is_some();
+    cfg.observe_replicas = args.get_parsed("observe-replicas", cfg.observe_replicas)?;
+    if cfg.observe && cfg.observe_replicas == 0 {
+        return Err("--observe-replicas must be at least 1 when observing".into());
+    }
     if let Some(list) = args.get("apps") {
         let mut apps = Vec::new();
         for name in list.split(',') {
@@ -495,6 +520,107 @@ fn cmd_trace_check(args: &Args) -> Result<(), String> {
         "{path}: ok ({} events: {} slices, {} counters, {} tracks)",
         stats.events, stats.slices, stats.counters, stats.tracks
     );
+    Ok(())
+}
+
+/// Per-event detour provenance over a trace file: simulate the trace
+/// under CE noise with recording enabled, run the causal propagation
+/// pass, print a fleet-style summary and optionally write the per-event
+/// JSONL and the rank×time heatmap CSV. Any validation failure — a
+/// truncated recording, a conservation-invariant violation, or emitted
+/// JSONL that fails to re-parse — is an error, so the process exits
+/// nonzero.
+fn cmd_attribute(args: &Args) -> Result<(), String> {
+    use cesim_core::engine::Simulator;
+    use cesim_core::goal::collectives::CollectiveCosts;
+    use cesim_core::noise::CeNoise;
+    use cesim_core::obs::{provenance, JsonValue, TimelineRecorder};
+    use cesim_trace as tr;
+
+    let Some(path) = args.positionals.first() else {
+        return Err("attribute needs a trace file argument".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let set = tr::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let sched = tr::convert(&set, &CollectiveCosts::default()).map_err(|e| e.to_string())?;
+    let params = LogGopsParams::xc40();
+    let base = simulate(&sched, &params, &mut NoNoise).map_err(|e| e.to_string())?;
+    let mode = parse_mode(args.get("mode").unwrap_or("sw"))?;
+    let mtbce = cesim_core::model::parse_span(args.get("mtbce").unwrap_or("10"))?;
+    let mut noise = CeNoise::new(
+        sched.num_ranks(),
+        mtbce,
+        mode.per_event_cost(),
+        Scope::AllRanks,
+        args.get_parsed("seed", 0xCE11u64)?,
+    );
+    let cap = (sched.total_ops().saturating_mul(12)).clamp(1 << 10, 1 << 22);
+    let mut rec = TimelineRecorder::with_capacity(cap);
+    let pert = Simulator::new(&sched, params)
+        .with_recorder(&mut rec)
+        .run(&mut noise)
+        .map_err(|e| e.to_string())?;
+
+    let report = provenance::analyze(&rec.events(), rec.dropped());
+    report.check().map_err(|e| format!("{path}: {e}"))?;
+    if report.makespan != pert.finish.since(Time::ZERO) {
+        return Err(format!(
+            "{path}: recorded makespan {} disagrees with simulated finish {}",
+            report.makespan, pert.finish
+        ));
+    }
+    // Self-validate the JSONL before anything is written.
+    let jsonl = provenance::provenance_jsonl(&report);
+    for (i, line) in jsonl.lines().enumerate() {
+        JsonValue::parse(line)
+            .map_err(|e| format!("internal: provenance JSONL line {} invalid: {e}", i + 1))?;
+    }
+
+    let s = report.summary();
+    println!(
+        "attribute {path}: {} ranks, {mode}, MTBCE {mtbce} -> {} detours \
+         ({} absorbed, {} partially absorbed, {} propagated)",
+        report.ranks, s.events, s.absorbed, s.partially_absorbed, s.propagated
+    );
+    println!(
+        "makespan {} = baseline {} + noise; replay delta {}, stolen {}, \
+         amplification max {:.2} p99 {:.2}",
+        report.makespan,
+        base.finish,
+        report.replay_delta(),
+        report.total_stolen,
+        s.max_amplification,
+        s.p99_amplification
+    );
+    let mut worst: Vec<&cesim_core::obs::DetourFate> = report.fates.iter().collect();
+    worst.sort_by(|a, b| b.global_delay.cmp(&a.global_delay).then(a.id.cmp(&b.id)));
+    for f in worst.iter().take(5) {
+        if f.global_delay.is_zero() {
+            break;
+        }
+        println!(
+            "  detour {} on rank {} at {}: {} stolen -> {} induced across {} rank(s), \
+             {} on makespan ({})",
+            f.id,
+            f.rank,
+            f.at,
+            f.dur,
+            f.global_delay,
+            f.ranks_delayed + u32::from(!f.self_delay.is_zero()),
+            f.makespan_contribution,
+            f.fate.label()
+        );
+    }
+    if let Some(out) = args.get("provenance-out") {
+        std::fs::write(out, &jsonl).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out} ({} records + summary)", report.fates.len());
+    }
+    if let Some(out) = args.get("heatmap-out") {
+        let bins = args.get_parsed("bins", 32usize)?;
+        let csv = provenance::heatmap_csv(&report, bins);
+        std::fs::write(out, csv).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
     Ok(())
 }
 

@@ -1,0 +1,113 @@
+//! Exit-status contract for the validating subcommands: `trace-check`
+//! and `attribute` must exit nonzero whenever their input fails
+//! validation, so CI pipelines can gate on them directly.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cesim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cesim"))
+}
+
+/// Path to a file shipped in the repository `examples/` directory.
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(name)
+}
+
+/// Scratch file path unique to this test binary run.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cesim-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn attribute_on_valid_trace_exits_zero() {
+    let out = cesim()
+        .arg("attribute")
+        .arg(example("ring8.trc"))
+        .args(["--mode", "sw", "--mtbce", "2ms", "--seed", "7"])
+        .output()
+        .expect("spawn cesim");
+    assert!(
+        out.status.success(),
+        "expected success, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("detours"), "summary missing: {stdout}");
+    assert!(stdout.contains("replay delta"), "summary missing: {stdout}");
+}
+
+#[test]
+fn attribute_on_truncated_trace_exits_nonzero() {
+    let full = std::fs::read(example("ring8.trc")).unwrap();
+    let path = scratch("truncated.trc");
+    // Cut the file mid-record: the parser must reject it and the
+    // process must report that through its exit status.
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+    let out = cesim()
+        .arg("attribute")
+        .arg(&path)
+        .output()
+        .expect("spawn cesim");
+    assert!(
+        !out.status.success(),
+        "truncated trace must fail, stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error"),
+        "stderr should carry the error"
+    );
+}
+
+#[test]
+fn attribute_on_missing_file_exits_nonzero() {
+    let out = cesim()
+        .arg("attribute")
+        .arg(scratch("does-not-exist.trc"))
+        .output()
+        .expect("spawn cesim");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn trace_check_on_truncated_json_exits_nonzero() {
+    // Produce a valid Chrome trace first, then truncate it.
+    let json = scratch("ring8-trace.json");
+    let out = cesim()
+        .arg("trace")
+        .arg(example("ring8.trc"))
+        .arg("--trace-out")
+        .arg(&json)
+        .output()
+        .expect("spawn cesim");
+    assert!(
+        out.status.success(),
+        "trace conversion failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let ok = cesim()
+        .arg("trace-check")
+        .arg(&json)
+        .output()
+        .expect("spawn cesim");
+    assert!(ok.status.success(), "intact trace must validate");
+
+    let full = std::fs::read(&json).unwrap();
+    let broken = scratch("ring8-trace-truncated.json");
+    std::fs::write(&broken, &full[..full.len() * 2 / 3]).unwrap();
+    let bad = cesim()
+        .arg("trace-check")
+        .arg(&broken)
+        .output()
+        .expect("spawn cesim");
+    assert!(
+        !bad.status.success(),
+        "truncated Chrome trace must fail validation"
+    );
+}

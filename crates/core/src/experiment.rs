@@ -19,6 +19,7 @@ use cesim_goal::Schedule;
 use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
 use cesim_noise::{CeNoise, Scope};
 use cesim_obs::critical::Attribution;
+use cesim_obs::provenance::ProvenanceSummary;
 use cesim_obs::TimelineRecorder;
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
 use rayon::prelude::*;
@@ -117,16 +118,77 @@ impl Experiment {
     }
 }
 
-/// Per-cell observability summary, recorded on the first replica when
-/// tracing is enabled (see [`run_against_baseline_observed`]).
+/// Observability record for one recorded replica: critical-path
+/// attribution plus the per-event detour-provenance summary.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct CellObs {
-    /// Critical-path makespan attribution of replica 0.
+pub struct ReplicaObs {
+    /// Replica index the recording came from.
+    pub rep: u32,
+    /// Critical-path makespan attribution.
     pub attr: Attribution,
+    /// Detour-provenance summary (absorbed/propagated counts and
+    /// amplification percentiles; see `cesim_obs::provenance`).
+    pub prov: ProvenanceSummary,
     /// Events retained by the ring buffer.
     pub events: u64,
     /// Events dropped by the ring buffer (0 = complete timeline).
     pub dropped: u64,
+}
+
+/// Per-cell observability: the first `observe_replicas` replicas of the
+/// cell, recorded and summarized (see
+/// [`run_against_baseline_compiled`]), plus aggregation helpers that the
+/// CSV reporting layer uses for mean/stddev columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellObs {
+    /// One entry per observed replica, ascending replica index. Never
+    /// empty (a cell with nothing recorded carries no `CellObs`).
+    pub replicas: Vec<ReplicaObs>,
+}
+
+impl CellObs {
+    /// The first observed replica (replica 0).
+    pub fn first(&self) -> &ReplicaObs {
+        &self.replicas[0]
+    }
+
+    /// Mean and sample standard deviation of a per-replica metric
+    /// (stddev 0 with fewer than two replicas).
+    pub fn mean_sd(&self, f: impl Fn(&ReplicaObs) -> f64) -> (f64, f64) {
+        let n = self.replicas.len();
+        let xs: Vec<f64> = self.replicas.iter().map(f).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return (mean, 0.0);
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Mean detours per replica that never left their own rank
+    /// (absorbed + partially absorbed).
+    pub fn mean_absorbed(&self) -> f64 {
+        self.mean_sd(|r| (r.prov.absorbed + r.prov.partially_absorbed) as f64)
+            .0
+    }
+
+    /// Mean detours per replica that delayed other ranks or the makespan.
+    pub fn mean_propagated(&self) -> f64 {
+        self.mean_sd(|r| r.prov.propagated as f64).0
+    }
+
+    /// Largest amplification factor in any observed replica.
+    pub fn max_amplification(&self) -> f64 {
+        self.replicas
+            .iter()
+            .map(|r| r.prov.max_amplification)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean 99th-percentile amplification across observed replicas.
+    pub fn p99_amplification(&self) -> f64 {
+        self.mean_sd(|r| r.prov.p99_amplification).0
+    }
 }
 
 /// One perturbed replica's result.
@@ -153,9 +215,9 @@ pub struct Outcome {
     pub runs: Vec<RunStats>,
     /// True when the configuration was treated as "no forward progress".
     pub diverged: bool,
-    /// Observability summary from replica 0; `None` unless the
-    /// experiment ran through [`run_against_baseline_observed`] with
-    /// observation enabled.
+    /// Observability summaries of the recorded replicas; `None` unless
+    /// the experiment ran with a non-zero `observe_replicas` count (see
+    /// [`run_against_baseline_observed`]).
     pub obs: Option<CellObs>,
 }
 
@@ -237,7 +299,7 @@ pub fn run_on_schedule(
 ) -> Result<Outcome, SimError> {
     let cs = Arc::new(CompiledSchedule::compile(sched));
     let base = simulate_compiled(&cs, &exp.params, &mut NoNoise)?;
-    run_against_baseline_compiled(exp, ranks, &cs, base.finish, false)
+    run_against_baseline_compiled(exp, ranks, &cs, base.finish, 0)
 }
 
 /// Innermost schedule-based variant: baseline already known, no
@@ -248,22 +310,23 @@ pub fn run_against_baseline(
     sched: &Schedule,
     baseline: Time,
 ) -> Result<Outcome, SimError> {
-    run_against_baseline_observed(exp, ranks, sched, baseline, false)
+    run_against_baseline_observed(exp, ranks, sched, baseline, 0)
 }
 
-/// Like [`run_against_baseline`], optionally recording replica 0 with a
-/// bounded [`TimelineRecorder`] and attaching a critical-path summary
-/// ([`CellObs`]) to the outcome. Thin wrapper: compiles the schedule,
-/// then delegates to [`run_against_baseline_compiled`].
+/// Like [`run_against_baseline`], recording the first `observe_replicas`
+/// replicas with bounded [`TimelineRecorder`]s and attaching per-replica
+/// critical-path and provenance summaries ([`CellObs`]) to the outcome.
+/// Thin wrapper: compiles the schedule, then delegates to
+/// [`run_against_baseline_compiled`].
 pub fn run_against_baseline_observed(
     exp: &Experiment,
     ranks: usize,
     sched: &Schedule,
     baseline: Time,
-    observe: bool,
+    observe_replicas: usize,
 ) -> Result<Outcome, SimError> {
     let cs = Arc::new(CompiledSchedule::compile(sched));
-    run_against_baseline_compiled(exp, ranks, &cs, baseline, observe)
+    run_against_baseline_compiled(exp, ranks, &cs, baseline, observe_replicas)
 }
 
 /// Innermost variant: replicas of an already-compiled schedule against a
@@ -274,18 +337,22 @@ pub fn run_against_baseline_observed(
 ///
 /// **Determinism contract.** The recorder never alters simulation state
 /// (the engine's instrumentation only observes), each replica still
-/// derives its RNG stream from stable coordinates, and the recorder is
-/// private to replica 0's job — so outcomes (and any CSV rendered from
+/// derives its RNG stream from stable coordinates, and each recorder is
+/// private to its replica's job — so outcomes (and any CSV rendered from
 /// them) are byte-identical for every thread count, with or without
 /// observation. Compilation itself is result-invariant: the compiled
 /// engine path is property-tested bit-identical to the legacy
 /// rebuild-per-run path (`tests/compiled_equivalence.rs`).
+///
+/// `observe_replicas` is the number of leading replicas (`rep <
+/// observe_replicas`) to record and summarize; `0` disables observation
+/// entirely.
 pub fn run_against_baseline_compiled(
     exp: &Experiment,
     ranks: usize,
     cs: &Arc<CompiledSchedule>,
     baseline: Time,
-    observe: bool,
+    observe_replicas: usize,
 ) -> Result<Outcome, SimError> {
     let baseline_span = baseline.since(Time::ZERO);
     if exp.diverges() {
@@ -302,12 +369,12 @@ pub fn run_against_baseline_compiled(
     // Each replica is a self-contained job — its own noise model, seeded
     // from stable coordinates — so the replicas parallelize freely and
     // results are reassembled in replica order (identical to serial).
-    let results: Vec<Result<(RunStats, Option<CellObs>), SimError>> = (0..exp.reps)
+    let results: Vec<Result<(RunStats, Option<ReplicaObs>), SimError>> = (0..exp.reps)
         .into_par_iter()
         .map(|rep| {
             let mut noise =
                 CeNoise::new(ranks, exp.mtbce, detour, exp.scope, rep_seed(exp.seed, rep));
-            if observe && rep == 0 {
+            if (rep as usize) < observe_replicas {
                 // Size the ring for the full event stream of typical
                 // schedules (~a dozen events per op), bounded above so a
                 // huge sweep cell cannot exhaust memory.
@@ -316,15 +383,19 @@ pub fn run_against_baseline_compiled(
                 let r = Simulator::from_compiled(Arc::clone(cs), exp.params)
                     .with_recorder(&mut rec)
                     .run(&mut noise)?;
-                let attr = cesim_obs::critical::attribute(&rec.events());
+                let events = rec.events();
+                let attr = cesim_obs::critical::attribute(&events);
+                let prov = cesim_obs::provenance::analyze(&events, rec.dropped()).summary();
                 Ok((
                     RunStats {
                         finish: r.finish.since(Time::ZERO),
                         ce_events: r.noise_events,
                         events: r.events_processed,
                     },
-                    Some(CellObs {
+                    Some(ReplicaObs {
+                        rep,
                         attr,
+                        prov,
                         events: rec.len() as u64,
                         dropped: rec.dropped(),
                     }),
@@ -343,8 +414,12 @@ pub fn run_against_baseline_compiled(
             }
         })
         .collect();
-    let pairs: Vec<(RunStats, Option<CellObs>)> = results.into_iter().collect::<Result<_, _>>()?;
-    let obs = pairs.iter().find_map(|(_, o)| *o);
+    let pairs: Vec<(RunStats, Option<ReplicaObs>)> =
+        results.into_iter().collect::<Result<_, _>>()?;
+    // Replica order is job order, so the aggregation below is
+    // deterministic regardless of worker interleaving.
+    let replicas: Vec<ReplicaObs> = pairs.iter().filter_map(|(_, o)| *o).collect();
+    let obs = (!replicas.is_empty()).then_some(CellObs { replicas });
     let runs: Vec<RunStats> = pairs.into_iter().map(|(r, _)| r).collect();
     Ok(Outcome {
         app: exp.app,
@@ -464,19 +539,56 @@ mod tests {
         let sched = cesim_workloads::build(exp.app, ranks, &exp.workload);
         let base = simulate(&sched, &exp.params, &mut NoNoise).unwrap();
         let plain = run_against_baseline(&exp, ranks, &sched, base.finish).unwrap();
-        let observed =
-            run_against_baseline_observed(&exp, ranks, &sched, base.finish, true).unwrap();
+        let observed = run_against_baseline_observed(&exp, ranks, &sched, base.finish, 1).unwrap();
         // Observation is a pure add-on: replica results are identical.
         assert_eq!(plain.runs, observed.runs);
         assert!(plain.obs.is_none());
         let obs = observed.obs.expect("replica 0 was recorded");
-        assert!(obs.events > 0);
-        assert_eq!(obs.dropped, 0, "small schedule must fit the ring");
+        assert_eq!(obs.replicas.len(), 1);
+        let r0 = obs.first();
+        assert_eq!(r0.rep, 0);
+        assert!(r0.events > 0);
+        assert_eq!(r0.dropped, 0, "small schedule must fit the ring");
         // The attribution covers replica 0's makespan exactly.
-        assert_eq!(obs.attr.total(), obs.attr.finish);
-        assert_eq!(obs.attr.finish, observed.runs[0].finish);
-        assert!(!obs.attr.truncated);
-        assert!(obs.attr.compute > Span::ZERO);
+        assert_eq!(r0.attr.total(), r0.attr.finish);
+        assert_eq!(r0.attr.finish, observed.runs[0].finish);
+        assert!(!r0.attr.truncated);
+        assert!(r0.attr.compute > Span::ZERO);
+        // Provenance accounted for every recorded detour.
+        assert_eq!(
+            r0.prov.absorbed + r0.prov.partially_absorbed + r0.prov.propagated,
+            r0.prov.events
+        );
+    }
+
+    #[test]
+    fn multi_replica_observation_aggregates_in_replica_order() {
+        let exp = Experiment::new(AppId::Lulesh, 8)
+            .mode(LoggingMode::Firmware)
+            .mtbce(Span::from_secs(1))
+            .reps(3)
+            .steps(4);
+        let ranks = natural_ranks(exp.app, exp.nodes);
+        let sched = cesim_workloads::build(exp.app, ranks, &exp.workload);
+        let base = simulate(&sched, &exp.params, &mut NoNoise).unwrap();
+        let plain = run_against_baseline(&exp, ranks, &sched, base.finish).unwrap();
+        let out = run_against_baseline_observed(&exp, ranks, &sched, base.finish, 2).unwrap();
+        assert_eq!(plain.runs, out.runs, "observation never alters results");
+        let obs = out.obs.unwrap();
+        assert_eq!(obs.replicas.len(), 2);
+        assert_eq!(obs.replicas[0].rep, 0);
+        assert_eq!(obs.replicas[1].rep, 1);
+        // Each replica's attribution matches its own run.
+        for (i, r) in obs.replicas.iter().enumerate() {
+            assert_eq!(r.attr.finish, out.runs[i].finish);
+        }
+        let (mean, sd) = obs.mean_sd(|r| r.attr.finish.as_secs_f64());
+        assert!(mean > 0.0);
+        assert!(sd >= 0.0);
+        assert!(obs.max_amplification() >= 0.0);
+        // Asking for more observed replicas than reps records them all.
+        let capped = run_against_baseline_observed(&exp, ranks, &sched, base.finish, 99).unwrap();
+        assert_eq!(capped.obs.unwrap().replicas.len(), exp.reps as usize);
     }
 
     #[test]

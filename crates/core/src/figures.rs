@@ -49,9 +49,15 @@ pub struct ScaleConfig {
     /// Print sweep-level progress (cells completed / total, plus an ETA
     /// extrapolated from completed-cell wall time) to stderr.
     pub progress_eta: bool,
-    /// Record replica 0 of every cell and attach a critical-path summary
-    /// ([`CellObs`]) to the cell. Never alters results or determinism.
+    /// Record the first [`ScaleConfig::observe_replicas`] replicas of
+    /// every cell and attach critical-path and detour-provenance
+    /// summaries ([`CellObs`]) to the cell. Never alters results or
+    /// determinism.
     pub observe: bool,
+    /// How many leading replicas to record per cell when
+    /// [`ScaleConfig::observe`] is set (the CSV layer reports mean and
+    /// stddev across them).
+    pub observe_replicas: usize,
     /// Worker threads for the sweep: `0` uses every core (or
     /// `RAYON_NUM_THREADS`), `1` runs serially. Results are identical for
     /// every value — cells are seeded by position, not execution order.
@@ -70,6 +76,7 @@ impl Default for ScaleConfig {
             progress: false,
             progress_eta: false,
             observe: false,
+            observe_replicas: 1,
             threads: 0,
         }
     }
@@ -159,8 +166,9 @@ pub struct Cell {
     pub ce_events: f64,
     /// Ranks simulated.
     pub ranks: usize,
-    /// Critical-path summary of replica 0, when the sweep ran with
-    /// [`ScaleConfig::observe`] enabled.
+    /// Critical-path and detour-provenance summaries of the observed
+    /// replicas, when the sweep ran with [`ScaleConfig::observe`]
+    /// enabled.
     pub obs: Option<CellObs>,
 }
 
@@ -294,8 +302,14 @@ fn run_figure(
                     params: cesim_model::LogGopsParams::xc40(),
                     workload: cfg.workload_cfg(ai as u64),
                 };
-                let out = run_against_baseline_compiled(&exp, *ranks, cs, *baseline, cfg.observe)
-                    .expect("workload schedules are deadlock-free");
+                let observe_replicas = if cfg.observe {
+                    cfg.observe_replicas.max(1)
+                } else {
+                    0
+                };
+                let out =
+                    run_against_baseline_compiled(&exp, *ranks, cs, *baseline, observe_replicas)
+                        .expect("workload schedules are deadlock-free");
                 if cfg.progress || cfg.progress_eta {
                     use std::sync::atomic::Ordering::Relaxed;
                     let cell_events: u64 = out.runs.iter().map(|r| r.events).sum();

@@ -160,11 +160,24 @@ pub fn render_chart(fig: &FigureData) -> String {
 /// Render a figure as CSV (one row per cell, full detail).
 ///
 /// When the sweep ran with observation enabled (any cell carries a
-/// [`crate::experiment::CellObs`]), five critical-path columns are
-/// appended — `cp_compute_s,cp_comm_s,cp_network_s,cp_detour_s,
-/// cp_blocked_s` — reporting replica 0's makespan decomposition in
-/// seconds. Without observation the output is byte-identical to
-/// earlier versions.
+/// [`crate::experiment::CellObs`]), fourteen observability columns are
+/// appended:
+///
+/// * `cp_compute_s,cp_comm_s,cp_network_s,cp_detour_s,cp_blocked_s` —
+///   critical-path makespan decomposition in seconds, **mean across the
+///   observed replicas**;
+/// * `cp_compute_sd,cp_comm_sd,cp_network_sd,cp_detour_sd,
+///   cp_blocked_sd` — the matching sample standard deviations (0 when a
+///   single replica was observed);
+/// * `events_absorbed,events_propagated` — mean detours per observed
+///   replica that stayed on their own rank (absorbed + partially
+///   absorbed) vs. delayed other ranks or the makespan;
+/// * `max_amplification` — the largest amplification factor (global
+///   delay induced ÷ CPU time stolen) in any observed replica;
+/// * `p99_amplification` — mean 99th-percentile amplification across
+///   observed replicas.
+///
+/// Without observation the output is byte-identical to earlier versions.
 pub fn figure_csv(fig: &FigureData) -> String {
     let observed = fig.cells.iter().any(|c| c.obs.is_some());
     let mut out = String::new();
@@ -173,6 +186,8 @@ pub fn figure_csv(fig: &FigureData) -> String {
     );
     if observed {
         out.push_str(",cp_compute_s,cp_comm_s,cp_network_s,cp_detour_s,cp_blocked_s");
+        out.push_str(",cp_compute_sd,cp_comm_sd,cp_network_sd,cp_detour_sd,cp_blocked_sd");
+        out.push_str(",events_absorbed,events_propagated,max_amplification,p99_amplification");
     }
     out.push('\n');
     for c in &fig.cells {
@@ -193,17 +208,29 @@ pub fn figure_csv(fig: &FigureData) -> String {
         if observed {
             match &c.obs {
                 Some(o) => {
+                    let cp = [
+                        o.mean_sd(|r| r.attr.compute.as_secs_f64()),
+                        o.mean_sd(|r| r.attr.comm_cpu.as_secs_f64()),
+                        o.mean_sd(|r| r.attr.network.as_secs_f64()),
+                        o.mean_sd(|r| r.attr.detour.as_secs_f64()),
+                        o.mean_sd(|r| r.attr.blocked.as_secs_f64()),
+                    ];
+                    for (mean, _) in &cp {
+                        let _ = write!(out, ",{mean}");
+                    }
+                    for (_, sd) in &cp {
+                        let _ = write!(out, ",{sd}");
+                    }
                     let _ = write!(
                         out,
-                        ",{},{},{},{},{}",
-                        o.attr.compute.as_secs_f64(),
-                        o.attr.comm_cpu.as_secs_f64(),
-                        o.attr.network.as_secs_f64(),
-                        o.attr.detour.as_secs_f64(),
-                        o.attr.blocked.as_secs_f64()
+                        ",{},{},{},{}",
+                        o.mean_absorbed(),
+                        o.mean_propagated(),
+                        o.max_amplification(),
+                        o.p99_amplification()
                     );
                 }
-                None => out.push_str(",,,,,"),
+                None => out.push_str(",,,,,,,,,,,,,,"),
             }
         }
         out.push('\n');
@@ -318,33 +345,89 @@ mod tests {
 
     #[test]
     fn csv_obs_columns_appear_only_when_observed() {
-        use crate::experiment::CellObs;
+        use crate::experiment::{CellObs, ReplicaObs};
         use cesim_obs::critical::Attribution;
+        use cesim_obs::provenance::ProvenanceSummary;
         let mut fig = sample_fig();
         // Unobserved sweeps keep the legacy header byte-for-byte.
         let plain = figure_csv(&fig);
         assert!(plain.lines().next().unwrap().ends_with("ce_events"));
         fig.cells[0].obs = Some(CellObs {
-            attr: Attribution {
-                finish: Span::from_secs(2),
-                compute: Span::from_secs(1),
-                comm_cpu: Span::from_ms(500),
-                network: Span::from_ms(300),
-                detour: Span::from_ms(150),
-                blocked: Span::from_ms(50),
-                truncated: false,
-            },
-            events: 42,
-            dropped: 0,
+            replicas: vec![ReplicaObs {
+                rep: 0,
+                attr: Attribution {
+                    finish: Span::from_secs(2),
+                    compute: Span::from_secs(1),
+                    comm_cpu: Span::from_ms(500),
+                    network: Span::from_ms(300),
+                    detour: Span::from_ms(150),
+                    blocked: Span::from_ms(50),
+                    truncated: false,
+                },
+                prov: ProvenanceSummary {
+                    events: 3,
+                    absorbed: 1,
+                    partially_absorbed: 1,
+                    propagated: 1,
+                    max_amplification: 2.0,
+                    p99_amplification: 1.5,
+                },
+                events: 42,
+                dropped: 0,
+            }],
         });
         let csv = figure_csv(&fig);
-        assert!(csv.lines().next().unwrap().ends_with("cp_blocked_s"));
+        assert!(csv.lines().next().unwrap().ends_with("p99_amplification"));
+        // Means are the single replica's values; stddevs collapse to 0;
+        // absorbed counts partially-absorbed events too.
         assert!(csv
             .lines()
             .nth(1)
             .unwrap()
-            .ends_with(",1,0.5,0.3,0.15,0.05"));
-        // Cells without a summary get empty critical-path fields.
-        assert!(csv.lines().nth(2).unwrap().ends_with(",,,,,"));
+            .ends_with(",1,0.5,0.3,0.15,0.05,0,0,0,0,0,2,1,2,1.5"));
+        // Cells without a summary get empty observability fields.
+        assert!(csv.lines().nth(2).unwrap().ends_with(",,,,,,,,,,,,,,"));
+    }
+
+    #[test]
+    fn csv_obs_multi_replica_means_and_stddevs() {
+        use crate::experiment::{CellObs, ReplicaObs};
+        use cesim_obs::critical::Attribution;
+        use cesim_obs::provenance::ProvenanceSummary;
+        let rep = |rep: u32, compute_s: u64, max_amp: f64| ReplicaObs {
+            rep,
+            attr: Attribution {
+                finish: Span::from_secs(compute_s),
+                compute: Span::from_secs(compute_s),
+                ..Attribution::default()
+            },
+            prov: ProvenanceSummary {
+                events: 4,
+                absorbed: 2,
+                partially_absorbed: 0,
+                propagated: 2,
+                max_amplification: max_amp,
+                p99_amplification: max_amp,
+            },
+            events: 10,
+            dropped: 0,
+        };
+        let mut fig = sample_fig();
+        fig.cells[0].obs = Some(CellObs {
+            replicas: vec![rep(0, 1, 3.0), rep(1, 3, 1.0)],
+        });
+        let csv = figure_csv(&fig);
+        let row = csv.lines().nth(1).unwrap();
+        // compute mean (1+3)/2 = 2, sample stddev = sqrt(2); absorbed
+        // mean 2, propagated mean 2; max amplification is the max (3),
+        // p99 the mean (2).
+        let fields: Vec<&str> = row.split(',').collect();
+        let f = |i: usize| fields[fields.len() - 14 + i].parse::<f64>().unwrap();
+        assert_eq!(f(0), 2.0); // cp_compute_s mean
+        assert!((f(5) - 2.0_f64.sqrt()).abs() < 1e-12); // cp_compute_sd
+        assert_eq!(f(10), 2.0); // events_absorbed
+        assert_eq!(f(11), 2.0); // events_propagated
+        assert_eq!(f(12), 3.0); // max_amplification
+        assert_eq!(f(13), 2.0); // p99_amplification
     }
 }

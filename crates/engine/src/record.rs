@@ -125,7 +125,19 @@ pub enum SimEvent {
     },
     /// A non-zero noise detour of `dur` inside the segment ending at
     /// `at + dur` (tail-placement convention, see module docs).
+    ///
+    /// Note the noise-model granularity: one `Detour` record aggregates
+    /// **all** CE arrivals the noise model folded into a single CPU
+    /// segment (the engine only observes the stretched segment end), so
+    /// an id names one contiguous stolen interval, not necessarily one
+    /// CE.
     Detour {
+        /// Stable per-run detour id, assigned in emission order starting
+        /// at 0. Deterministic: the engine loop is deterministic, so the
+        /// same (schedule, params, noise stream) yields the same ids.
+        /// Provenance tooling (`cesim-obs::provenance`) keys per-event
+        /// attribution on this.
+        id: u64,
         /// Affected rank.
         rank: u32,
         /// Op whose segment absorbed the detour.
@@ -327,6 +339,7 @@ mod tests {
         };
         assert_eq!(e.at(), Time::from_ps(10));
         let d = SimEvent::Detour {
+            id: 0,
             rank: 0,
             op: 1,
             at: Time::from_ps(15),

@@ -138,6 +138,9 @@ pub struct RunScratch {
     max_unexpected: usize,
     max_posted: usize,
     next_msg_id: u64,
+    /// Next detour id (bumped only when a recorder is enabled, so the
+    /// default path never touches it past reset).
+    next_detour_id: u64,
 }
 
 impl RunScratch {
@@ -184,6 +187,7 @@ impl RunScratch {
         self.max_unexpected = 0;
         self.max_posted = 0;
         self.next_msg_id = 0;
+        self.next_detour_id = 0;
     }
 }
 
@@ -456,10 +460,13 @@ impl<'e, R: Recorder> Engine<'e, R> {
             });
             let detour = end.since(start).saturating_sub(work);
             if !detour.is_zero() {
+                let id = self.s.next_detour_id;
+                self.s.next_detour_id += 1;
                 // Tail-placement convention: the noise model reports only
                 // the stretched end, so place the detour at the segment
                 // tail (`start + work .. end`).
                 self.rec.record(SimEvent::Detour {
+                    id,
                     rank,
                     op,
                     at: start + work,
@@ -1348,14 +1355,65 @@ mod tests {
             .events
             .iter()
             .filter_map(|e| match *e {
-                SimEvent::Detour { rank, at, dur, .. } => Some((rank, at, dur)),
+                SimEvent::Detour {
+                    id, rank, at, dur, ..
+                } => Some((id, rank, at, dur)),
                 _ => None,
             })
             .collect();
-        // Tail placement: detour sits after the 10 us of useful work.
-        assert_eq!(detours, vec![(0, Time::ZERO + Span::from_us(10), d)]);
-        let stolen: Span = detours.iter().map(|&(_, _, dur)| dur).sum();
+        // Tail placement: detour sits after the 10 us of useful work;
+        // the first detour of the run gets id 0.
+        assert_eq!(detours, vec![(0, 0, Time::ZERO + Span::from_us(10), d)]);
+        let stolen: Span = detours.iter().map(|&(_, _, _, dur)| dur).sum();
         assert_eq!(stolen, d);
+    }
+
+    /// Detour ids are dense, sequential in emission order, and restart at
+    /// zero on every run — including scratch reuse.
+    #[test]
+    fn detour_ids_are_sequential_and_reset() {
+        use crate::compile::CompiledSchedule;
+        use crate::record::{SimEvent, VecRecorder};
+        let mut b = ScheduleBuilder::new(2);
+        let a = b.calc(Rank(0), Span::from_us(10), &[]);
+        b.calc(Rank(0), Span::from_us(10), &[a]);
+        b.calc(Rank(1), Span::from_us(10), &[]);
+        let s = b.build();
+        let script = || {
+            // The second rank-0 event lands strictly inside the second
+            // calc ([11us, 21us) after the first 1us detour): at 11us
+            // exactly it would cascade into the *first* segment
+            // (`stretch` absorbs everything due by the extended end).
+            ScriptedNoise::new(vec![
+                (Rank(0), Time::ZERO, Span::from_us(1)),
+                (Rank(0), Time::from_ps(15_000_000), Span::from_us(2)),
+                (Rank(1), Time::ZERO, Span::from_us(3)),
+            ])
+        };
+        let ids_of = |rec: &VecRecorder| -> Vec<u64> {
+            rec.events
+                .iter()
+                .filter_map(|e| match *e {
+                    SimEvent::Detour { id, .. } => Some(id),
+                    _ => None,
+                })
+                .collect()
+        };
+        let cs = Arc::new(CompiledSchedule::compile(&s));
+        let mut rec = VecRecorder::default();
+        Simulator::from_compiled(Arc::clone(&cs), xc40())
+            .with_recorder(&mut rec)
+            .run(&mut script())
+            .unwrap();
+        assert_eq!(ids_of(&rec), vec![0, 1, 2]);
+        // A second run (fresh simulator, same compiled schedule) restarts
+        // the sequence and emits the identical stream.
+        let mut rec2 = VecRecorder::default();
+        Simulator::from_compiled(cs, xc40())
+            .with_recorder(&mut rec2)
+            .run(&mut script())
+            .unwrap();
+        assert_eq!(rec.events, rec2.events);
     }
 
     /// The recorder must not perturb simulation results.

@@ -107,7 +107,9 @@ pub fn export_chrome_trace(events: &[SimEvent], dropped: u64) -> String {
                     &args,
                 );
             }
-            SimEvent::Detour { rank, op, at, dur } => {
+            SimEvent::Detour {
+                rank, op, at, dur, ..
+            } => {
                 max_rank = max_rank.max(rank);
                 let args = format!(r#""op":{op}"#);
                 push_complete(
@@ -345,6 +347,7 @@ mod tests {
                 work: Span::from_ps(1_500_000),
             },
             SimEvent::Detour {
+                id: 0,
                 rank: 0,
                 op: 0,
                 at: Time::from_ps(1_500_000),

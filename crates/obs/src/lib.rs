@@ -13,6 +13,9 @@
 //!   detours, and blocked time,
 //! * [`metrics`] — periodic per-rank interval metrics (busy / detour /
 //!   blocked fractions, match-queue depths) as CSV,
+//! * [`provenance`] — per-event detour provenance: a causal propagation
+//!   pass that classifies every injected detour as absorbed or
+//!   propagated, with amplification factors and makespan attribution,
 //! * [`json`] — a dependency-free JSON parser used to validate exported
 //!   traces.
 //!
@@ -28,12 +31,16 @@ pub mod chrome;
 pub mod critical;
 pub mod json;
 pub mod metrics;
+pub mod provenance;
 pub mod timeline;
 
 pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use critical::{Attribution, CriticalPath};
 pub use json::JsonValue;
 pub use metrics::{interval_metrics_csv, IntervalMetrics};
+pub use provenance::{
+    analyze, heatmap_csv, provenance_jsonl, DetourFate, Fate, ProvenanceReport, ProvenanceSummary,
+};
 pub use timeline::TimelineRecorder;
 
 // Re-export the engine-side contract so downstream users need one import.

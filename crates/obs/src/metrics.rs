@@ -242,6 +242,7 @@ mod tests {
         let evs = vec![
             exec(0, 0, 150, 100),
             SimEvent::Detour {
+                id: 0,
                 rank: 0,
                 op: 0,
                 at: Time::from_ps(100),

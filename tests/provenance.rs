@@ -1,0 +1,313 @@
+//! Per-event detour provenance: hand-built goldens with exact expected
+//! fates and amplification factors, plus the conservation invariants
+//! over randomized dependency DAGs with `MPI_ANY_SOURCE` wildcard
+//! receives and rendezvous transfers.
+//!
+//! The invariants (proved for the tight conservative timing graph the
+//! analyzer builds; see `cesim-obs::provenance`):
+//!
+//! * `Σ (propagated delays) ≥ replay delta ≥ max (single contribution)`,
+//!   where the replay delta is `makespan − detour-free replay makespan`
+//!   (matching held fixed);
+//! * on wildcard-free schedules the replay equals the true noise-free
+//!   baseline, so the bounds then hold against the measured baseline
+//!   too. With wildcards, noise can flip message matching and the
+//!   measured baseline is not a sound reference — which is exactly why
+//!   the analyzer replays instead.
+
+use dram_ce_sim::engine::noise::ScriptedNoise;
+use dram_ce_sim::engine::{simulate, NoNoise, Simulator, VecRecorder};
+use dram_ce_sim::goal::{OpKind, Rank, Schedule, ScheduleBuilder, Tag};
+use dram_ce_sim::model::{LogGopsParams, Span, Time};
+use dram_ce_sim::noise::{CeNoise, Scope};
+use dram_ce_sim::obs::provenance::{analyze, Fate, ProvenanceReport};
+use proptest::prelude::*;
+
+fn record_run(
+    sched: &Schedule,
+    noise: &mut dyn dram_ce_sim::engine::NoiseModel,
+) -> Option<(ProvenanceReport, Time)> {
+    let mut rec = VecRecorder::default();
+    let r = Simulator::new(sched, LogGopsParams::xc40())
+        .with_recorder(&mut rec)
+        .run(noise)
+        .ok()?;
+    Some((analyze(&rec.events, 0), r.finish))
+}
+
+/// Golden: a detour entirely inside slack is absorbed — rank 1 computes
+/// 10 µs then waits ~990 µs for rank 0's message, so a 20 µs detour on
+/// its calc moves nothing.
+#[test]
+fn golden_absorbed_detour_in_slack() {
+    let mut b = ScheduleBuilder::new(2);
+    let c0 = b.calc(Rank(0), Span::from_us(1000), &[]);
+    b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+    let c1 = b.calc(Rank(1), Span::from_us(10), &[]);
+    b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[c1]);
+    let sched = b.build();
+
+    let d = Span::from_us(20);
+    let mut noise = ScriptedNoise::new(vec![(Rank(1), Time::ZERO, d)]);
+    let (rep, finish) = record_run(&sched, &mut noise).unwrap();
+
+    assert_eq!(rep.fates.len(), 1);
+    let f = &rep.fates[0];
+    assert_eq!(f.fate, Fate::Absorbed);
+    assert_eq!(f.dur, d);
+    assert_eq!(f.self_delay, Span::ZERO);
+    assert_eq!(f.ranks_delayed, 0);
+    assert_eq!(f.global_delay, Span::ZERO);
+    assert_eq!(f.makespan_contribution, Span::ZERO);
+    assert_eq!(f.amplification, 0.0);
+    assert!(!f.on_critical_walk);
+    assert_eq!(f.propagated_delay, Span::ZERO);
+    // Full absorption: removing the detour changes nothing, so the
+    // replay equals the measured makespan and the baseline.
+    assert_eq!(rep.replay_delta(), Span::ZERO);
+    let base = simulate(&sched, &LogGopsParams::xc40(), &mut NoNoise).unwrap();
+    assert_eq!(finish, base.finish);
+    rep.check().unwrap();
+}
+
+/// Golden: a detour on the critical path delays both ranks by its full
+/// duration through the message edge — amplification exactly 2.0 and a
+/// makespan contribution of exactly the detour.
+#[test]
+fn golden_propagated_detour_amplification_two() {
+    let mut b = ScheduleBuilder::new(2);
+    let c0 = b.calc(Rank(0), Span::from_us(100), &[]);
+    b.send(Rank(0), Rank(1), 8, Tag(1), &[c0]);
+    b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+    let sched = b.build();
+
+    let d = Span::from_us(50);
+    let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, d)]);
+    let (rep, finish) = record_run(&sched, &mut noise).unwrap();
+
+    assert_eq!(rep.fates.len(), 1);
+    let f = &rep.fates[0];
+    assert_eq!(f.fate, Fate::Propagated);
+    assert_eq!(f.self_delay, d);
+    assert_eq!(f.ranks_delayed, 1);
+    assert_eq!(f.delayed_ranks, vec![1]);
+    assert_eq!(f.global_delay, d + d);
+    assert_eq!(f.makespan_contribution, d);
+    assert!(f.on_critical_walk);
+    assert_eq!(f.propagated_delay, d);
+    assert!((f.amplification - 2.0).abs() < 1e-12);
+    // The replay recovers the noise-free baseline exactly.
+    let base = simulate(&sched, &LogGopsParams::xc40(), &mut NoNoise).unwrap();
+    assert_eq!(rep.replay_delta(), d);
+    assert_eq!(rep.replay_makespan, base.finish.since(Time::ZERO));
+    assert_eq!(rep.makespan, finish.since(Time::ZERO));
+    rep.check().unwrap();
+}
+
+/// Golden: a detour that delays only its own (non-critical) rank is
+/// partially absorbed — lateness without propagation.
+#[test]
+fn golden_partially_absorbed_detour() {
+    let mut b = ScheduleBuilder::new(2);
+    b.calc(Rank(0), Span::from_us(100), &[]);
+    b.calc(Rank(1), Span::from_us(200), &[]);
+    let sched = b.build();
+
+    let d = Span::from_us(50);
+    let mut noise = ScriptedNoise::new(vec![(Rank(0), Time::ZERO, d)]);
+    let (rep, _) = record_run(&sched, &mut noise).unwrap();
+
+    assert_eq!(rep.fates.len(), 1);
+    let f = &rep.fates[0];
+    assert_eq!(f.fate, Fate::PartiallyAbsorbed);
+    assert_eq!(f.self_delay, d);
+    assert_eq!(f.ranks_delayed, 0);
+    assert_eq!(f.global_delay, d);
+    assert_eq!(f.makespan_contribution, Span::ZERO);
+    assert!((f.amplification - 1.0).abs() < 1e-12);
+    assert_eq!(rep.replay_delta(), Span::ZERO);
+    rep.check().unwrap();
+}
+
+// ---- randomized DAGs (generator mirrors tests/compiled_equivalence.rs) ----
+
+#[derive(Clone, Debug)]
+enum Item {
+    Calc {
+        rank: u32,
+        dur_us: u64,
+        chain: bool,
+    },
+    Msg {
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        tag: u32,
+        wildcard: bool,
+        chain_send: bool,
+        chain_recv: bool,
+    },
+}
+
+fn item(nranks: u32) -> impl Strategy<Value = Item> {
+    prop_oneof![
+        (0..nranks, 1u64..50, 0u32..2).prop_map(|(rank, dur_us, chain)| Item::Calc {
+            rank,
+            dur_us,
+            chain: chain == 1
+        }),
+        (
+            0..nranks,
+            0..nranks,
+            prop_oneof![8u64..1024, 20_000u64..100_000], // eager | rendezvous
+            0u32..3,
+            0u32..8,
+        )
+            .prop_map(move |(src, dst_raw, bytes, tag, flags)| {
+                let dst = (src + 1 + dst_raw % (nranks - 1)) % nranks;
+                Item::Msg {
+                    src,
+                    dst,
+                    bytes,
+                    tag,
+                    wildcard: flags & 1 != 0,
+                    chain_send: flags & 2 != 0,
+                    chain_recv: flags & 4 != 0,
+                }
+            }),
+    ]
+}
+
+fn schedule() -> impl Strategy<Value = Schedule> {
+    (2u32..=5)
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec(item(n), 1..24)))
+        .prop_map(|(n, items)| {
+            let mut b = ScheduleBuilder::new(n as usize);
+            let mut last: Vec<Option<dram_ce_sim::goal::OpId>> = vec![None; n as usize];
+            for it in items {
+                match it {
+                    Item::Calc {
+                        rank,
+                        dur_us,
+                        chain,
+                    } => {
+                        let deps: Vec<_> =
+                            last[rank as usize].filter(|_| chain).into_iter().collect();
+                        let id = b.calc(Rank(rank), Span::from_us(dur_us), &deps);
+                        last[rank as usize] = Some(id);
+                    }
+                    Item::Msg {
+                        src,
+                        dst,
+                        bytes,
+                        tag,
+                        wildcard,
+                        chain_send,
+                        chain_recv,
+                    } => {
+                        let sdeps: Vec<_> = last[src as usize]
+                            .filter(|_| chain_send)
+                            .into_iter()
+                            .collect();
+                        let sid = b.send(Rank(src), Rank(dst), bytes, Tag(tag), &sdeps);
+                        last[src as usize] = Some(sid);
+                        let rdeps: Vec<_> = last[dst as usize]
+                            .filter(|_| chain_recv)
+                            .into_iter()
+                            .collect();
+                        let rsrc = if wildcard { None } else { Some(Rank(src)) };
+                        let rid = b.recv(Rank(dst), rsrc, bytes, Tag(tag), &rdeps);
+                        last[dst as usize] = Some(rid);
+                    }
+                }
+            }
+            b.build()
+        })
+}
+
+fn has_wildcard(sched: &Schedule) -> bool {
+    sched.ranks.iter().any(|r| {
+        r.ops
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::Recv { src: None, .. }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Conservation: over random DAGs under CE noise, the per-event
+    /// attributions exactly bound the replay makespan delta, and every
+    /// per-event record is internally consistent.
+    #[test]
+    fn per_event_contributions_bound_makespan_delta(
+        sched in schedule(),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let p = LogGopsParams::xc40();
+        let ranks = sched.num_ranks();
+        let mut noise =
+            CeNoise::new(ranks, Span::from_ms(1), Span::from_us(50), Scope::AllRanks, seed);
+        // Generated programs may deadlock; those teach us nothing here.
+        let Some((rep, finish)) = record_run(&sched, &mut noise) else {
+            return Ok(());
+        };
+
+        prop_assert!(!rep.truncated);
+        prop_assert_eq!(rep.makespan, finish.since(Time::ZERO));
+        prop_assert!(rep.replay_makespan <= rep.makespan);
+
+        // The two-sided conservation bound (also re-checked by check()).
+        let delta = rep.replay_delta();
+        let sum_propagated: Span = rep.fates.iter().map(|f| f.propagated_delay).sum();
+        let max_contribution = rep
+            .fates
+            .iter()
+            .map(|f| f.makespan_contribution)
+            .max()
+            .unwrap_or(Span::ZERO);
+        prop_assert!(sum_propagated >= delta, "Σ propagated {sum_propagated} < Δ {delta}");
+        prop_assert!(delta >= max_contribution, "Δ {delta} < max contribution {max_contribution}");
+        if let Err(e) = rep.check() {
+            return Err(TestCaseError(e));
+        }
+
+        // Per-event consistency.
+        for f in &rep.fates {
+            prop_assert!(f.self_delay <= f.global_delay);
+            prop_assert!(f.makespan_contribution <= f.global_delay);
+            prop_assert!(f.amplification >= 0.0 && f.amplification.is_finite());
+            match f.fate {
+                Fate::Absorbed => {
+                    prop_assert_eq!(f.global_delay, Span::ZERO);
+                    prop_assert_eq!(f.makespan_contribution, Span::ZERO);
+                }
+                Fate::PartiallyAbsorbed => {
+                    prop_assert!(f.global_delay > Span::ZERO);
+                    prop_assert_eq!(f.ranks_delayed, 0);
+                    prop_assert_eq!(f.makespan_contribution, Span::ZERO);
+                }
+                Fate::Propagated => {
+                    prop_assert!(
+                        f.ranks_delayed > 0 || f.makespan_contribution > Span::ZERO
+                    );
+                }
+            }
+            prop_assert_eq!(
+                f.propagated_delay,
+                if f.on_critical_walk { f.dur } else { Span::ZERO }
+            );
+        }
+        let s = rep.summary();
+        prop_assert_eq!(s.events, rep.fates.len() as u64);
+        prop_assert_eq!(s.absorbed + s.partially_absorbed + s.propagated, s.events);
+
+        // Without wildcards, matching cannot flip: the detour-free
+        // replay must reproduce the measured noise-free baseline
+        // exactly, making the bounds meaningful against it.
+        if !has_wildcard(&sched) {
+            let base = simulate(&sched, &p, &mut NoNoise).unwrap();
+            prop_assert_eq!(rep.replay_makespan, base.finish.since(Time::ZERO));
+        }
+    }
+}
