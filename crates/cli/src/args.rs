@@ -43,6 +43,25 @@ const VALUED: &[&str] = &[
     "provenance-out",
     "heatmap-out",
     "bins",
+    "addr",
+    "workers",
+    "queue-depth",
+    "cache-entries",
+    "response-cache-entries",
+];
+
+/// Bare switches the CLI understands. Anything else spelled `--name` is
+/// rejected at parse time so a typo (`--quite`) cannot silently run a
+/// full sweep with the wrong behavior.
+const FLAGS: &[&str] = &[
+    "paper",
+    "exact-rate",
+    "quiet",
+    "progress",
+    "observe",
+    "chart",
+    "single-node",
+    "help",
 ];
 
 impl Args {
@@ -57,8 +76,10 @@ impl Args {
                         .next()
                         .ok_or_else(|| format!("--{name} requires a value"))?;
                     out.options.insert(name.to_string(), v);
-                } else {
+                } else if FLAGS.contains(&name) {
                     out.flags.push(name.to_string());
+                } else {
+                    return Err(format!("unknown option '--{name}'"));
                 }
             } else if out.command.is_none() {
                 out.command = Some(a);
@@ -123,6 +144,26 @@ mod tests {
     fn bad_value_is_error() {
         let a = parse("fig3 --nodes abc").unwrap();
         assert!(a.get_parsed::<usize>("nodes", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_error() {
+        let err = parse("fig3 --bogus").unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        // Typos of real flags are caught too.
+        assert!(parse("fig4 --quite").is_err());
+        assert!(parse("serve --adr 1.2.3.4:80").is_err());
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let a = parse("serve --addr 127.0.0.1:0 --workers 8 --queue-depth 16 --cache-entries 32")
+            .unwrap();
+        assert_eq!(a.command.as_deref(), Some("serve"));
+        assert_eq!(a.get("addr"), Some("127.0.0.1:0"));
+        assert_eq!(a.get_parsed("workers", 1usize).unwrap(), 8);
+        assert_eq!(a.get_parsed("queue-depth", 1usize).unwrap(), 16);
+        assert_eq!(a.get_parsed("cache-entries", 1usize).unwrap(), 32);
     }
 
     #[test]

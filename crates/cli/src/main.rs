@@ -42,6 +42,7 @@ COMMANDS
                     absorbed/propagated classification, amplification
                     factors, JSONL + heatmap reports (ATTRIBUTE OPTIONS)
   ablate            Compare CE sensitivity under both allreduce expansions
+  serve             Simulation-as-a-service HTTP daemon (SERVE OPTIONS)
   skeletons         Print the calibrated workload-skeleton parameters
   list              List workloads and logging modes
   help              This text
@@ -110,32 +111,89 @@ RUN OPTIONS (cesim run)
 FIG2 OPTIONS
   --window SECONDS  Observation window [default 300]
   --period SECONDS  Injection period [default 10]
+
+SERVE OPTIONS (cesim serve)
+  --addr HOST:PORT  Bind address [default 127.0.0.1:8080; port 0 = ephemeral]
+  --workers N       Request worker threads [default 4]
+  --queue-depth N   Accepted connections allowed to wait for a worker;
+                    beyond this, arrivals are shed with 429 [default 64]
+  --cache-entries N Compiled-schedule LRU capacity, 0 disables [default 64]
+  --response-cache-entries N
+                    Full-response LRU capacity, 0 disables [default 256]
+  Endpoints: POST /v1/simulate, POST /v1/sweep, GET /healthz, GET /metrics
+  (Prometheus text). Shuts down gracefully on SIGTERM/ctrl-c, draining
+  queued and in-flight requests. See README.md for curl examples.
 ";
+
+const USAGE: &str = "usage: cesim <command> [options] — run 'cesim help' for the command list";
+
+/// How a command failed, which decides the exit status: usage errors
+/// (unknown command/flag, missing required argument) exit 2 after
+/// printing usage; runtime errors (I/O, validation) exit 1. CI gates on
+/// this split.
+enum Failure {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure::Runtime(msg)
+    }
+}
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_error(&e),
     };
     let cmd = args.command.clone().unwrap_or_else(|| "help".into());
     match dispatch(&cmd, &args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(Failure::Usage(e)) => usage_error(&e),
+        Err(Failure::Runtime(e)) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
         }
     }
 }
 
-fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
     // Only the trace tools take positional arguments (a trace file path).
     if !matches!(cmd, "trace" | "trace-check" | "attribute") {
         if let Some(p) = args.positionals.first() {
-            return Err(format!("unexpected argument '{p}'"));
+            return Err(Failure::Usage(format!("unexpected argument '{p}'")));
         }
+    }
+    // Missing required arguments are usage errors, checked up front so
+    // every subcommand reports them the same way (exit 2).
+    match cmd {
+        "trace-check" if args.positionals.is_empty() => {
+            return Err(Failure::Usage(
+                "trace-check needs a trace file argument".into(),
+            ));
+        }
+        "attribute" if args.positionals.is_empty() => {
+            return Err(Failure::Usage(
+                "attribute needs a trace file argument".into(),
+            ));
+        }
+        "trace"
+            if args.positionals.is_empty()
+                && args.get("generate").is_none()
+                && args.get("load").is_none() =>
+        {
+            return Err(Failure::Usage(
+                "trace needs --generate FILE or an input FILE".into(),
+            ));
+        }
+        _ => {}
     }
     match cmd {
         "help" | "-h" | "--help" => {
@@ -150,23 +208,46 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), String> {
             print!("{}", tables::table2());
             Ok(())
         }
-        "list" => cmd_list(),
-        "skeletons" => cmd_skeletons(),
-        "fig1" => cmd_fig1(),
-        "fig2" => cmd_fig2(args),
-        "fig3" => cmd_fig(args, figures::fig3),
-        "fig4" => cmd_fig(args, figures::fig4),
-        "fig5" => cmd_fig(args, figures::fig5),
-        "fig6" => cmd_fig(args, figures::fig6),
-        "fig7" => cmd_fig(args, figures::fig7),
-        "run" => cmd_run(args),
-        "goal" => cmd_goal(args),
-        "trace" => cmd_trace(args),
-        "trace-check" => cmd_trace_check(args),
-        "attribute" => cmd_attribute(args),
-        "ablate" => cmd_ablate(args),
-        other => Err(format!("unknown command '{other}' (try 'cesim help')")),
+        "list" => Ok(cmd_list()?),
+        "skeletons" => Ok(cmd_skeletons()?),
+        "fig1" => Ok(cmd_fig1()?),
+        "fig2" => Ok(cmd_fig2(args)?),
+        "fig3" => Ok(cmd_fig(args, figures::fig3)?),
+        "fig4" => Ok(cmd_fig(args, figures::fig4)?),
+        "fig5" => Ok(cmd_fig(args, figures::fig5)?),
+        "fig6" => Ok(cmd_fig(args, figures::fig6)?),
+        "fig7" => Ok(cmd_fig(args, figures::fig7)?),
+        "run" => Ok(cmd_run(args)?),
+        "goal" => Ok(cmd_goal(args)?),
+        "trace" => Ok(cmd_trace(args)?),
+        "trace-check" => Ok(cmd_trace_check(args)?),
+        "attribute" => Ok(cmd_attribute(args)?),
+        "ablate" => Ok(cmd_ablate(args)?),
+        "serve" => Ok(cmd_serve(args)?),
+        other => Err(Failure::Usage(format!(
+            "unknown command '{other}' (try 'cesim help')"
+        ))),
     }
+}
+
+/// `cesim serve` — run the simulation daemon until SIGTERM/ctrl-c.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut cfg = cesim_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        ..cesim_serve::ServeConfig::default()
+    };
+    cfg.workers = args.get_parsed("workers", cfg.workers)?;
+    cfg.queue_depth = args.get_parsed("queue-depth", cfg.queue_depth)?;
+    cfg.schedule_cache_entries = args.get_parsed("cache-entries", cfg.schedule_cache_entries)?;
+    cfg.response_cache_entries =
+        args.get_parsed("response-cache-entries", cfg.response_cache_entries)?;
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if cfg.queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    cesim_serve::run(cfg).map_err(|e| format!("serve: {e}"))
 }
 
 fn cmd_skeletons() -> Result<(), String> {

@@ -1,6 +1,7 @@
-//! Exit-status contract for the validating subcommands: `trace-check`
-//! and `attribute` must exit nonzero whenever their input fails
-//! validation, so CI pipelines can gate on them directly.
+//! Exit-status contract for the CLI, so pipelines can gate on status
+//! alone: 0 = success, 1 = runtime failure (bad input file, failed
+//! validation), 2 = usage error (unknown subcommand, unknown flag,
+//! missing required argument — with usage printed to stderr).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -110,4 +111,106 @@ fn trace_check_on_truncated_json_exits_nonzero() {
         !bad.status.success(),
         "truncated Chrome trace must fail validation"
     );
+}
+
+/// Every subcommand, including `serve`, for the usage-error sweeps below.
+const ALL_COMMANDS: &[&str] = &[
+    "help",
+    "table1",
+    "table2",
+    "list",
+    "skeletons",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "run",
+    "goal",
+    "trace",
+    "trace-check",
+    "attribute",
+    "ablate",
+    "serve",
+];
+
+/// Run cesim with the given args and return (exit code, stderr).
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let out = cesim().args(args).output().expect("spawn cesim");
+    (
+        out.status.code().expect("terminated by signal"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let (code, stderr) = run_cli(args);
+    assert_eq!(code, 2, "expected exit 2 for {args:?}, stderr: {stderr}");
+    assert!(
+        stderr.contains("error:"),
+        "stderr must carry the error for {args:?}: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "stderr must carry usage for {args:?}: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_subcommand_exits_two_with_usage() {
+    assert_usage_error(&["frobnicate"]);
+    assert_usage_error(&["Fig3"]); // commands are case-sensitive
+}
+
+#[test]
+fn unknown_flag_exits_two_for_every_subcommand() {
+    for cmd in ALL_COMMANDS {
+        assert_usage_error(&[cmd, "--no-such-flag"]);
+    }
+}
+
+#[test]
+fn missing_option_value_exits_two() {
+    assert_usage_error(&["run", "--app"]);
+    assert_usage_error(&["serve", "--addr"]);
+}
+
+#[test]
+fn missing_required_argument_exits_two() {
+    assert_usage_error(&["trace"]);
+    assert_usage_error(&["trace-check"]);
+    assert_usage_error(&["attribute"]);
+}
+
+#[test]
+fn unexpected_positional_exits_two() {
+    assert_usage_error(&["fig3", "stray.txt"]);
+    assert_usage_error(&["serve", "stray.txt"]);
+}
+
+#[test]
+fn runtime_errors_exit_one() {
+    // A file that doesn't exist is a runtime failure, not a usage error.
+    let missing = scratch("no-such.trc");
+    let (code, stderr) = run_cli(&["attribute", missing.to_str().unwrap()]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(!stderr.contains("usage:"), "runtime errors skip usage");
+
+    // An unbindable address fails at runtime after arguments parse fine.
+    let (code, stderr) = run_cli(&["serve", "--addr", "203.0.113.1:1"]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+
+    // Semantically invalid option values are runtime errors too.
+    let (code, _) = run_cli(&["serve", "--workers", "0"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn successful_commands_exit_zero() {
+    for args in [&["help"][..], &["table1"], &["list"], &["skeletons"]] {
+        let (code, stderr) = run_cli(args);
+        assert_eq!(code, 0, "expected success for {args:?}, stderr: {stderr}");
+    }
 }

@@ -1,0 +1,351 @@
+//! Cross-request caches for the serving layer.
+//!
+//! PR 3 split the engine into an immutable [`CompiledSchedule`] shared
+//! via [`Arc`] and per-run scratch, which made compilation a per-process
+//! cost. The serving daemon (`cesim-serve`) answers *many* requests per
+//! process, so this module turns compile-once-per-process into
+//! compile-once-per-(app, ranks, workload, params) across requests:
+//!
+//! * [`ScheduleCache`] — a bounded LRU of compiled schedules **plus
+//!   their noise-free baselines** (the baseline is a deterministic
+//!   function of the schedule and network parameters, so it is cached
+//!   alongside and never re-simulated on a hit);
+//! * [`ResponseCache`] — a bounded LRU of full response bodies keyed by
+//!   the canonicalized request. Sound because every run is seeded and
+//!   deterministic: the same request always produces the same bytes
+//!   (see `tests` and DESIGN.md "Serving architecture").
+//!
+//! Both caches are thread-safe and export hit/miss counters that the
+//! daemon surfaces on `/metrics`.
+
+use cesim_engine::{simulate_compiled, CompiledSchedule, NoNoise, SimError};
+use cesim_model::{LogGopsParams, Time};
+use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// A small dependency-free LRU map.
+///
+/// Recency is tracked with a monotonic tick per entry; eviction scans
+/// for the minimum tick. That scan is O(len), which is fine at the cache
+/// sizes the daemon uses (tens to a few hundred entries) and keeps the
+/// implementation obviously correct without an intrusive list.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    /// An LRU holding at most `cap` entries. `cap == 0` disables the
+    /// cache entirely (every lookup misses, every insert is dropped).
+    pub fn new(cap: usize) -> Self {
+        Lru {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Look up `key`, bumping its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, t)| {
+            *t = tick;
+            v.clone()
+        })
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry when
+    /// at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+/// A compiled schedule plus everything per-request work shares: the
+/// snapped rank count and the noise-free baseline finish time.
+pub struct CompiledEntry {
+    /// Ranks actually simulated (after [`natural_ranks`] snapping).
+    pub ranks: usize,
+    /// The immutable compiled schedule (shared, never copied).
+    pub schedule: Arc<CompiledSchedule>,
+    /// Noise-free baseline finish time for `params`.
+    pub baseline: Time,
+}
+
+/// Thread-safe LRU of [`CompiledEntry`]s keyed by
+/// `(app, ranks, workload knobs, network params)`.
+///
+/// The key is the `Debug` rendering of the exact inputs: every field of
+/// [`WorkloadConfig`] and [`LogGopsParams`] is plain data whose `Debug`
+/// form is injective (floats print in shortest-round-trip form, so two
+/// distinct bit patterns never collide), which makes the string an exact
+/// — not hashed — identity.
+pub struct ScheduleCache {
+    inner: Mutex<Lru<String, Arc<CompiledEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// A cache holding at most `cap` compiled schedules (`0` disables
+    /// caching — every request recompiles; the serve loadtest uses this
+    /// as its cold baseline).
+    pub fn new(cap: usize) -> Self {
+        ScheduleCache {
+            inner: Mutex::new(Lru::new(cap)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The exact cache key for a request.
+    fn key(app: AppId, ranks: usize, workload: &WorkloadConfig, params: &LogGopsParams) -> String {
+        format!("{app:?}|{ranks}|{workload:?}|{params:?}")
+    }
+
+    /// Fetch the compiled schedule + baseline for `(app, nodes,
+    /// workload, params)`, compiling and simulating the baseline on a
+    /// miss. Compilation happens outside the lock: two racing requests
+    /// for the same key may both compile (identical results; last insert
+    /// wins), but neither blocks unrelated requests.
+    pub fn get_or_compile(
+        &self,
+        app: AppId,
+        nodes: usize,
+        workload: &WorkloadConfig,
+        params: &LogGopsParams,
+    ) -> Result<Arc<CompiledEntry>, SimError> {
+        let ranks = natural_ranks(app, nodes);
+        let key = Self::key(app, ranks, workload, params);
+        if let Some(hit) = self.inner.lock().expect("schedule cache lock").get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let sched = cesim_workloads::build(app, ranks, workload);
+        let cs = Arc::new(CompiledSchedule::compile(&sched));
+        let base = simulate_compiled(&cs, params, &mut NoNoise)?;
+        let entry = Arc::new(CompiledEntry {
+            ranks,
+            schedule: cs,
+            baseline: base.finish,
+        });
+        self.inner
+            .lock()
+            .expect("schedule cache lock")
+            .insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Lookups that compiled.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Relaxed)
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("schedule cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Thread-safe LRU of full response bodies keyed by the canonicalized
+/// request (see [`cesim_json::canonicalize`]); the daemon prepends the
+/// request path so the same body against different endpoints cannot
+/// alias.
+pub struct ResponseCache {
+    inner: Mutex<Lru<String, Arc<String>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `cap` responses (`0` disables caching).
+    pub fn new(cap: usize) -> Self {
+        ResponseCache {
+            inner: Mutex::new(Lru::new(cap)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a canonical request key.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        let hit = self
+            .inner
+            .lock()
+            .expect("response cache lock")
+            .get(&key.to_string());
+        match hit {
+            Some(v) => {
+                self.hits.fetch_add(1, Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a response body under its canonical request key.
+    pub fn put(&self, key: String, body: Arc<String>) {
+        self.inner
+            .lock()
+            .expect("response cache lock")
+            .insert(key, body);
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Relaxed)
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("response cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(10)); // bump 1
+        lru.insert(3, 30); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_reinsert_updates_without_evicting() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(1, 11); // same key: update, no eviction
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), Some(11));
+        assert_eq!(lru.get(&2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut lru: Lru<u32, u32> = Lru::new(0);
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn schedule_cache_hits_after_first_compile() {
+        let cache = ScheduleCache::new(4);
+        let wl = WorkloadConfig::default().with_steps(2);
+        let params = LogGopsParams::xc40();
+        let a = cache
+            .get_or_compile(AppId::MiniFe, 8, &wl, &params)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache
+            .get_or_compile(AppId::MiniFe, 8, &wl, &params)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the shared entry");
+        assert_eq!(a.baseline, b.baseline);
+        // A different workload knob is a different schedule.
+        let wl3 = WorkloadConfig::default().with_steps(3);
+        let c = cache
+            .get_or_compile(AppId::MiniFe, 8, &wl3, &params)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn schedule_cache_snaps_ranks_before_keying() {
+        // LULESH snaps node counts to cubes: 260 and 250 both simulate
+        // 250 ranks and must share one entry.
+        let cache = ScheduleCache::new(4);
+        let wl = WorkloadConfig::default().with_steps(1);
+        let params = LogGopsParams::xc40();
+        let a = cache
+            .get_or_compile(AppId::Lulesh, 260, &wl, &params)
+            .unwrap();
+        assert_eq!(a.ranks, 250);
+        let b = cache
+            .get_or_compile(AppId::Lulesh, 250, &wl, &params)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn response_cache_counts_hits_and_misses() {
+        let cache = ResponseCache::new(2);
+        assert!(cache.get("k1").is_none());
+        cache.put("k1".into(), Arc::new("body".into()));
+        assert_eq!(cache.get("k1").as_deref().map(|s| s.as_str()), Some("body"));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+}

@@ -14,6 +14,10 @@
 //!   and can be dialed up to the paper's 16,384 nodes.
 //! * [`report`] — ASCII-table and CSV rendering of figure data.
 //! * [`tables`] — Table I (workloads) and Table II (systems).
+//! * [`cache`] — compiled-schedule and full-response LRUs shared by the
+//!   serving daemon (`cesim-serve`).
+//! * [`service`] — JSON request → experiment mapping and response
+//!   rendering for `cesim serve`'s `/v1/simulate` and `/v1/sweep`.
 //!
 //! ## Quick start
 //!
@@ -36,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod seed;
+pub mod service;
 pub mod tables;
 
 /// Re-export: foundation types (time, LogGOPS params, systems, RNG).
@@ -60,5 +66,9 @@ pub use cesim_workloads as workloads;
 /// Re-export: tracing, metrics, and Chrome-trace export.
 pub use cesim_obs as obs;
 
+pub use cache::{CompiledEntry, ResponseCache, ScheduleCache};
 pub use experiment::{CellObs, Experiment, Outcome};
 pub use figures::{FigureData, ScaleConfig};
+pub use service::{
+    handle_simulate, handle_sweep, ServiceError, ServiceState, SimulateRequest, SweepRequest,
+};

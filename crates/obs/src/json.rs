@@ -1,360 +1,10 @@
-//! A minimal, dependency-free JSON parser.
+//! Re-export of the shared [`cesim_json`] crate.
 //!
-//! Exists so exported Chrome traces can be *validated* (CI and golden
-//! tests) without pulling a JSON crate into the offline build. Supports
-//! the full JSON grammar; numbers are parsed as `f64` (sufficient for
-//! trace timestamps, which the exporter emits in microseconds).
+//! The dependency-free JSON parser originally lived here (it validates
+//! exported Chrome traces in CI and golden tests). It was factored out
+//! into `crates/json` — gaining a canonical serializer on the way — so
+//! the serving layer (`cesim-serve`) and the provenance JSONL writer can
+//! share one implementation. This module remains so existing
+//! `cesim_obs::json::JsonValue` paths keep compiling unchanged.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// A parsed JSON document.
-#[derive(Clone, Debug, PartialEq)]
-pub enum JsonValue {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number.
-    Number(f64),
-    /// A string (escapes decoded).
-    String(String),
-    /// An array.
-    Array(Vec<JsonValue>),
-    /// An object. Keys are sorted (BTreeMap); duplicate keys keep the
-    /// last value, as in every mainstream parser.
-    Object(BTreeMap<String, JsonValue>),
-}
-
-impl JsonValue {
-    /// Parse a complete JSON document (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
-        let bytes = text.as_bytes();
-        let mut p = Parser { b: bytes, i: 0 };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.i != bytes.len() {
-            return Err(p.err("trailing characters after document"));
-        }
-        Ok(v)
-    }
-
-    /// Object member lookup; `None` on non-objects or missing keys.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Object(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The array elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Array(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// The number, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Number(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The string contents, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::String(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-/// A parse failure with a byte offset.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the failure in the input.
-    pub offset: usize,
-    /// Human-readable reason.
-    pub reason: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.reason)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, reason: &str) -> JsonError {
-        JsonError {
-            offset: self.i,
-            reason: reason.to_string(),
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&c) = self.b.get(self.i) {
-            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
-                self.i += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.b.get(self.i).copied()
-    }
-
-    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(c) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", c as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, JsonError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b't') => self.literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
-        if self.b[self.i..].starts_with(word.as_bytes()) {
-            self.i += word.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected '{word}'")))
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.eat(b'{')?;
-        let mut m = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(JsonValue::Object(m));
-        }
-        loop {
-            self.skip_ws();
-            let k = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            self.skip_ws();
-            let v = self.value()?;
-            m.insert(k, v);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(JsonValue::Object(m));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.eat(b'[')?;
-        let mut v = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(JsonValue::Array(v));
-        }
-        loop {
-            self.skip_ws();
-            v.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(JsonValue::Array(v));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.eat(b'"')?;
-        let mut s = String::new();
-        loop {
-            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
-            self.i += 1;
-            match c {
-                b'"' => return Ok(s),
-                b'\\' => {
-                    let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
-                    self.i += 1;
-                    match e {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'n' => s.push('\n'),
-                        b'r' => s.push('\r'),
-                        b't' => s.push('\t'),
-                        b'u' => {
-                            let cp = self.hex4()?;
-                            // Surrogate pairs: a high surrogate must be
-                            // followed by `\u` + low surrogate.
-                            let ch = if (0xD800..0xDC00).contains(&cp) {
-                                if self.peek() == Some(b'\\') {
-                                    self.i += 1;
-                                    self.eat(b'u')?;
-                                    let lo = self.hex4()?;
-                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                                    char::from_u32(c)
-                                } else {
-                                    None
-                                }
-                            } else {
-                                char::from_u32(cp)
-                            };
-                            s.push(ch.ok_or_else(|| self.err("invalid \\u escape"))?);
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                _ if c < 0x20 => return Err(self.err("control character in string")),
-                _ => {
-                    // Re-scan the UTF-8 sequence starting at c.
-                    let start = self.i - 1;
-                    let len = utf8_len(c).ok_or_else(|| self.err("invalid UTF-8"))?;
-                    let end = start + len;
-                    if end > self.b.len() {
-                        return Err(self.err("truncated UTF-8"));
-                    }
-                    let frag = std::str::from_utf8(&self.b[start..end])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    s.push_str(frag);
-                    self.i = end;
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, JsonError> {
-        let mut v = 0u32;
-        for _ in 0..4 {
-            let c = self
-                .peek()
-                .ok_or_else(|| self.err("truncated \\u escape"))?;
-            self.i += 1;
-            let d = (c as char)
-                .to_digit(16)
-                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
-            v = v * 16 + d;
-        }
-        Ok(v)
-    }
-
-    fn number(&mut self) -> Result<JsonValue, JsonError> {
-        let start = self.i;
-        if self.peek() == Some(b'-') {
-            self.i += 1;
-        }
-        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
-            self.i += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.i += 1;
-            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
-                self.i += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.i += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.i += 1;
-            }
-            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
-                self.i += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.err("invalid number"))
-    }
-}
-
-fn utf8_len(first: u8) -> Option<usize> {
-    match first {
-        0x00..=0x7F => Some(1),
-        0xC0..=0xDF => Some(2),
-        0xE0..=0xEF => Some(3),
-        0xF0..=0xF7 => Some(4),
-        _ => None,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_scalars() {
-        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
-        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
-        assert_eq!(
-            JsonValue::parse("-12.5e2").unwrap(),
-            JsonValue::Number(-1250.0)
-        );
-        assert_eq!(
-            JsonValue::parse("\"a\\nb\\u0041\"").unwrap(),
-            JsonValue::String("a\nbA".into())
-        );
-    }
-
-    #[test]
-    fn parses_nested_structures() {
-        let v = JsonValue::parse(r#"{"a": [1, {"b": "x"}, null], "c": false}"#).unwrap();
-        let a = v.get("a").unwrap().as_array().unwrap();
-        assert_eq!(a[0].as_f64(), Some(1.0));
-        assert_eq!(a[1].get("b").unwrap().as_str(), Some("x"));
-        assert_eq!(a[2], JsonValue::Null);
-        assert_eq!(v.get("c"), Some(&JsonValue::Bool(false)));
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(JsonValue::parse("").is_err());
-        assert!(JsonValue::parse("{").is_err());
-        assert!(JsonValue::parse("[1,]").is_err());
-        assert!(JsonValue::parse("{\"a\" 1}").is_err());
-        assert!(JsonValue::parse("123 junk").is_err());
-        assert!(JsonValue::parse("\"unterminated").is_err());
-    }
-
-    #[test]
-    fn unicode_roundtrip() {
-        let v = JsonValue::parse("\"\\ud83d\\ude00 é\"").unwrap();
-        assert_eq!(v.as_str(), Some("😀 é"));
-    }
-}
+pub use cesim_json::*;

@@ -16,8 +16,8 @@
 //! * [`provenance`] — per-event detour provenance: a causal propagation
 //!   pass that classifies every injected detour as absorbed or
 //!   propagated, with amplification factors and makespan attribution,
-//! * [`json`] — a dependency-free JSON parser used to validate exported
-//!   traces.
+//! * [`json`] — re-export of the shared `cesim-json` parser/serializer
+//!   used to validate exported traces and emit provenance JSONL.
 //!
 //! The event taxonomy itself ([`SimEvent`], [`Recorder`]) lives in
 //! `cesim_engine::record` so the engine carries no dependency on this

@@ -731,55 +731,89 @@ pub fn analyze(events: &[SimEvent], dropped: u64) -> ProvenanceReport {
     }
 }
 
-/// Render the per-event records plus a trailing summary object as JSONL
-/// (one JSON value per line; parseable by [`crate::json::JsonValue`]).
+/// Render the per-event records plus a trailing summary object as JSONL,
+/// one JSON value per line, built with the shared [`crate::json`]
+/// serializer (so escaping and number formatting match what
+/// [`crate::json::JsonValue::parse`] accepts by construction).
 pub fn provenance_jsonl(report: &ProvenanceReport) -> String {
-    use std::fmt::Write as _;
+    use crate::json::JsonValue;
     let mut out = String::new();
     for f in &report.fates {
-        let ranks: Vec<String> = f.delayed_ranks.iter().map(|r| r.to_string()).collect();
-        let _ = writeln!(
-            out,
-            r#"{{"type":"detour","id":{},"rank":{},"op":{},"at_s":{},"dur_s":{},"fate":"{}","self_delay_s":{},"ranks_delayed":{},"delayed_ranks_sample":[{}],"global_delay_s":{},"makespan_contribution_s":{},"on_critical_walk":{},"propagated_delay_s":{},"amplification":{}}}"#,
-            f.id,
-            f.rank,
-            f.op,
-            f.at.as_secs_f64(),
-            f.dur.as_secs_f64(),
-            f.fate.label(),
-            f.self_delay.as_secs_f64(),
-            f.ranks_delayed,
-            ranks.join(","),
-            f.global_delay.as_secs_f64(),
-            f.makespan_contribution.as_secs_f64(),
-            f.on_critical_walk,
-            f.propagated_delay.as_secs_f64(),
-            f.amplification,
-        );
+        let rec = JsonValue::object([
+            ("type", JsonValue::from("detour")),
+            ("id", JsonValue::from(f.id)),
+            ("rank", JsonValue::from(f.rank)),
+            ("op", JsonValue::from(f.op)),
+            ("at_s", JsonValue::from(f.at.as_secs_f64())),
+            ("dur_s", JsonValue::from(f.dur.as_secs_f64())),
+            ("fate", JsonValue::from(f.fate.label())),
+            ("self_delay_s", JsonValue::from(f.self_delay.as_secs_f64())),
+            ("ranks_delayed", JsonValue::from(f.ranks_delayed)),
+            (
+                "delayed_ranks_sample",
+                JsonValue::Array(
+                    f.delayed_ranks
+                        .iter()
+                        .map(|&r| JsonValue::from(r))
+                        .collect(),
+                ),
+            ),
+            (
+                "global_delay_s",
+                JsonValue::from(f.global_delay.as_secs_f64()),
+            ),
+            (
+                "makespan_contribution_s",
+                JsonValue::from(f.makespan_contribution.as_secs_f64()),
+            ),
+            ("on_critical_walk", JsonValue::from(f.on_critical_walk)),
+            (
+                "propagated_delay_s",
+                JsonValue::from(f.propagated_delay.as_secs_f64()),
+            ),
+            ("amplification", JsonValue::from(f.amplification)),
+        ]);
+        out.push_str(&rec.to_json());
+        out.push('\n');
     }
     let s = report.summary();
-    let hist: Vec<String> = report
+    let hist: Vec<JsonValue> = report
         .amplification_histogram()
         .into_iter()
-        .map(|(label, count)| format!(r#"{{"bucket":"{label}","count":{count}}}"#))
+        .map(|(label, count)| {
+            JsonValue::object([
+                ("bucket", JsonValue::from(label)),
+                ("count", JsonValue::from(count)),
+            ])
+        })
         .collect();
-    let _ = writeln!(
-        out,
-        r#"{{"type":"summary","ranks":{},"events":{},"absorbed":{},"partially_absorbed":{},"propagated":{},"makespan_s":{},"replay_makespan_s":{},"replay_delta_s":{},"total_stolen_s":{},"max_amplification":{},"p99_amplification":{},"truncated":{},"histogram":[{}]}}"#,
-        report.ranks,
-        s.events,
-        s.absorbed,
-        s.partially_absorbed,
-        s.propagated,
-        report.makespan.as_secs_f64(),
-        report.replay_makespan.as_secs_f64(),
-        report.replay_delta().as_secs_f64(),
-        report.total_stolen.as_secs_f64(),
-        s.max_amplification,
-        s.p99_amplification,
-        report.truncated,
-        hist.join(","),
-    );
+    let summary = JsonValue::object([
+        ("type", JsonValue::from("summary")),
+        ("ranks", JsonValue::from(report.ranks)),
+        ("events", JsonValue::from(s.events)),
+        ("absorbed", JsonValue::from(s.absorbed)),
+        ("partially_absorbed", JsonValue::from(s.partially_absorbed)),
+        ("propagated", JsonValue::from(s.propagated)),
+        ("makespan_s", JsonValue::from(report.makespan.as_secs_f64())),
+        (
+            "replay_makespan_s",
+            JsonValue::from(report.replay_makespan.as_secs_f64()),
+        ),
+        (
+            "replay_delta_s",
+            JsonValue::from(report.replay_delta().as_secs_f64()),
+        ),
+        (
+            "total_stolen_s",
+            JsonValue::from(report.total_stolen.as_secs_f64()),
+        ),
+        ("max_amplification", JsonValue::from(s.max_amplification)),
+        ("p99_amplification", JsonValue::from(s.p99_amplification)),
+        ("truncated", JsonValue::from(report.truncated)),
+        ("histogram", JsonValue::Array(hist)),
+    ]);
+    out.push_str(&summary.to_json());
+    out.push('\n');
     out
 }
 

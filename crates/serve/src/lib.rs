@@ -1,0 +1,366 @@
+//! # cesim-serve
+//!
+//! Simulation-as-a-service: a dependency-free HTTP/1.1 daemon over
+//! `std::net` that exposes the experiment layer of `cesim-core` as a
+//! JSON API. No async runtime and no HTTP crates — a bounded
+//! worker-thread pool over blocking sockets is simple, predictable
+//! under load, and all this workload needs (requests are
+//! CPU-dominated simulations, not I/O fan-out).
+//!
+//! ## Endpoints
+//!
+//! * `POST /v1/simulate` — one experiment cell; body mapped by
+//!   [`cesim_core::service::SimulateRequest`].
+//! * `POST /v1/sweep` — a figure-style grid ("fig3" … "fig7") run on
+//!   the ambient rayon pool; body mapped by
+//!   [`cesim_core::service::SweepRequest`].
+//! * `GET /healthz` — liveness.
+//! * `GET /metrics` — Prometheus text: per-endpoint request counters
+//!   and latency histograms, queue depth, shed/panic counters, and the
+//!   schedule-/response-cache hit counters.
+//!
+//! ## Operational properties
+//!
+//! * **Backpressure, not collapse.** Accepted connections enter a
+//!   bounded queue; when it is full the accept thread answers `429`
+//!   with `Retry-After` immediately instead of letting latency grow
+//!   without bound.
+//! * **Panic isolation.** Each request handler runs under
+//!   [`std::panic::catch_unwind`]; a panicking request is answered
+//!   `500` and the worker lives on.
+//! * **Deterministic bodies.** Simulation responses are pure functions
+//!   of the request (see `cesim_core::service`), so concurrent
+//!   identical requests produce byte-identical bodies and the
+//!   full-response cache is sound.
+//! * **Graceful shutdown.** On SIGTERM/SIGINT (or
+//!   [`Server::shutdown`]) the daemon stops accepting, drains queued
+//!   and in-flight requests, and joins every worker.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod signal;
+
+use cesim_core::service::{
+    handle_simulate, handle_sweep, ServiceError, ServiceState, SimulateRequest, SweepRequest,
+};
+use cesim_json::JsonValue;
+use http::{HttpError, Response};
+use metrics::Metrics;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration; every knob has a CLI flag on `cesim serve`.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:8080"`. Port `0` picks an
+    /// ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before new
+    /// arrivals are shed with `429`.
+    pub queue_depth: usize,
+    /// Compiled-schedule LRU capacity (`0` disables).
+    pub schedule_cache_entries: usize,
+    /// Full-response LRU capacity (`0` disables).
+    pub response_cache_entries: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum request body size.
+    pub max_body_bytes: usize,
+    /// Expose `/v1/test/sleep` and `/v1/test/panic` (integration tests
+    /// only — never enabled by the CLI).
+    pub enable_test_endpoints: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 4,
+            queue_depth: 64,
+            schedule_cache_entries: 64,
+            response_cache_entries: 256,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 1 << 20,
+            enable_test_endpoints: false,
+        }
+    }
+}
+
+/// State shared by the accept thread and every worker.
+struct Shared {
+    cfg: ServeConfig,
+    state: ServiceState,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon: an accept thread plus `workers` request threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving in background threads.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: ServiceState::new(cfg.schedule_cache_entries, cfg.response_cache_entries),
+            metrics: Metrics::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The actual bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain queued and in-flight requests, and join
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread is blocked in accept(2); a throwaway
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Workers drain whatever is queued, then observe the flag.
+        self.shared.queue_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Blocking CLI entry point: bind, serve until SIGTERM/SIGINT, then
+/// shut down gracefully.
+pub fn run(cfg: ServeConfig) -> std::io::Result<()> {
+    signal::install();
+    let server = Server::bind(cfg)?;
+    eprintln!("cesim-serve: listening on {}", server.addr());
+    while !signal::triggered() {
+        thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("cesim-serve: draining and shutting down");
+    server.shutdown();
+    Ok(())
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        let mut q = shared.queue.lock().expect("accept queue lock");
+        if q.len() >= shared.cfg.queue_depth {
+            drop(q);
+            shared.metrics.shed();
+            let mut resp = Response::error(429, "queue full; retry later");
+            resp.extra_headers.push(("retry-after", "1".into()));
+            let _ = http::write_response(&mut stream, &resp);
+        } else {
+            q.push_back(stream);
+            shared.metrics.set_queue_depth(q.len());
+            drop(q);
+            shared.queue_cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().expect("worker queue lock");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    shared.metrics.set_queue_depth(q.len());
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).expect("worker queue wait");
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        handle_connection(shared, &mut stream);
+    }
+}
+
+/// Stable endpoint label for metrics (bounds label cardinality: an
+/// attacker probing random paths lands in `"other"`).
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/simulate" => "/v1/simulate",
+        "/v1/sweep" => "/v1/sweep",
+        "/v1/test/sleep" => "/v1/test/sleep",
+        "/v1/test/panic" => "/v1/test/panic",
+        _ => "other",
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let start = Instant::now();
+    let req = match http::read_request(stream, shared.cfg.max_body_bytes) {
+        Ok(req) => req,
+        Err(err) => {
+            let resp = match err {
+                HttpError::Malformed(ref m) => Response::error(400, m),
+                HttpError::TooLarge { declared, limit } => Response::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds limit of {limit}"),
+                ),
+                HttpError::Truncated => Response::error(408, "request truncated"),
+                // Nothing readable arrived; no response is possible.
+                HttpError::Io(_) => return,
+            };
+            let _ = http::write_response(stream, &resp);
+            shared
+                .metrics
+                .observe("other", resp.status, start.elapsed());
+            return;
+        }
+    };
+    let endpoint = endpoint_label(&req.path);
+    // Panic isolation boundary: a panicking handler (a bug, or the
+    // test-only panic endpoint) becomes a 500 and the worker survives.
+    let resp = match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            shared.metrics.panicked();
+            Response::error(500, "request handler panicked")
+        }
+    };
+    let _ = http::write_response(stream, &resp);
+    shared
+        .metrics
+        .observe(endpoint, resp.status, start.elapsed());
+}
+
+fn route(shared: &Shared, req: &http::Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
+        ("GET", "/metrics") => Response::text(200, shared.metrics.render(&shared.state)),
+        ("POST", "/v1/simulate") => handle_api(shared, "/v1/simulate", &req.body, |v| {
+            SimulateRequest::from_json(v).and_then(|r| handle_simulate(&shared.state, &r))
+        }),
+        ("POST", "/v1/sweep") => handle_api(shared, "/v1/sweep", &req.body, |v| {
+            SweepRequest::from_json(v).and_then(|r| handle_sweep(&r))
+        }),
+        ("POST", "/v1/test/sleep") if shared.cfg.enable_test_endpoints => test_sleep(&req.body),
+        ("POST", "/v1/test/panic") if shared.cfg.enable_test_endpoints => {
+            panic!("test endpoint requested a panic")
+        }
+        (_, "/healthz" | "/metrics") => Response::error(405, "method not allowed"),
+        (_, "/v1/simulate" | "/v1/sweep") => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Shared plumbing for the two simulation endpoints: canonicalize the
+/// body, consult the full-response cache, dispatch on a miss, and cache
+/// the rendered body. Cache keys are `"<path> <canonical-json>"`, so
+/// field order and whitespace never cause spurious misses and the two
+/// endpoints can never alias.
+fn handle_api(
+    shared: &Shared,
+    path: &str,
+    body: &[u8],
+    dispatch: impl FnOnce(&JsonValue) -> Result<JsonValue, ServiceError>,
+) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    };
+    let value = match JsonValue::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    let key = format!("{path} {}", value.to_json());
+    if let Some(hit) = shared.state.responses.get(&key) {
+        return Response::json(200, hit.as_str());
+    }
+    match dispatch(&value) {
+        Ok(json) => {
+            let rendered = Arc::new(json.to_json());
+            shared.state.responses.put(key, Arc::clone(&rendered));
+            Response::json(200, rendered.as_str())
+        }
+        Err(ServiceError::BadRequest(m)) => Response::error(400, &m),
+        Err(ServiceError::Internal(m)) => Response::error(500, &m),
+    }
+}
+
+/// Test-only: `{"ms": n}` → hold the worker for `n` milliseconds. Lets
+/// integration tests create deterministic queue pressure and in-flight
+/// requests without depending on simulation timing.
+fn test_sleep(body: &[u8]) -> Response {
+    let parsed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| JsonValue::parse(t).ok())
+        .and_then(|v| v.get("ms").and_then(JsonValue::as_u64));
+    match parsed {
+        Some(ms) if ms <= 10_000 => {
+            thread::sleep(Duration::from_millis(ms));
+            Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
+        }
+        _ => Response::error(400, "body must be {\"ms\": 0..=10000}"),
+    }
+}

@@ -1,0 +1,238 @@
+//! Request counters and latency histograms, rendered in the Prometheus
+//! text exposition format on `GET /metrics`.
+//!
+//! The hot-path cost is one short mutex acquisition per completed
+//! request; the queue-depth gauge and shed/panic counters are atomics
+//! because the accept thread updates them outside any request. Label
+//! sets live in [`BTreeMap`]s so the rendered text is deterministic —
+//! the integration tests diff whole scrape bodies.
+
+use cesim_core::service::ServiceState;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in seconds (a `+Inf` bucket is
+/// implicit). Spans sub-millisecond cache hits to multi-second sweeps.
+pub const LATENCY_BUCKETS: [f64; 10] =
+    [0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+#[derive(Default, Clone)]
+struct Hist {
+    buckets: [u64; LATENCY_BUCKETS.len()],
+    count: u64,
+    sum_us: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// `(endpoint, status)` → request count.
+    requests: BTreeMap<(&'static str, u16), u64>,
+    /// endpoint → latency histogram.
+    latency: BTreeMap<&'static str, Hist>,
+}
+
+/// All daemon-level metrics; one instance shared by every thread.
+pub struct Metrics {
+    inner: Mutex<Inner>,
+    queue_depth: AtomicUsize,
+    shed: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics {
+            inner: Mutex::new(Inner::default()),
+            queue_depth: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one completed request.
+    pub fn observe(&self, endpoint: &'static str, status: u16, elapsed: Duration) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *inner.requests.entry((endpoint, status)).or_insert(0) += 1;
+        let hist = inner.latency.entry(endpoint).or_default();
+        let secs = elapsed.as_secs_f64();
+        for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+            if secs <= *bound {
+                hist.buckets[i] += 1;
+            }
+        }
+        hist.count += 1;
+        hist.sum_us += elapsed.as_micros() as u64;
+    }
+
+    /// Record a connection shed with 429 because the queue was full.
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Relaxed)
+    }
+
+    /// Record a handler panic caught by the worker isolation boundary.
+    pub fn panicked(&self) {
+        self.panics.fetch_add(1, Relaxed);
+    }
+
+    /// Panics caught so far.
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Relaxed)
+    }
+
+    /// Publish the current accept-queue depth.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Relaxed);
+    }
+
+    /// Render the Prometheus text exposition, folding in the cache
+    /// counters owned by the simulation state.
+    pub fn render(&self, state: &ServiceState) -> String {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP cesim_requests_total Requests completed, by endpoint and status.\n");
+        out.push_str("# TYPE cesim_requests_total counter\n");
+        for ((endpoint, status), count) in &inner.requests {
+            out.push_str(&format!(
+                "cesim_requests_total{{endpoint=\"{endpoint}\",code=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# HELP cesim_request_duration_seconds Request latency, by endpoint.\n");
+        out.push_str("# TYPE cesim_request_duration_seconds histogram\n");
+        for (endpoint, hist) in &inner.latency {
+            for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+                out.push_str(&format!(
+                    "cesim_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {}\n",
+                    hist.buckets[i]
+                ));
+            }
+            out.push_str(&format!(
+                "cesim_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}\n",
+                hist.count
+            ));
+            out.push_str(&format!(
+                "cesim_request_duration_seconds_sum{{endpoint=\"{endpoint}\"}} {}\n",
+                hist.sum_us as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "cesim_request_duration_seconds_count{{endpoint=\"{endpoint}\"}} {}\n",
+                hist.count
+            ));
+        }
+        drop(inner);
+
+        out.push_str("# HELP cesim_queue_depth Connections waiting for a worker.\n");
+        out.push_str("# TYPE cesim_queue_depth gauge\n");
+        out.push_str(&format!(
+            "cesim_queue_depth {}\n",
+            self.queue_depth.load(Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP cesim_shed_total Connections answered 429 because the queue was full.\n",
+        );
+        out.push_str("# TYPE cesim_shed_total counter\n");
+        out.push_str(&format!("cesim_shed_total {}\n", self.shed.load(Relaxed)));
+
+        out.push_str("# HELP cesim_worker_panics_total Handler panics caught and answered 500.\n");
+        out.push_str("# TYPE cesim_worker_panics_total counter\n");
+        out.push_str(&format!(
+            "cesim_worker_panics_total {}\n",
+            self.panics.load(Relaxed)
+        ));
+
+        for (name, help, value) in [
+            (
+                "cesim_schedule_cache_hits_total",
+                "Compiled-schedule cache hits.",
+                state.schedules.hits(),
+            ),
+            (
+                "cesim_schedule_cache_misses_total",
+                "Compiled-schedule cache misses (compilations).",
+                state.schedules.misses(),
+            ),
+            (
+                "cesim_response_cache_hits_total",
+                "Full-response cache hits.",
+                state.responses.hits(),
+            ),
+            (
+                "cesim_response_cache_misses_total",
+                "Full-response cache misses.",
+                state.responses.misses(),
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_families() {
+        let m = Metrics::new();
+        let state = ServiceState::new(2, 2);
+        m.observe("/v1/simulate", 200, Duration::from_millis(3));
+        m.observe("/v1/simulate", 200, Duration::from_millis(700));
+        m.observe("/healthz", 200, Duration::from_micros(50));
+        m.observe("/v1/simulate", 400, Duration::from_micros(80));
+        m.shed();
+        m.panicked();
+        m.set_queue_depth(5);
+        let text = m.render(&state);
+        assert!(text.contains("cesim_requests_total{endpoint=\"/v1/simulate\",code=\"200\"} 2"));
+        assert!(text.contains("cesim_requests_total{endpoint=\"/v1/simulate\",code=\"400\"} 1"));
+        assert!(text.contains("cesim_requests_total{endpoint=\"/healthz\",code=\"200\"} 1"));
+        // 3 ms lands in the 5 ms bucket but not the 2.5 ms one; the
+        // 700 ms request only lands in 1 s and above.
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/simulate\",le=\"0.0025\"} 1"
+        ));
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/simulate\",le=\"0.005\"} 2"
+        ));
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/simulate\",le=\"0.5\"} 2"
+        ));
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/simulate\",le=\"+Inf\"} 3"
+        ));
+        assert!(text.contains("cesim_request_duration_seconds_count{endpoint=\"/v1/simulate\"} 3"));
+        assert!(text.contains("cesim_queue_depth 5"));
+        assert!(text.contains("cesim_shed_total 1"));
+        assert!(text.contains("cesim_worker_panics_total 1"));
+        assert!(text.contains("cesim_schedule_cache_hits_total 0"));
+        assert!(text.contains("cesim_response_cache_misses_total 0"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let m = Metrics::new();
+        let state = ServiceState::new(1, 1);
+        m.observe("/v1/sweep", 200, Duration::from_millis(1));
+        m.observe("/healthz", 200, Duration::from_millis(1));
+        assert_eq!(m.render(&state), m.render(&state));
+    }
+}

@@ -1,0 +1,60 @@
+//! SIGINT/SIGTERM → shutdown flag, without external crates.
+//!
+//! The daemon needs exactly one bit from the OS: "a termination signal
+//! arrived". `libc` is already linked by `std`, so a two-line `extern`
+//! declaration of `signal(2)` is enough — the handler only stores to a
+//! `static AtomicU64` (async-signal-safe) and the serve loop polls the
+//! flag. This is the sole unsafe code in the crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that only performs an
+        // atomic store — async-signal-safe per POSIX.
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {
+        // No signal delivery on this platform; shutdown is test-driven.
+    }
+}
+
+/// Install the SIGINT/SIGTERM handlers. Idempotent.
+pub fn install() {
+    sys::install();
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn triggered() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Reset the flag (test isolation only).
+#[doc(hidden)]
+pub fn reset() {
+    SIGNALED.store(false, Ordering::SeqCst);
+}

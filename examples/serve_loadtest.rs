@@ -1,0 +1,177 @@
+//! Load test for the `cesim-serve` daemon: cold vs warm throughput.
+//!
+//! Boots two in-process servers on ephemeral ports — one with both
+//! caches disabled (every request recompiles the schedule and reruns
+//! the simulation) and one with the compiled-schedule and response
+//! caches enabled — then drives each with concurrent clients and
+//! reports req/s plus p50/p99 latency per phase.
+//!
+//! The warm phase must beat the cold phase by at least 1.2× or the
+//! process exits nonzero; CI gates on that, so a regression that
+//! silently bypasses the caches fails the build.
+//!
+//! ```sh
+//! cargo run --release --example serve_loadtest [BENCH_serve.json]
+//! SERVE_LOADTEST_REQUESTS=128 SERVE_LOADTEST_CONCURRENCY=16 \
+//!     cargo run --release --example serve_loadtest
+//! ```
+
+use std::time::{Duration, Instant};
+
+use cesim_json::JsonValue;
+use cesim_serve::client;
+use cesim_serve::{ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+const BODY: &str =
+    r#"{"app":"LULESH","nodes":16,"mode":"fw","mtbce":"60s","reps":1,"steps_scale":0.05}"#;
+
+/// One phase's aggregate numbers (latencies in milliseconds).
+struct Phase {
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Drive `requests` POSTs at `concurrency` from client threads and
+/// collect per-request latencies. Panics on any non-2xx response.
+fn drive(addr: std::net::SocketAddr, requests: usize, concurrency: usize) -> (Duration, Vec<f64>) {
+    let per_thread = requests.div_ceil(concurrency);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..concurrency)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_thread);
+                for _ in 0..per_thread {
+                    let t0 = Instant::now();
+                    let resp =
+                        client::post(addr, "/v1/simulate", BODY, TIMEOUT).expect("request failed");
+                    assert!(
+                        (200..300).contains(&resp.status),
+                        "non-2xx response: {} {}",
+                        resp.status,
+                        resp.body
+                    );
+                    lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    let wall = start.elapsed();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (wall, lat)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn run_phase(cfg: ServeConfig, requests: usize, concurrency: usize, prime: bool) -> Phase {
+    let server = Server::bind(cfg).expect("bind ephemeral server");
+    let addr = server.addr();
+    if prime {
+        // One untimed request so the warm phase measures pure cache hits.
+        let resp = client::post(addr, "/v1/simulate", BODY, TIMEOUT).expect("priming request");
+        assert!(
+            (200..300).contains(&resp.status),
+            "prime failed: {}",
+            resp.status
+        );
+    }
+    let (wall, lat) = drive(addr, requests, concurrency);
+    server.shutdown();
+    Phase {
+        req_per_s: lat.len() as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+    }
+}
+
+fn phase_json(p: &Phase) -> JsonValue {
+    JsonValue::object([
+        (
+            "req_per_s",
+            JsonValue::from((p.req_per_s * 100.0).round() / 100.0),
+        ),
+        (
+            "p50_ms",
+            JsonValue::from((p.p50_ms * 1000.0).round() / 1000.0),
+        ),
+        (
+            "p99_ms",
+            JsonValue::from((p.p99_ms * 1000.0).round() / 1000.0),
+        ),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let requests = env_usize("SERVE_LOADTEST_REQUESTS", 64);
+    let concurrency = env_usize("SERVE_LOADTEST_CONCURRENCY", 8);
+
+    let base = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: concurrency,
+        queue_depth: requests.max(64),
+        ..ServeConfig::default()
+    };
+
+    eprintln!("cold phase: {requests} requests, {concurrency} concurrent, caches disabled");
+    let cold = run_phase(
+        ServeConfig {
+            schedule_cache_entries: 0,
+            response_cache_entries: 0,
+            ..base.clone()
+        },
+        requests,
+        concurrency,
+        false,
+    );
+    eprintln!(
+        "  {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms",
+        cold.req_per_s, cold.p50_ms, cold.p99_ms
+    );
+
+    eprintln!("warm phase: {requests} requests, {concurrency} concurrent, caches enabled");
+    let warm = run_phase(base, requests, concurrency, true);
+    eprintln!(
+        "  {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms",
+        warm.req_per_s, warm.p50_ms, warm.p99_ms
+    );
+
+    let speedup = warm.req_per_s / cold.req_per_s;
+    let report = JsonValue::object([
+        ("bench", JsonValue::from("serve_loadtest")),
+        ("requests", JsonValue::from(requests as u64)),
+        ("concurrency", JsonValue::from(concurrency as u64)),
+        ("cold", phase_json(&cold)),
+        ("warm", phase_json(&warm)),
+        (
+            "speedup_warm_vs_cold",
+            JsonValue::from((speedup * 100.0).round() / 100.0),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{}\n", report.to_json())).expect("write bench report");
+    eprintln!("wrote {out_path}: warm/cold speedup {speedup:.2}x");
+
+    if speedup < 1.2 {
+        eprintln!("FAIL: warm phase must be at least 1.2x cold (got {speedup:.2}x)");
+        std::process::exit(1);
+    }
+}
