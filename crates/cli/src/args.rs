@@ -36,6 +36,7 @@ const VALUED: &[&str] = &[
     "load",
     "extrapolate",
     "threads",
+    "shards",
     "trace-out",
     "metrics-interval",
     "metrics-out",

@@ -61,6 +61,11 @@ SCALE OPTIONS (fig3..fig7)
                     each cell/replica derives its RNG stream from stable
                     (figure, cell, replica) coordinates, never from
                     execution order
+  --shards N        Split each simulation's event loop across N
+                    rank-partitioned shards advanced in lookahead windows
+                    [default 1 = serial engine]. Output is byte-identical
+                    for every value; the sweep thread budget is divided by
+                    N so cells x shards never oversubscribes the host
   --csv FILE        Also write the figure's cells as CSV
   --chart           Render as log-scale ASCII bar charts
   --quiet           No per-cell progress on stderr
@@ -107,6 +112,8 @@ RUN OPTIONS (cesim run)
   --single-node     Inject CEs on one rank only (Fig. 3 style)
   --steps N         Override workload step count
   --threads N       Worker threads for the replicas [default 0 = all cores]
+  --shards N        Intra-run event-loop shards [default 1 = serial engine];
+                    results are byte-identical for every value
 
 FIG2 OPTIONS
   --window SECONDS  Observation window [default 300]
@@ -296,6 +303,10 @@ fn scale_config(args: &Args) -> Result<ScaleConfig, String> {
     cfg.steps_scale = args.get_parsed("steps-scale", cfg.steps_scale)?;
     cfg.seed = args.get_parsed("seed", cfg.seed)?;
     cfg.threads = args.get_parsed("threads", cfg.threads)?;
+    cfg.shards = args.get_parsed("shards", cfg.shards)?;
+    if cfg.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     if args.has_flag("exact-rate") {
         cfg.preserve_machine_rate = false;
     }
@@ -578,11 +589,15 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     } else {
         simulate(&sched, &params, &mut noise).map_err(|e| e.to_string())?
     };
+    // A degenerate trace (no timed work) has a zero baseline, where the
+    // slowdown ratio is undefined — report that rather than panicking.
+    let slowdown = pert
+        .slowdown_pct(base.finish)
+        .map(|s| format!("{s:.2}% slowdown"))
+        .unwrap_or_else(|| "slowdown undefined (zero baseline)".into());
     println!(
-        "with CEs ({mode}, MTBCE {mtbce}): {} -> {:.2}% slowdown ({} detours)",
-        pert.finish,
-        pert.slowdown_pct(base.finish).expect("positive baseline"),
-        pert.noise_events
+        "with CEs ({mode}, MTBCE {mtbce}): {} -> {slowdown} ({} detours)",
+        pert.finish, pert.noise_events
     );
     Ok(())
 }
@@ -766,11 +781,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mtbce = cesim_core::model::parse_span(args.get("mtbce").unwrap_or("5544"))?;
     let reps = args.get_parsed("reps", 3u32)?;
     let seed = args.get_parsed("seed", 0xCE11u64)?;
+    let shards = args.get_parsed("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
     let mut exp = Experiment::new(app, nodes)
         .mode(mode)
         .mtbce(mtbce)
         .reps(reps)
-        .seed(seed);
+        .seed(seed)
+        .shards(shards);
     if args.has_flag("single-node") {
         exp = exp.scope(Scope::SingleRank(Rank(0)));
     }
@@ -790,9 +810,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let out = figures::with_threads(threads, || run_experiment(&exp)).map_err(|e| e.to_string())?;
     println!("ranks simulated : {}", out.ranks);
     println!("baseline        : {}", out.baseline);
-    match out.mean_slowdown_pct() {
-        Some(s) => {
-            println!("mean perturbed  : {}", out.mean_finish().unwrap());
+    match (out.mean_finish(), out.mean_slowdown_pct()) {
+        (Some(m), Some(s)) => {
+            println!("mean perturbed  : {m}");
             println!(
                 "slowdown        : {s:.3}%{}",
                 out.slowdown_stddev_pct()
@@ -801,7 +821,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             );
             println!("CE events/rep   : {:.1}", out.mean_ce_events());
         }
-        None => println!(
+        _ => println!(
             "slowdown        : no forward progress (per-event cost {} vs MTBCE {})",
             exp.mode.per_event_cost(),
             exp.mtbce

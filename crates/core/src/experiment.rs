@@ -14,7 +14,10 @@
 //! `slowdown = None`.
 
 use crate::seed::rep_seed;
-use cesim_engine::{simulate_compiled, CompiledSchedule, NoNoise, SimError, Simulator};
+use cesim_engine::{
+    simulate_compiled, simulate_compiled_sharded, simulate_sharded_recorded, CompiledSchedule,
+    NoNoise, ShardMode, SimError, Simulator,
+};
 use cesim_goal::Schedule;
 use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
 use cesim_noise::{CeNoise, Scope};
@@ -52,6 +55,10 @@ pub struct Experiment {
     pub params: LogGopsParams,
     /// Workload generation knobs.
     pub workload: WorkloadConfig,
+    /// Intra-run event-loop shards (`1` = the serial engine; `N > 1`
+    /// partitions ranks into `N` lookahead-windowed shards, byte-identical
+    /// output — see `cesim_engine::shard`).
+    pub shards: usize,
 }
 
 impl Experiment {
@@ -68,6 +75,7 @@ impl Experiment {
             seed: 0xCE11,
             params: LogGopsParams::xc40(),
             workload: WorkloadConfig::default(),
+            shards: 1,
         }
     }
 
@@ -104,6 +112,12 @@ impl Experiment {
     /// Override the workload step count.
     pub fn steps(mut self, steps: usize) -> Self {
         self.workload.steps_override = Some(steps);
+        self
+    }
+
+    /// Set the intra-run shard count (`1` = serial event loop).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -380,9 +394,20 @@ pub fn run_against_baseline_compiled(
                 // huge sweep cell cannot exhaust memory.
                 let cap = ((cs.total_ops() as usize).saturating_mul(12)).clamp(1 << 10, 1 << 22);
                 let mut rec = TimelineRecorder::with_capacity(cap);
-                let r = Simulator::from_compiled(Arc::clone(cs), exp.params)
-                    .with_recorder(&mut rec)
-                    .run(&mut noise)?;
+                let r = if exp.shards > 1 {
+                    simulate_sharded_recorded(
+                        cs,
+                        &exp.params,
+                        exp.shards,
+                        ShardMode::Auto,
+                        &noise,
+                        &mut rec,
+                    )?
+                } else {
+                    Simulator::from_compiled(Arc::clone(cs), exp.params)
+                        .with_recorder(&mut rec)
+                        .run(&mut noise)?
+                };
                 let events = rec.events();
                 let attr = cesim_obs::critical::attribute(&events);
                 let prov = cesim_obs::provenance::analyze(&events, rec.dropped()).summary();
@@ -401,7 +426,12 @@ pub fn run_against_baseline_compiled(
                     }),
                 ))
             } else {
-                simulate_compiled(cs, &exp.params, &mut noise).map(|r| {
+                let res = if exp.shards > 1 {
+                    simulate_compiled_sharded(cs, &exp.params, exp.shards, ShardMode::Auto, &noise)
+                } else {
+                    simulate_compiled(cs, &exp.params, &mut noise)
+                };
+                res.map(|r| {
                     (
                         RunStats {
                             finish: r.finish.since(Time::ZERO),

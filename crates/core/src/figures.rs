@@ -62,6 +62,12 @@ pub struct ScaleConfig {
     /// `RAYON_NUM_THREADS`), `1` runs serially. Results are identical for
     /// every value — cells are seeded by position, not execution order.
     pub threads: usize,
+    /// Intra-run event-loop shards per simulation (`1` = serial engine).
+    /// Values above 1 split each run across lookahead-windowed shards
+    /// (`cesim_engine::shard`) with byte-identical output; the sweep's
+    /// worker-thread budget is divided by this factor so `cells × shards`
+    /// never oversubscribes the host (see [`ScaleConfig::scoped`]).
+    pub shards: usize,
 }
 
 impl Default for ScaleConfig {
@@ -78,6 +84,7 @@ impl Default for ScaleConfig {
             observe: false,
             observe_replicas: 1,
             threads: 0,
+            shards: 1,
         }
     }
 }
@@ -123,9 +130,29 @@ impl ScaleConfig {
         }
     }
 
-    /// Run `f` under this config's thread count (see [`with_threads`]).
+    /// Sweep worker threads after reserving capacity for intra-run
+    /// shards: with `shards > 1` the ambient (or requested) thread budget
+    /// is divided by the shard count, floored at one worker, so a sweep
+    /// of sharded runs uses roughly the same number of OS threads as an
+    /// unsharded one.
+    pub fn effective_threads(&self) -> usize {
+        if self.shards <= 1 {
+            return self.threads;
+        }
+        let base = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        (base / self.shards).max(1)
+    }
+
+    /// Run `f` under this config's thread count (see [`with_threads`]),
+    /// shard-adjusted per [`ScaleConfig::effective_threads`].
     pub fn scoped<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        with_threads(self.threads, f)
+        with_threads(self.effective_threads(), f)
     }
 }
 
@@ -301,6 +328,7 @@ fn run_figure(
                     seed: point_seed(cfg.seed, id, ai, si),
                     params: cesim_model::LogGopsParams::xc40(),
                     workload: cfg.workload_cfg(ai as u64),
+                    shards: cfg.shards,
                 };
                 let observe_replicas = if cfg.observe {
                     cfg.observe_replicas.max(1)

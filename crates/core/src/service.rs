@@ -30,6 +30,8 @@ use std::collections::BTreeMap;
 pub const MAX_NODES: usize = 4096;
 /// Upper bound on replicas per request.
 pub const MAX_REPS: u64 = 64;
+/// Upper bound on intra-run event-loop shards per request.
+pub const MAX_SHARDS: u64 = 64;
 
 /// A request failed. [`BadRequest`](ServiceError::BadRequest) maps to
 /// HTTP 400, [`Internal`](ServiceError::Internal) to 500.
@@ -96,6 +98,9 @@ pub struct SimulateRequest {
     pub single_rank: bool,
     /// Workload generation knobs (steps / steps_scale).
     pub workload: WorkloadConfig,
+    /// Intra-run event-loop shards (`1` = serial engine; results are
+    /// byte-identical for every value).
+    pub shards: usize,
 }
 
 fn expect_object<'v>(
@@ -208,6 +213,7 @@ impl SimulateRequest {
         "mtbce",
         "reps",
         "seed",
+        "shards",
         "single_rank",
         "steps",
         "steps_scale",
@@ -236,6 +242,10 @@ impl SimulateRequest {
             return Err(bad(format!("reps must be in 1..={MAX_REPS}")));
         }
         let seed = field_u64(obj, "seed", 0xCE11)?;
+        let shards = field_u64(obj, "shards", 1)?;
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(bad(format!("shards must be in 1..={MAX_SHARDS}")));
+        }
         let single_rank = field_bool(obj, "single_rank", false)?;
         // Serving default: a quarter of the app's step count. Full-length
         // runs are for the CLI; the daemon favors latency, and slowdown
@@ -267,6 +277,7 @@ impl SimulateRequest {
             seed,
             single_rank,
             workload,
+            shards: shards as usize,
         })
     }
 
@@ -275,7 +286,8 @@ impl SimulateRequest {
             .mode(self.mode)
             .mtbce(self.mtbce)
             .reps(self.reps)
-            .seed(self.seed);
+            .seed(self.seed)
+            .shards(self.shards);
         if self.single_rank {
             exp = exp.scope(Scope::SingleRank(Rank(0)));
         }
@@ -538,6 +550,39 @@ mod tests {
         assert_eq!(state.schedules.hits(), 1);
         assert!(a.contains("\"slowdown_pct\":"));
         assert!(a.contains("\"app\":\"miniFE\""));
+    }
+
+    #[test]
+    fn simulate_shards_parse_validate_and_do_not_change_results() {
+        let req = SimulateRequest::from_json(&parse(r#"{"app":"HPCG"}"#)).unwrap();
+        assert_eq!(req.shards, 1, "default is the serial engine");
+        for body in [
+            r#"{"app":"HPCG","shards":0}"#,
+            r#"{"app":"HPCG","shards":65}"#,
+            r#"{"app":"HPCG","shards":"two"}"#,
+        ] {
+            assert!(
+                SimulateRequest::from_json(&parse(body)).is_err(),
+                "{body} must be rejected"
+            );
+        }
+        // The whole point of the sharded engine: responses are
+        // byte-identical to the serial ones.
+        let state = ServiceState::new(8, 8);
+        let serial = SimulateRequest::from_json(&parse(
+            r#"{"app":"miniFE","nodes":8,"mode":"fw","mtbce":"1s","reps":2,"steps":3}"#,
+        ))
+        .unwrap();
+        let sharded = SimulateRequest::from_json(&parse(
+            r#"{"app":"miniFE","nodes":8,"mode":"fw","mtbce":"1s","reps":2,"steps":3,"shards":4}"#,
+        ))
+        .unwrap();
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(
+            handle_simulate(&state, &serial).unwrap().to_json(),
+            handle_simulate(&state, &sharded).unwrap().to_json(),
+            "sharded response must be byte-identical to serial"
+        );
     }
 
     #[test]

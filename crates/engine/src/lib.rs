@@ -35,6 +35,7 @@ pub mod noise;
 pub mod queue;
 pub mod record;
 pub mod result;
+pub mod shard;
 pub mod sim;
 pub mod topology;
 
@@ -43,5 +44,6 @@ pub use matchq::TagQueue;
 pub use noise::{NoNoise, NoiseModel};
 pub use record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent, VecRecorder};
 pub use result::{SimError, SimResult};
+pub use shard::{simulate_compiled_sharded, simulate_sharded_recorded, ShardMode};
 pub use sim::{simulate, simulate_compiled, simulate_compiled_with, RunScratch, Simulator};
 pub use topology::{Dragonfly, FatTree, FlatCrossbar, Topology, Torus3D};

@@ -1,23 +1,45 @@
 //! The central event queue.
 //!
-//! A binary min-heap ordered by `(time, sequence)`. The monotonically
-//! increasing sequence number breaks ties deterministically in insertion
-//! order, which makes whole-simulation results bit-reproducible.
+//! A binary min-heap ordered by `(time, creator rank, creator sequence)`.
+//! The key is **content-computable**: it is derived from *which rank
+//! created the event and how many events that rank had created before*,
+//! never from global insertion order. Two consequences:
+//!
+//! * ties are still broken deterministically (keys are unique: a rank's
+//!   sequence numbers are monotone), so whole-simulation results stay
+//!   bit-reproducible, and
+//! * the same set of events pops in the same relative order no matter
+//!   which queue instance they pass through — the property the sharded
+//!   engine ([`crate::shard`]) relies on to merge per-shard streams
+//!   byte-identically with the serial engine.
 
 use cesim_model::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Content-computable tie-break key: the rank that created the event and
+/// that rank's private event-creation counter. Combined with the
+/// timestamp this identifies an event uniquely, independent of which
+/// heap (or how many heaps) it travels through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EvKey {
+    /// Rank on which the event was created (the rank whose processing
+    /// pushed it; for the initial wavefront, the root op's own rank).
+    pub crank: u32,
+    /// That rank's monotone creation counter at push time.
+    pub cseq: u64,
+}
+
 /// A scheduled event of type `E`.
 struct Entry<E> {
     time: Time,
-    seq: u64,
+    key: EvKey,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -28,7 +50,7 @@ impl<E> Ord for Entry<E> {
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
@@ -41,7 +63,6 @@ impl<E> PartialOrd for Entry<E> {
 /// Deterministic time-ordered event queue.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
     pushed: u64,
 }
 
@@ -50,7 +71,6 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            next_seq: 0,
             pushed: 0,
         }
     }
@@ -59,53 +79,53 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
             pushed: 0,
         }
     }
 
-    /// Schedule `event` at `time`.
+    /// Schedule `event` at `time` under the tie-break `key`.
+    ///
+    /// Keys must be unique per queue — the caller derives them from
+    /// per-rank creation counters, which guarantees it.
     #[inline]
-    pub fn push(&mut self, time: Time, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    pub fn push(&mut self, time: Time, key: EvKey, event: E) {
         self.pushed += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry { time, key, event });
     }
 
     /// Bulk-schedule `events` in one O(n) heapify instead of n·O(log n)
     /// pushes — the fast path for seeding the initial ready wavefront.
     ///
-    /// Sequence numbers are assigned in iteration order, exactly as a
-    /// loop of [`push`](EventQueue::push) calls would, and `(time, seq)`
-    /// keys are unique, so the pop order is **identical** to the
-    /// push-one-at-a-time path (a heap's pop order is fully determined
-    /// by its comparator once keys are distinct).
-    pub fn seed(&mut self, events: impl IntoIterator<Item = (Time, E)>) {
+    /// Keys are explicit and unique, so the pop order is **identical**
+    /// to the push-one-at-a-time path (a heap's pop order is fully
+    /// determined by its comparator once keys are distinct).
+    pub fn seed(&mut self, events: impl IntoIterator<Item = (Time, EvKey, E)>) {
         // Reuse the heap's existing buffer: take it apart, extend, and
         // rebuild. `BinaryHeap::from(Vec)` is the linear-time heapify.
         let mut entries = std::mem::take(&mut self.heap).into_vec();
-        for (time, event) in events {
-            let seq = self.next_seq;
-            self.next_seq += 1;
+        for (time, key, event) in events {
             self.pushed += 1;
-            entries.push(Entry { time, seq, event });
+            entries.push(Entry { time, key, event });
         }
         self.heap = BinaryHeap::from(entries);
     }
 
     /// Remove and return the earliest event.
     #[inline]
-    pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+    pub fn pop(&mut self) -> Option<(Time, EvKey, E)> {
+        self.heap.pop().map(|e| (e.time, e.key, e.event))
     }
 
-    /// Remove all events and reset the sequence counter, retaining the
-    /// allocated buffer — a cleared queue behaves exactly like a fresh
-    /// one (tie-breaking restarts at sequence 0), without reallocating.
+    /// Timestamp of the earliest event without removing it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Remove all events, retaining the allocated buffer — a cleared
+    /// queue behaves exactly like a fresh one without reallocating.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.next_seq = 0;
         self.pushed = 0;
     }
 
@@ -142,49 +162,87 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_ps(30), "c");
-        q.push(Time::from_ps(10), "a");
-        q.push(Time::from_ps(20), "b");
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.pop(), Some((Time::from_ps(10), "a")));
-        assert_eq!(q.pop(), Some((Time::from_ps(20), "b")));
-        assert_eq!(q.pop(), Some((Time::from_ps(30), "c")));
-        assert_eq!(q.pop(), None);
-        assert!(q.is_empty());
-        assert_eq!(q.total_pushed(), 3);
+    fn k(crank: u32, cseq: u64) -> EvKey {
+        EvKey { crank, cseq }
     }
 
     #[test]
-    fn ties_break_in_insertion_order() {
+    fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(Time::from_ps(5), i);
+        q.push(Time::from_ps(30), k(0, 0), "c");
+        q.push(Time::from_ps(10), k(0, 1), "a");
+        q.push(Time::from_ps(20), k(0, 2), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Time::from_ps(10)));
+        assert_eq!(q.pop(), Some((Time::from_ps(10), k(0, 1), "a")));
+        assert_eq!(q.pop(), Some((Time::from_ps(20), k(0, 2), "b")));
+        assert_eq!(q.pop(), Some((Time::from_ps(30), k(0, 0), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.total_pushed(), 3);
+    }
+
+    /// Same-time events pop ordered by `(crank, cseq)` — a stable FIFO
+    /// per creating rank, ranks interleaved in rank order.
+    #[test]
+    fn ties_break_by_creator_key() {
+        let mut q = EventQueue::new();
+        // Insert deliberately scrambled.
+        q.push(Time::from_ps(5), k(1, 0), (1u32, 0u64));
+        q.push(Time::from_ps(5), k(0, 1), (0, 1));
+        q.push(Time::from_ps(5), k(1, 7), (1, 7));
+        q.push(Time::from_ps(5), k(0, 0), (0, 0));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 7)]);
+    }
+
+    /// The pop order of a fixed event set is independent of insertion
+    /// order — the property the sharded engine's mailbox drain relies on
+    /// (cross-shard events are inserted at window boundaries in whatever
+    /// order shards drained, yet must pop identically to serial).
+    #[test]
+    fn pop_order_is_insertion_order_independent() {
+        let events: Vec<(Time, EvKey, usize)> = (0..200usize)
+            .map(|i| {
+                let t = Time::from_ps((i as u64).wrapping_mul(7919) % 50);
+                (t, k((i % 7) as u32, (i / 7) as u64), i)
+            })
+            .collect();
+        let mut fwd = EventQueue::new();
+        for &(t, key, e) in &events {
+            fwd.push(t, key, e);
         }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
+        let mut rev = EventQueue::new();
+        for &(t, key, e) in events.iter().rev() {
+            rev.push(t, key, e);
+        }
+        loop {
+            let (a, b) = (fwd.pop(), rev.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
         }
     }
 
     /// The bulk-heapify path must pop in exactly the order the
-    /// push-one-at-a-time path would, including ties (broken by the
-    /// sequence counter) — many distinct times collide on purpose here.
+    /// push-one-at-a-time path would, including ties — many distinct
+    /// times collide on purpose here.
     #[test]
     fn seed_matches_sequential_pushes() {
-        let times: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(7919) % 50).collect();
+        let items: Vec<(Time, EvKey, usize)> = (0..500usize)
+            .map(|i| {
+                let t = Time::from_ps((i as u64).wrapping_mul(7919) % 50);
+                (t, k((i % 3) as u32, (i / 3) as u64), i)
+            })
+            .collect();
         let mut pushed = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            pushed.push(Time::from_ps(t), i);
+        for &(t, key, e) in &items {
+            pushed.push(t, key, e);
         }
         let mut seeded = EventQueue::new();
-        seeded.seed(
-            times
-                .iter()
-                .enumerate()
-                .map(|(i, &t)| (Time::from_ps(t), i)),
-        );
+        seeded.seed(items.iter().copied());
         assert_eq!(seeded.len(), pushed.len());
         assert_eq!(seeded.total_pushed(), pushed.total_pushed());
         while !pushed.is_empty() {
@@ -193,53 +251,117 @@ mod tests {
         assert_eq!(seeded.pop(), None);
     }
 
-    /// Seeding a non-empty queue continues the sequence counter, so
-    /// mixing push and seed stays equivalent to pushing everything.
+    /// Seeding a non-empty queue merges with what is already there.
     #[test]
-    fn seed_after_pushes_continues_tie_order() {
+    fn seed_after_pushes_merges() {
         let mut mixed = EventQueue::new();
-        mixed.push(Time::from_ps(5), 0);
-        mixed.push(Time::from_ps(5), 1);
-        mixed.seed([(Time::from_ps(5), 2), (Time::from_ps(3), 3)]);
-        let mut plain = EventQueue::new();
-        for (t, e) in [
-            (Time::from_ps(5), 0),
-            (Time::from_ps(5), 1),
-            (Time::from_ps(5), 2),
-            (Time::from_ps(3), 3),
-        ] {
-            plain.push(t, e);
-        }
-        while !plain.is_empty() {
-            assert_eq!(mixed.pop(), plain.pop());
-        }
-        assert!(mixed.is_empty());
+        mixed.push(Time::from_ps(5), k(0, 0), 0);
+        mixed.push(Time::from_ps(5), k(0, 1), 1);
+        mixed.seed([
+            (Time::from_ps(5), k(1, 0), 2),
+            (Time::from_ps(3), k(2, 0), 3),
+        ]);
+        let order: Vec<_> = std::iter::from_fn(|| mixed.pop())
+            .map(|(_, _, e)| e)
+            .collect();
+        assert_eq!(order, vec![3, 0, 1, 2]);
     }
 
-    /// `clear` resets the sequence counter: a cleared queue breaks ties
-    /// exactly like a fresh one.
+    /// `clear` leaves the queue indistinguishable from a fresh one.
     #[test]
     fn clear_behaves_like_fresh() {
         let mut q = EventQueue::new();
-        q.push(Time::from_ps(1), 100);
-        q.push(Time::from_ps(1), 200);
+        q.push(Time::from_ps(1), k(0, 0), 100);
+        q.push(Time::from_ps(1), k(0, 1), 200);
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.total_pushed(), 0);
-        q.push(Time::from_ps(9), 300);
-        q.push(Time::from_ps(9), 400);
-        assert_eq!(q.pop(), Some((Time::from_ps(9), 300)));
-        assert_eq!(q.pop(), Some((Time::from_ps(9), 400)));
+        q.push(Time::from_ps(9), k(0, 0), 300);
+        q.push(Time::from_ps(9), k(0, 1), 400);
+        assert_eq!(q.pop(), Some((Time::from_ps(9), k(0, 0), 300)));
+        assert_eq!(q.pop(), Some((Time::from_ps(9), k(0, 1), 400)));
     }
 
     #[test]
     fn interleaved_push_pop() {
         let mut q = EventQueue::with_capacity(4);
-        q.push(Time::from_ps(10), 1);
-        q.push(Time::from_ps(5), 0);
-        assert_eq!(q.pop().unwrap().1, 0);
-        q.push(Time::from_ps(7), 2);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Time::from_ps(10), k(0, 0), 1);
+        q.push(Time::from_ps(5), k(0, 1), 0);
+        assert_eq!(q.pop().unwrap().2, 0);
+        q.push(Time::from_ps(7), k(0, 2), 2);
+        assert_eq!(q.pop().unwrap().2, 2);
+        assert_eq!(q.pop().unwrap().2, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Same-timestamp events pop in stable FIFO order: per creating
+        /// rank they come out in creation order, ties across ranks break
+        /// by rank id, and none of it depends on the order events were
+        /// pushed into the heap (or whether they arrived via `push` or
+        /// the O(n) `seed` heapify).
+        #[test]
+        fn same_time_pop_order_is_stable_fifo(
+            // Few distinct timestamps + few ranks → dense tie collisions.
+            items in proptest::collection::vec((0u64..4, 0u32..3), 1..64),
+            shuffle in 0u64..=u64::MAX,
+        ) {
+            // Assign each event its creator's FIFO sequence number.
+            let mut next_seq = [0u64; 3];
+            let mut events: Vec<(Time, EvKey, usize)> = items
+                .iter()
+                .enumerate()
+                .map(|(payload, &(t, crank))| {
+                    let cseq = next_seq[crank as usize];
+                    next_seq[crank as usize] += 1;
+                    (Time::from_ps(t), EvKey { crank, cseq }, payload)
+                })
+                .collect();
+
+            let mut expected = events.clone();
+            expected.sort_by_key(|&(t, key, _)| (t, key));
+
+            // Push in a shuffled order (deterministic xorshift walk).
+            let mut order: Vec<usize> = (0..events.len()).collect();
+            let mut s = shuffle | 1;
+            for i in (1..order.len()).rev() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                order.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+
+            let mut q = EventQueue::new();
+            for &i in &order {
+                let (t, key, p) = events[i];
+                q.push(t, key, p);
+            }
+            let mut popped = Vec::new();
+            while let Some(e) = q.pop() {
+                popped.push(e);
+            }
+            prop_assert_eq!(&popped, &expected);
+
+            // The bulk-seed path must agree with the push path exactly
+            // (under yet another insertion order).
+            for i in (1..events.len()).rev() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                events.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            let mut q2 = EventQueue::new();
+            q2.seed(events);
+            let mut popped2 = Vec::new();
+            while let Some(e) = q2.pop() {
+                popped2.push(e);
+            }
+            prop_assert_eq!(&popped2, &expected);
+        }
     }
 }

@@ -1,0 +1,816 @@
+//! Intra-run parallel DES: shard the event loop by rank, advance shards
+//! in lockstep lookahead windows, and stay **byte-identical** to the
+//! serial engine.
+//!
+//! # Why `L` is a safe lookahead
+//!
+//! Every cross-rank interaction in the LogGOPS model is a message, and
+//! every message injected at time `t` arrives no earlier than `t + L`:
+//! eager payloads arrive at `inject + L + bytes·G`, RTS and CTS control
+//! messages at `inject + L`, and topology hop surcharges only *add*
+//! delay. So if the earliest unprocessed event anywhere in the system is
+//! at time `m`, no shard can receive a message with timestamp below
+//! `m + L` that does not already exist — which makes `[m, m + L)` a
+//! window every shard may execute to completion without hearing from the
+//! others. (`L = 0` disables sharding; the driver falls back to the
+//! serial engine.)
+//!
+//! # The window protocol
+//!
+//! Ranks are partitioned into `S` contiguous slices; each shard owns the
+//! per-rank state (CPU/NIC cursors, match queues, event heap — its own
+//! [`RunScratch`] slice) of its ranks, while the [`CompiledSchedule`]
+//! stays shared and immutable. Shards repeat:
+//!
+//! 1. **min**: publish the timestamp of the earliest local pending
+//!    event; the global minimum `m` defines `window_end = m + L`.
+//! 2. **run**: pop-and-process local events with `time < window_end`,
+//!    exactly like the serial loop. Events created for foreign ranks go
+//!    to a per-shard *outbox* instead of the local heap.
+//! 3. **exchange**: route outbox entries to the owning shard's mailbox;
+//!    each shard drains its mailbox into its heap before the next round.
+//!
+//! # Deterministic merge order
+//!
+//! The event heap orders by `(time, creator rank, creator seq)` — the
+//! content-computable key of [`crate::queue::EvKey`] — so the pop order
+//! of any fixed event set is independent of *which heap* the events pass
+//! through or the order mailboxes were drained in. Combined with the
+//! window bound above, every rank processes exactly the event sequence
+//! it would under the serial engine, so all per-rank state, counters and
+//! the assembled [`SimResult`] are byte-identical.
+//!
+//! # Wildcards and FIFO matching
+//!
+//! `MPI_ANY_SOURCE` receives and FIFO tag matching are per-*receiving*
+//! rank: the match queues live in the shard that owns the destination
+//! rank, and arrivals for one rank are processed in the same key order
+//! as serially, so match outcomes cannot differ.
+//!
+//! # The Recorder
+//!
+//! A recorded sharded run tags every emitted [`SimEvent`] with the key
+//! of the pop that produced it (plus an intra-pop counter), buffers
+//! per-shard streams, and k-way-merges them afterwards — reproducing the
+//! serial emission order exactly. Message and detour ids are assigned
+//! per shard from disjoint provisional ranges and densely renumbered in
+//! merged order, which restores the exact ids the serial engine hands
+//! out. The merged stream is then replayed into the caller's recorder,
+//! so capacity/drop behavior also matches a serial recording.
+
+use crate::compile::CompiledSchedule;
+use crate::noise::NoiseModel;
+use crate::queue::EvKey;
+use crate::record::{NullRecorder, Recorder, SimEvent};
+use crate::result::{SimError, SimResult};
+use crate::sim::{event_target, run_engine, stuck_ops, Engine, Event, RunScratch};
+use crate::topology::FlatCrossbar;
+use cesim_model::{LogGopsParams, Time};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Provisional-id stride per shard for recorded runs: shard `i` hands
+/// out ids starting at `(i + 1) << 48`, far above any dense serial id,
+/// so provisional ids never collide across shards (or with the dense
+/// range) before the merge renumbers them.
+const ID_STRIDE: u64 = 1 << 48;
+
+/// How the sharded driver executes its shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardMode {
+    /// One OS thread per shard when the host has more than one CPU,
+    /// otherwise single-threaded lockstep. Output is identical either
+    /// way; this only picks the faster execution on the current host.
+    Auto,
+    /// One OS thread per shard, synchronized with barriers.
+    Threads,
+    /// All shards advanced round-robin on the calling thread — the same
+    /// window schedule without any thread or barrier overhead. This is
+    /// still a win on its own: per-shard heaps are a fraction of the
+    /// serial heap's size, so pops cost `O(log(n/S))` and the working
+    /// set per window is `~1/S` of the serial one.
+    Lockstep,
+}
+
+impl ShardMode {
+    fn threaded(self) -> bool {
+        match self {
+            ShardMode::Threads => true,
+            ShardMode::Lockstep => false,
+            ShardMode::Auto => std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false),
+        }
+    }
+}
+
+/// Contiguous rank partition: shard `s` owns ranks
+/// `[cut(s), cut(s+1))` with `cut(s) = n·s/S`.
+fn cuts(nranks: usize, shards: usize) -> Vec<u32> {
+    (0..=shards).map(|s| (nranks * s / shards) as u32).collect()
+}
+
+/// Owning shard of `rank` under `cuts`.
+#[inline]
+fn shard_of(cuts: &[u32], rank: u32) -> usize {
+    cuts.partition_point(|&c| c <= rank) - 1
+}
+
+/// A [`SimEvent`] tagged with the key of the pop that emitted it plus an
+/// intra-pop emission counter — the merge key that reproduces serial
+/// emission order.
+#[derive(Clone, Copy)]
+struct Tagged {
+    t: Time,
+    key: EvKey,
+    n: u32,
+    ev: SimEvent,
+}
+
+/// Per-shard recorder used by recorded sharded runs: buffers tagged
+/// events for the post-run merge.
+struct KeyedRecorder {
+    buf: Vec<Tagged>,
+    t: Time,
+    key: EvKey,
+    n: u32,
+}
+
+impl KeyedRecorder {
+    fn new() -> Self {
+        KeyedRecorder {
+            buf: Vec::new(),
+            t: Time::ZERO,
+            key: EvKey { crank: 0, cseq: 0 },
+            n: 0,
+        }
+    }
+}
+
+impl Recorder for KeyedRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, ev: SimEvent) {
+        self.buf.push(Tagged {
+            t: self.t,
+            key: self.key,
+            n: self.n,
+            ev,
+        });
+        self.n += 1;
+    }
+}
+
+/// A [`Recorder`] that additionally learns which pop is being processed
+/// — what the window loop needs to tag emissions for the merge.
+trait WindowRecorder: Recorder {
+    /// Called once per popped event, before dispatch.
+    fn begin_pop(&mut self, t: Time, key: EvKey);
+}
+
+impl WindowRecorder for NullRecorder {
+    #[inline(always)]
+    fn begin_pop(&mut self, _t: Time, _key: EvKey) {}
+}
+
+impl WindowRecorder for KeyedRecorder {
+    #[inline]
+    fn begin_pop(&mut self, t: Time, key: EvKey) {
+        self.t = t;
+        self.key = key;
+        self.n = 0;
+    }
+}
+
+impl<R: WindowRecorder> WindowRecorder for &mut R {
+    #[inline(always)]
+    fn begin_pop(&mut self, t: Time, key: EvKey) {
+        (**self).begin_pop(t, key);
+    }
+}
+
+/// Simulate a [`CompiledSchedule`] split across `shards` rank-contiguous
+/// shards advanced in lookahead windows. Byte-identical to
+/// [`crate::simulate_compiled`]; `noise` is used as a prototype (cloned
+/// per shard, each clone only ever queried for that shard's ranks — the
+/// per-rank noise substreams consumed are exactly the serial ones).
+///
+/// `shards <= 1`, a single-rank schedule, or `params.latency == 0` (no
+/// usable lookahead) all fall back to the serial engine.
+pub fn simulate_compiled_sharded<N: NoiseModel + Clone + Send>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    shards: usize,
+    mode: ShardMode,
+    noise: &N,
+) -> Result<SimResult, SimError> {
+    run_sharded(cs, params, shards, mode, noise, &mut NullRecorder)
+}
+
+/// [`simulate_compiled_sharded`] with instrumentation: per-shard event
+/// streams are merged back into serial emission order (ids densely
+/// renumbered) and replayed into `rec`, so the recording is
+/// byte-identical to a serial recorded run.
+pub fn simulate_sharded_recorded<N: NoiseModel + Clone + Send, R: Recorder>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    shards: usize,
+    mode: ShardMode,
+    noise: &N,
+    rec: &mut R,
+) -> Result<SimResult, SimError> {
+    run_sharded(cs, params, shards, mode, noise, rec)
+}
+
+fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    shards: usize,
+    mode: ShardMode,
+    noise: &N,
+    rec: &mut R,
+) -> Result<SimResult, SimError> {
+    if cs.num_ranks() == 0 {
+        return Err(SimError::EmptySchedule);
+    }
+    let s_eff = shards.clamp(1, cs.num_ranks());
+    if s_eff <= 1 || params.latency.is_zero() {
+        // No usable partition or no lookahead: the serial engine IS the
+        // sharded engine with one shard.
+        let mut scratch = RunScratch::new();
+        let mut n = noise.clone();
+        return run_engine(cs, *params, &FlatCrossbar, &mut scratch, &mut *rec, &mut n);
+    }
+
+    let cuts = cuts(cs.num_ranks(), s_eff);
+    let mut scratches: Vec<RunScratch> = (0..s_eff).map(|_| RunScratch::new()).collect();
+    let mut noises: Vec<N> = Vec::with_capacity(s_eff);
+    let noise_base = noise.events_injected();
+    for (i, s) in scratches.iter_mut().enumerate() {
+        s.reset_range(cs, cuts[i], cuts[i + 1]);
+        if R::ENABLED {
+            s.offset_ids((i as u64 + 1) * ID_STRIDE);
+        }
+        s.seed_roots(cs);
+        noises.push(noise.clone());
+    }
+
+    let events_processed = if R::ENABLED {
+        let mut recs: Vec<KeyedRecorder> = (0..s_eff).map(|_| KeyedRecorder::new()).collect();
+        let n = drive(
+            cs,
+            *params,
+            mode,
+            &cuts,
+            &mut scratches,
+            &mut noises,
+            &mut recs,
+        );
+        merge_records(recs, rec);
+        n
+    } else {
+        let mut recs = vec![NullRecorder; s_eff];
+        drive(
+            cs,
+            *params,
+            mode,
+            &cuts,
+            &mut scratches,
+            &mut noises,
+            &mut recs,
+        )
+    };
+
+    let completed: u64 = scratches.iter().map(|s| s.completed).sum();
+    if completed != cs.total_ops() {
+        let parts: Vec<&RunScratch> = scratches.iter().collect();
+        return Err(SimError::Deadlock {
+            completed,
+            total: cs.total_ops(),
+            stuck_examples: stuck_ops(cs, &parts, 8),
+        });
+    }
+
+    let mut per_rank_finish = Vec::with_capacity(cs.num_ranks());
+    let mut per_rank_busy = Vec::with_capacity(cs.num_ranks());
+    let mut per_rank_work = Vec::with_capacity(cs.num_ranks());
+    for s in &scratches {
+        per_rank_finish.extend_from_slice(&s.finish);
+        per_rank_busy.extend_from_slice(&s.busy);
+        per_rank_work.extend_from_slice(&s.work);
+    }
+    let noise_events = noise_base
+        + noises
+            .iter()
+            .map(|n| n.events_injected() - noise_base)
+            .sum::<u64>();
+    let finish = per_rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
+    Ok(SimResult {
+        finish,
+        per_rank_finish,
+        per_rank_busy,
+        per_rank_work,
+        ops_executed: completed,
+        msgs_delivered: scratches.iter().map(|s| s.msgs_delivered).sum(),
+        control_msgs: scratches.iter().map(|s| s.control_msgs).sum(),
+        noise_events,
+        max_unexpected: scratches
+            .iter()
+            .map(|s| s.max_unexpected)
+            .max()
+            .unwrap_or(0),
+        max_posted: scratches.iter().map(|s| s.max_posted).max().unwrap_or(0),
+        events_processed,
+    })
+}
+
+/// Run the window protocol to completion in the requested mode;
+/// returns total events processed.
+fn drive<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
+    cs: &CompiledSchedule,
+    params: LogGopsParams,
+    mode: ShardMode,
+    cuts: &[u32],
+    scratches: &mut [RunScratch],
+    noises: &mut [N],
+    recs: &mut [R],
+) -> u64 {
+    if mode.threaded() {
+        drive_threaded(cs, params, cuts, scratches, noises, recs)
+    } else {
+        drive_lockstep(cs, params, cuts, scratches, noises, recs)
+    }
+}
+
+/// Process one shard's slice of the window `[.., wend)`; returns events
+/// processed. Outbox entries accumulate in the scratch for the caller
+/// to route.
+fn run_window<N: NoiseModel + ?Sized, R: WindowRecorder>(
+    cs: &CompiledSchedule,
+    params: LogGopsParams,
+    scratch: &mut RunScratch,
+    noise: &mut N,
+    rec: &mut R,
+    wend: Time,
+) -> u64 {
+    let mut events = 0u64;
+    let mut eng = Engine {
+        cs,
+        params,
+        topology: &FlatCrossbar,
+        s: scratch,
+        rec,
+    };
+    loop {
+        match eng.s.queue.peek_time() {
+            Some(t) if t < wend => {
+                let (t, key, ev) = eng.s.queue.pop().expect("peeked entry exists");
+                eng.rec.begin_pop(t, key);
+                events += 1;
+                eng.dispatch(noise, ev, t);
+            }
+            _ => break,
+        }
+    }
+    events
+}
+
+/// Single-threaded lockstep: the same window schedule as the threaded
+/// driver, shards advanced round-robin on the calling thread.
+fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
+    cs: &CompiledSchedule,
+    params: LogGopsParams,
+    cuts: &[u32],
+    scratches: &mut [RunScratch],
+    noises: &mut [N],
+    recs: &mut [R],
+) -> u64 {
+    let lookahead = params.latency;
+    let mut events = 0u64;
+    let mut outbox: Vec<(Time, EvKey, Event)> = Vec::new();
+    while let Some(m) = scratches.iter().filter_map(|s| s.queue.peek_time()).min() {
+        let wend = m + lookahead;
+        for ((s, n), r) in scratches
+            .iter_mut()
+            .zip(noises.iter_mut())
+            .zip(recs.iter_mut())
+        {
+            events += run_window(cs, params, s, n, r, wend);
+            // Stage this shard's cross-shard sends; routed below once the
+            // borrow on `scratches` is back.
+            outbox.append(&mut s.outbox);
+        }
+        for (t, key, ev) in outbox.drain(..) {
+            let d = shard_of(cuts, event_target(&ev));
+            scratches[d].queue.push(t, key, ev);
+        }
+    }
+    events
+}
+
+/// One OS thread per shard. Three barriers per window round:
+/// after **publishing** local minima (so the leader sees them all),
+/// after the leader computes the **window bound** (so everyone reads
+/// it), and after **routing** outboxes (so mailbox drains see every
+/// message). Mailbox mutexes are uncontended by construction — senders
+/// and the draining owner are separated by the route barrier.
+fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
+    cs: &CompiledSchedule,
+    params: LogGopsParams,
+    cuts: &[u32],
+    scratches: &mut [RunScratch],
+    noises: &mut [N],
+    recs: &mut [R],
+) -> u64 {
+    let s_eff = scratches.len();
+    let lookahead = params.latency;
+    let barrier = Barrier::new(s_eff);
+    let mins: Vec<AtomicU64> = (0..s_eff).map(|_| AtomicU64::new(0)).collect();
+    let wend_ps = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let mailboxes: Vec<Mutex<Vec<(Time, EvKey, Event)>>> =
+        (0..s_eff).map(|_| Mutex::new(Vec::new())).collect();
+    let events_total = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (i, ((scratch, noise), rec)) in scratches
+            .iter_mut()
+            .zip(noises.iter_mut())
+            .zip(recs.iter_mut())
+            .enumerate()
+        {
+            let (barrier, mins, wend_ps, done, mailboxes, events_total) =
+                (&barrier, &mins, &wend_ps, &done, &mailboxes, &events_total);
+            scope.spawn(move || {
+                let mut events = 0u64;
+                loop {
+                    mins[i].store(
+                        scratch.queue.peek_time().map_or(u64::MAX, |t| t.as_ps()),
+                        Ordering::SeqCst,
+                    );
+                    if barrier.wait().is_leader() {
+                        let m = mins
+                            .iter()
+                            .map(|a| a.load(Ordering::SeqCst))
+                            .min()
+                            .expect("at least one shard");
+                        if m == u64::MAX {
+                            done.store(true, Ordering::SeqCst);
+                        } else {
+                            wend_ps.store((Time::from_ps(m) + lookahead).as_ps(), Ordering::SeqCst);
+                        }
+                    }
+                    barrier.wait();
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let wend = Time::from_ps(wend_ps.load(Ordering::SeqCst));
+                    events += run_window(cs, params, scratch, noise, rec, wend);
+                    for (t, key, ev) in scratch.outbox.drain(..) {
+                        let d = shard_of(cuts, event_target(&ev));
+                        mailboxes[d]
+                            .lock()
+                            .expect("mailbox lock")
+                            .push((t, key, ev));
+                    }
+                    barrier.wait();
+                    for (t, key, ev) in mailboxes[i].lock().expect("mailbox lock").drain(..) {
+                        scratch.queue.push(t, key, ev);
+                    }
+                }
+                events_total.fetch_add(events, Ordering::SeqCst);
+            });
+        }
+    });
+    events_total.load(Ordering::SeqCst)
+}
+
+/// Merge per-shard tagged streams into serial emission order and replay
+/// into `rec`, renumbering message and detour ids densely (the exact
+/// ids a serial recorded run assigns).
+fn merge_records<R: Recorder>(recs: Vec<KeyedRecorder>, rec: &mut R) {
+    let mut all: Vec<Tagged> = Vec::with_capacity(recs.iter().map(|r| r.buf.len()).sum());
+    for r in recs {
+        all.extend(r.buf);
+    }
+    // (pop time, pop key, intra-pop index) is unique per record, so this
+    // is a total order — the serial emission order.
+    all.sort_unstable_by_key(|e| (e.t, e.key, e.n));
+    let mut msg_ids: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut next_msg = 0u64;
+    let mut next_detour = 0u64;
+    for t in all {
+        let ev = match t.ev {
+            SimEvent::MsgSend {
+                id,
+                src,
+                dst,
+                src_op,
+                class,
+                bytes,
+                tag,
+                inject,
+                arrive,
+            } => {
+                let dense = next_msg;
+                next_msg += 1;
+                msg_ids.insert(id, dense);
+                SimEvent::MsgSend {
+                    id: dense,
+                    src,
+                    dst,
+                    src_op,
+                    class,
+                    bytes,
+                    tag,
+                    inject,
+                    arrive,
+                }
+            }
+            SimEvent::MsgDeliver {
+                id,
+                src,
+                dst,
+                src_op,
+                dst_op,
+                class,
+                bytes,
+                at,
+            } => {
+                let dense = *msg_ids
+                    .get(&id)
+                    .expect("MsgSend always merges before its MsgDeliver");
+                SimEvent::MsgDeliver {
+                    id: dense,
+                    src,
+                    dst,
+                    src_op,
+                    dst_op,
+                    class,
+                    bytes,
+                    at,
+                }
+            }
+            SimEvent::Detour {
+                id: _,
+                rank,
+                op,
+                at,
+                dur,
+            } => {
+                let dense = next_detour;
+                next_detour += 1;
+                SimEvent::Detour {
+                    id: dense,
+                    rank,
+                    op,
+                    at,
+                    dur,
+                }
+            }
+            other => other,
+        };
+        rec.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoNoise;
+    use crate::record::VecRecorder;
+    use crate::sim::{simulate, simulate_compiled};
+    use cesim_goal::{builder::TagPool, collectives as coll, Rank, Schedule, ScheduleBuilder, Tag};
+    use cesim_model::Span;
+
+    fn xc40() -> LogGopsParams {
+        LogGopsParams::xc40()
+    }
+
+    /// A communication-heavy schedule: per-rank entry calcs feeding a
+    /// chain of collectives, with both eager and rendezvous payloads.
+    fn busy_schedule(n: usize) -> Schedule {
+        let mut b = ScheduleBuilder::new(n);
+        let mut tags = TagPool::new();
+        let entry: Vec<_> = (0..n)
+            .map(|r| b.calc(Rank::from(r), Span::from_us(1 + (r as u64 % 5)), &[]))
+            .collect();
+        let e1 = coll::barrier_dissemination(&mut b, &mut tags, &entry);
+        let e2 = coll::allreduce_recursive_doubling(
+            &mut b,
+            &mut tags,
+            64,
+            &coll::CollectiveCosts::default(),
+            &e1,
+        );
+        let e3 = coll::bcast_binomial(&mut b, &mut tags, Rank(0), 1 << 20, &e2);
+        coll::allgather_ring(&mut b, &mut tags, 256, &e3);
+        b.build()
+    }
+
+    #[test]
+    fn cuts_partition_every_rank() {
+        for n in [1usize, 2, 7, 64, 1000] {
+            for s in [1usize, 2, 3, 7, 16] {
+                let s = s.min(n);
+                let c = cuts(n, s);
+                assert_eq!(c[0], 0);
+                assert_eq!(c[s] as usize, n);
+                for w in c.windows(2) {
+                    assert!(w[0] < w[1], "empty shard in {c:?}");
+                }
+                for r in 0..n as u32 {
+                    let i = shard_of(&c, r);
+                    assert!(c[i] <= r && r < c[i + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_noise_free() {
+        for n in [2usize, 5, 8, 13] {
+            let sched = busy_schedule(n);
+            let cs = CompiledSchedule::compile(&sched);
+            let serial = simulate_compiled(&cs, &xc40(), &mut NoNoise);
+            for shards in [2usize, 3, 4, 7] {
+                for mode in [ShardMode::Lockstep, ShardMode::Threads] {
+                    let got = simulate_compiled_sharded(&cs, &xc40(), shards, mode, &NoNoise);
+                    assert_eq!(got, serial, "n={n} shards={shards} mode={mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_under_ce_noise() {
+        use cesim_model::rng::Rng64;
+        // A hand-rolled per-rank noise equivalent in spirit to CeNoise
+        // (the real one lives a crate up): exponential-ish arrivals from
+        // per-rank substreams, cloneable, counts injections.
+        #[derive(Clone)]
+        struct TestNoise {
+            next: Vec<Time>,
+            rngs: Vec<Rng64>,
+            detour: Span,
+            mean_ps: u64,
+            events: u64,
+        }
+        impl TestNoise {
+            fn new(nranks: usize, seed: u64) -> Self {
+                let rngs: Vec<Rng64> = (0..nranks)
+                    .map(|r| Rng64::substream(seed, r as u64))
+                    .collect();
+                TestNoise {
+                    next: vec![Time::from_ps(50_000); nranks],
+                    rngs,
+                    // Detours must be well below the mean arrival gap or
+                    // the stretch loop cannot converge (each injection
+                    // pushes `end` out by `detour`).
+                    detour: Span::from_ns(800),
+                    mean_ps: 300_000_000, // 300 µs mean between CEs
+                    events: 0,
+                }
+            }
+        }
+        impl NoiseModel for TestNoise {
+            fn stretch(&mut self, rank: Rank, start: Time, work: Span) -> Time {
+                let i = rank.idx();
+                let mut end = start + work;
+                while self.next[i] < end {
+                    end += self.detour;
+                    let step = self.rngs[i].exp_span(Span::from_ps(self.mean_ps));
+                    self.next[i] += step.max(Span::from_ps(1));
+                    self.events += 1;
+                }
+                end
+            }
+            fn events_injected(&self) -> u64 {
+                self.events
+            }
+        }
+
+        let sched = busy_schedule(9);
+        let cs = CompiledSchedule::compile(&sched);
+        for seed in [1u64, 7, 42] {
+            let serial = {
+                let mut n = TestNoise::new(9, seed);
+                simulate_compiled(&cs, &xc40(), &mut n)
+            };
+            for shards in [2usize, 4, 7] {
+                for mode in [ShardMode::Lockstep, ShardMode::Threads] {
+                    let got = simulate_compiled_sharded(
+                        &cs,
+                        &xc40(),
+                        shards,
+                        mode,
+                        &TestNoise::new(9, seed),
+                    );
+                    assert_eq!(got, serial, "seed={seed} shards={shards} mode={mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_recorded_stream_matches_serial() {
+        let sched = busy_schedule(6);
+        let cs = CompiledSchedule::compile(&sched);
+        let mut serial_rec = VecRecorder::default();
+        let mut scratch = RunScratch::new();
+        run_engine(
+            &cs,
+            xc40(),
+            &FlatCrossbar,
+            &mut scratch,
+            &mut serial_rec,
+            &mut NoNoise,
+        )
+        .unwrap();
+        for shards in [2usize, 3, 5] {
+            for mode in [ShardMode::Lockstep, ShardMode::Threads] {
+                let mut rec = VecRecorder::default();
+                simulate_sharded_recorded(&cs, &xc40(), shards, mode, &NoNoise, &mut rec).unwrap();
+                assert_eq!(
+                    rec.events, serial_rec.events,
+                    "shards={shards} mode={mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_deadlock_report_matches_serial() {
+        // Rank 2 waits on a message no one sends; ranks 0/1 complete.
+        let mut b = ScheduleBuilder::new(3);
+        b.send(Rank(0), Rank(1), 8, Tag(1), &[]);
+        b.recv(Rank(1), Some(Rank(0)), 8, Tag(1), &[]);
+        b.recv(Rank(2), None, 8, Tag(9), &[]);
+        b.calc(Rank(2), Span::from_us(1), &[]);
+        let cs = CompiledSchedule::compile(&b.build());
+        let serial = simulate_compiled(&cs, &xc40(), &mut NoNoise).unwrap_err();
+        for mode in [ShardMode::Lockstep, ShardMode::Threads] {
+            let got = simulate_compiled_sharded(&cs, &xc40(), 3, mode, &NoNoise).unwrap_err();
+            assert_eq!(got, serial, "mode={mode:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_fall_back_to_serial() {
+        let sched = busy_schedule(4);
+        let cs = CompiledSchedule::compile(&sched);
+        let serial = simulate_compiled(&cs, &xc40(), &mut NoNoise);
+        // One shard, more shards than ranks (clamped), zero latency.
+        assert_eq!(
+            simulate_compiled_sharded(&cs, &xc40(), 1, ShardMode::Auto, &NoNoise),
+            serial
+        );
+        assert_eq!(
+            simulate_compiled_sharded(&cs, &xc40(), 64, ShardMode::Lockstep, &NoNoise),
+            simulate_compiled_sharded(&cs, &xc40(), 4, ShardMode::Lockstep, &NoNoise)
+        );
+        let ideal = LogGopsParams::ideal();
+        assert!(ideal.latency.is_zero());
+        let serial_ideal = simulate_compiled(&cs, &ideal, &mut NoNoise);
+        assert_eq!(
+            simulate_compiled_sharded(&cs, &ideal, 4, ShardMode::Auto, &NoNoise),
+            serial_ideal
+        );
+        // Empty schedule still rejected.
+        let empty = CompiledSchedule::compile(&Schedule::default());
+        assert_eq!(
+            simulate_compiled_sharded(&empty, &xc40(), 4, ShardMode::Auto, &NoNoise).unwrap_err(),
+            SimError::EmptySchedule
+        );
+    }
+
+    /// A same-tick wildcard race across shards: two eager sends injected
+    /// so both arrivals reach the receiver at the same timestamp. The
+    /// key order (creator rank, then seq) must decide the match in both
+    /// modes.
+    #[test]
+    fn same_time_wildcard_arrivals_match_identically() {
+        let p = xc40();
+        let mut b = ScheduleBuilder::new(3);
+        // Same bytes, same start: identical inject/arrive times on both
+        // senders, landing on rank 2's two wildcard receives.
+        b.send(Rank(0), Rank(2), 8, Tag(1), &[]);
+        b.send(Rank(1), Rank(2), 8, Tag(1), &[]);
+        let r1 = b.recv(Rank(2), None, 8, Tag(1), &[]);
+        b.recv(Rank(2), None, 8, Tag(1), &[r1]);
+        let s = b.build();
+        let cs = CompiledSchedule::compile(&s);
+        let serial = simulate(&s, &p, &mut NoNoise);
+        assert_eq!(simulate_compiled(&cs, &p, &mut NoNoise), serial);
+        for shards in [2usize, 3] {
+            for mode in [ShardMode::Lockstep, ShardMode::Threads] {
+                assert_eq!(
+                    simulate_compiled_sharded(&cs, &p, shards, mode, &NoNoise),
+                    serial,
+                    "shards={shards} mode={mode:?}"
+                );
+            }
+        }
+    }
+}

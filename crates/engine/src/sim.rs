@@ -20,7 +20,7 @@
 use crate::compile::{CompiledSchedule, OpClass, ANY_SOURCE};
 use crate::matchq::TagQueue;
 use crate::noise::NoiseModel;
-use crate::queue::EventQueue;
+use crate::queue::{EvKey, EventQueue};
 use crate::record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent};
 use crate::result::{SimError, SimResult};
 use crate::topology::{FlatCrossbar, Topology};
@@ -30,7 +30,7 @@ use std::cell::RefCell;
 use std::sync::Arc;
 
 #[derive(Clone, Copy, Debug)]
-enum MsgKind {
+pub(crate) enum MsgKind {
     /// Eagerly buffered payload.
     Eager,
     /// Rendezvous request-to-send; `send_op` identifies the sender's op.
@@ -43,7 +43,7 @@ enum MsgKind {
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Msg {
+pub(crate) struct Msg {
     /// Unique id tying a recorder's `MsgSend` to its `MsgDeliver`.
     id: u64,
     src: u32,
@@ -68,9 +68,18 @@ impl Msg {
 }
 
 #[derive(Clone, Copy, Debug)]
-enum Event {
+pub(crate) enum Event {
     OpReady { rank: u32, op: u32 },
     Arrive(Msg),
+}
+
+/// The rank an event is delivered to (which shard must process it).
+#[inline]
+pub(crate) fn event_target(ev: &Event) -> u32 {
+    match ev {
+        Event::OpReady { rank, .. } => *rank,
+        Event::Arrive(m) => m.dst,
+    }
 }
 
 // The matching tag is the `TagQueue` bucket key, not repeated in the
@@ -116,31 +125,44 @@ struct UnexMsg {
 /// [`simulate_compiled_with`]) to control reuse yourself.
 #[derive(Default)]
 pub struct RunScratch {
-    // Per-rank resource cursors and accounting (indexed by rank).
+    // Per-rank resource cursors and accounting (indexed by rank minus
+    // `rank_lo` — the serial engine owns every rank, so `rank_lo` is 0
+    // and the index is the rank itself; a shard owns `[rank_lo, rank_hi)`).
     cpu_free: Vec<Time>,
     nic_free: Vec<Time>,
-    finish: Vec<Time>,
+    pub(crate) finish: Vec<Time>,
     /// CPU-occupied time (useful work + injected detours).
-    busy: Vec<Span>,
+    pub(crate) busy: Vec<Span>,
     /// Useful work requested (busy minus detours).
-    work: Vec<Span>,
-    // Per-op state (indexed by flat op id).
-    indeg: Vec<u32>,
-    done: Vec<bool>,
+    pub(crate) work: Vec<Span>,
+    /// Per-rank event-creation counters — the `cseq` half of [`EvKey`].
+    push_seq: Vec<u64>,
+    // Per-op state (indexed by flat op id minus `op_base`).
+    pub(crate) indeg: Vec<u32>,
+    pub(crate) done: Vec<bool>,
     // Per-rank MPI match queues.
     posted: Vec<TagQueue<PostedRecv>>,
     unexpected: Vec<TagQueue<UnexMsg>>,
-    queue: EventQueue<Event>,
+    pub(crate) queue: EventQueue<Event>,
+    /// Events created here but owned by another shard, staged until the
+    /// next window boundary. Always empty on the serial path.
+    pub(crate) outbox: Vec<(Time, EvKey, Event)>,
+    /// First rank this scratch owns (0 on the serial path).
+    pub(crate) rank_lo: u32,
+    /// One past the last rank this scratch owns.
+    pub(crate) rank_hi: u32,
+    /// Flat-op offset of `rank_lo` (0 on the serial path).
+    pub(crate) op_base: usize,
     // Run statistics.
-    completed: u64,
-    msgs_delivered: u64,
-    control_msgs: u64,
-    max_unexpected: usize,
-    max_posted: usize,
-    next_msg_id: u64,
+    pub(crate) completed: u64,
+    pub(crate) msgs_delivered: u64,
+    pub(crate) control_msgs: u64,
+    pub(crate) max_unexpected: usize,
+    pub(crate) max_posted: usize,
+    pub(crate) next_msg_id: u64,
     /// Next detour id (bumped only when a recorder is enabled, so the
     /// default path never touches it past reset).
-    next_detour_id: u64,
+    pub(crate) next_detour_id: u64,
 }
 
 impl RunScratch {
@@ -154,18 +176,37 @@ impl RunScratch {
     /// vectors are cleared and refilled in place, the event heap keeps
     /// its buffer, and the match queues recycle their bucket `VecDeque`s.
     /// A reset scratch is indistinguishable from a fresh one (event
-    /// sequence numbers restart at zero), which is what keeps reuse
+    /// creation counters restart at zero), which is what keeps reuse
     /// byte-identical to fresh-per-run simulation.
     pub fn reset(&mut self, cs: &CompiledSchedule) {
-        let nranks = cs.num_ranks();
-        let total = cs.total_ops() as usize;
+        self.reset_range(cs, 0, cs.num_ranks() as u32);
+    }
+
+    /// [`reset`](RunScratch::reset) restricted to the rank range
+    /// `[lo, hi)` — the per-shard form. All per-rank and per-op state is
+    /// sized for the owned slice only; `rank_lo`/`op_base` shift global
+    /// ids into it.
+    pub(crate) fn reset_range(&mut self, cs: &CompiledSchedule, lo: u32, hi: u32) {
+        debug_assert!(lo < hi && hi as usize <= cs.num_ranks());
+        let nranks = (hi - lo) as usize;
+        let op_base = cs.rank_off[lo as usize] as usize;
+        let op_end = if (hi as usize) == cs.num_ranks() {
+            cs.total_ops() as usize
+        } else {
+            cs.rank_off[hi as usize] as usize
+        };
+        let total = op_end - op_base;
+        self.rank_lo = lo;
+        self.rank_hi = hi;
+        self.op_base = op_base;
         reset_fill(&mut self.cpu_free, nranks, Time::ZERO);
         reset_fill(&mut self.nic_free, nranks, Time::ZERO);
         reset_fill(&mut self.finish, nranks, Time::ZERO);
         reset_fill(&mut self.busy, nranks, Span::ZERO);
         reset_fill(&mut self.work, nranks, Span::ZERO);
+        reset_fill(&mut self.push_seq, nranks, 0);
         self.indeg.clear();
-        self.indeg.extend_from_slice(&cs.indeg0);
+        self.indeg.extend_from_slice(&cs.indeg0[op_base..op_end]);
         reset_fill(&mut self.done, total, false);
         self.posted.resize_with(nranks, TagQueue::new);
         self.unexpected.resize_with(nranks, TagQueue::new);
@@ -176,6 +217,7 @@ impl RunScratch {
             q.clear();
         }
         self.queue.clear();
+        self.outbox.clear();
         // Pre-size for the initial ready wavefront plus in-flight
         // messages; bounded by the op count rather than a fixed guess so
         // large schedules avoid repeated heap regrowth (no-op once the
@@ -188,6 +230,37 @@ impl RunScratch {
         self.max_posted = 0;
         self.next_msg_id = 0;
         self.next_detour_id = 0;
+    }
+
+    /// Seed the initial ready wavefront: every root op on an owned rank,
+    /// in `cs.roots` (rank-major) order, keyed by its own rank's creation
+    /// counter. One O(n) heapify (see [`EventQueue::seed`]).
+    pub(crate) fn seed_roots(&mut self, cs: &CompiledSchedule) {
+        let (lo, hi) = (self.rank_lo, self.rank_hi);
+        let push_seq = &mut self.push_seq;
+        self.queue.seed(
+            cs.roots
+                .iter()
+                .filter(|&&(rank, _)| rank >= lo && rank < hi)
+                .map(|&(rank, op)| {
+                    let i = (rank - lo) as usize;
+                    let cseq = push_seq[i];
+                    push_seq[i] = cseq + 1;
+                    (
+                        Time::ZERO,
+                        EvKey { crank: rank, cseq },
+                        Event::OpReady { rank, op },
+                    )
+                }),
+        );
+    }
+
+    /// Start provisional message/detour ids at `base` — each shard of a
+    /// recorded run gets a distinct high-bits base so provisional ids
+    /// never collide before the merge renumbers them densely.
+    pub(crate) fn offset_ids(&mut self, base: u64) {
+        self.next_msg_id = base;
+        self.next_detour_id = base;
     }
 }
 
@@ -316,7 +389,7 @@ impl<R: Recorder> Simulator<R> {
 }
 
 /// The event loop: run `cs` in `scratch` (reset first) to completion.
-fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
+pub(crate) fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
     cs: &CompiledSchedule,
     params: LogGopsParams,
     topology: &dyn Topology,
@@ -328,14 +401,10 @@ fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
         return Err(SimError::EmptySchedule);
     }
     scratch.reset(cs);
-    // Seed the initial ready wavefront in one O(n) heapify; root order is
-    // the legacy rank-major seeding order, and pop order is identical to
-    // pushing one at a time (see `EventQueue::seed`).
-    scratch.queue.seed(
-        cs.roots
-            .iter()
-            .map(|&(rank, op)| (Time::ZERO, Event::OpReady { rank, op })),
-    );
+    // Seed the initial ready wavefront in one O(n) heapify; root keys
+    // reproduce the legacy rank-major seeding order (time 0, rank-major
+    // `crank`, in-rank `cseq` in root order).
+    scratch.seed_roots(cs);
     let mut eng = Engine {
         cs,
         params,
@@ -344,12 +413,9 @@ fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
         rec,
     };
     let mut events_processed = 0u64;
-    while let Some((t, ev)) = eng.s.queue.pop() {
+    while let Some((t, _key, ev)) = eng.s.queue.pop() {
         events_processed += 1;
-        match ev {
-            Event::OpReady { rank, op } => eng.exec_op(noise, rank, op, t),
-            Event::Arrive(msg) => eng.arrive(noise, msg, t),
-        }
+        eng.dispatch(noise, ev, t);
     }
     if eng.s.completed != cs.total_ops() {
         return Err(eng.deadlock_report());
@@ -372,15 +438,57 @@ fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
 }
 
 /// The hot-loop view: immutable compiled schedule + mutable scratch.
-struct Engine<'e, R: Recorder> {
-    cs: &'e CompiledSchedule,
-    params: LogGopsParams,
-    topology: &'e dyn Topology,
-    s: &'e mut RunScratch,
-    rec: R,
+pub(crate) struct Engine<'e, R: Recorder> {
+    pub(crate) cs: &'e CompiledSchedule,
+    pub(crate) params: LogGopsParams,
+    pub(crate) topology: &'e dyn Topology,
+    pub(crate) s: &'e mut RunScratch,
+    pub(crate) rec: R,
 }
 
 impl<'e, R: Recorder> Engine<'e, R> {
+    /// Process one popped event (the body of the serial loop; the
+    /// sharded window loop calls it directly).
+    #[inline]
+    pub(crate) fn dispatch<N: NoiseModel + ?Sized>(&mut self, noise: &mut N, ev: Event, t: Time) {
+        match ev {
+            Event::OpReady { rank, op } => self.exec_op(noise, rank, op, t),
+            Event::Arrive(msg) => self.arrive(noise, msg, t),
+        }
+    }
+
+    /// Local (owned-slice) index of rank `rank`.
+    #[inline]
+    fn li(&self, rank: u32) -> usize {
+        debug_assert!(rank >= self.s.rank_lo && rank < self.s.rank_hi);
+        (rank - self.s.rank_lo) as usize
+    }
+
+    /// Local (owned-slice) index of global flat op id `f`.
+    #[inline]
+    fn lf(&self, f: usize) -> usize {
+        f - self.s.op_base
+    }
+
+    /// Schedule `ev` at `time`, keyed by creating rank `crank`'s next
+    /// creation counter. Events for ranks this scratch owns go straight
+    /// to the local heap; anything else is staged in the outbox for the
+    /// sharded driver to route at the next window boundary. (The serial
+    /// engine owns every rank, so the outbox arm is dead there.)
+    #[inline]
+    fn push_event(&mut self, crank: u32, time: Time, ev: Event) {
+        let i = self.li(crank);
+        let cseq = self.s.push_seq[i];
+        self.s.push_seq[i] = cseq + 1;
+        let key = EvKey { crank, cseq };
+        let dst = event_target(&ev);
+        if dst >= self.s.rank_lo && dst < self.s.rank_hi {
+            self.s.queue.push(time, key, ev);
+        } else {
+            self.s.outbox.push((time, key, ev));
+        }
+    }
+
     /// Next unique message id (ties `MsgSend` to `MsgDeliver` records).
     #[inline]
     fn new_msg_id(&mut self) -> u64 {
@@ -414,8 +522,8 @@ impl<'e, R: Recorder> Engine<'e, R> {
             self.rec.record(SimEvent::QueueDepth {
                 rank,
                 at,
-                unexpected: self.s.unexpected[rank as usize].len() as u32,
-                posted: self.s.posted[rank as usize].len() as u32,
+                unexpected: self.s.unexpected[self.li(rank)].len() as u32,
+                posted: self.s.posted[self.li(rank)].len() as u32,
             });
         }
     }
@@ -443,7 +551,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
         ready: Time,
         work: Span,
     ) -> Time {
-        let r = rank as usize;
+        let r = self.li(rank);
         let start = ready.max(self.s.cpu_free[r]);
         let end = noise.stretch(Rank(rank), start, work);
         self.s.cpu_free[r] = end;
@@ -494,7 +602,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
                     // CTS returns and the payload is injected.
                     let cpu_end =
                         self.occupy_cpu(noise, rank, op, SegKind::Rts, t, self.params.overhead);
-                    let r = rank as usize;
+                    let r = self.li(rank);
                     let inject = cpu_end.max(self.s.nic_free[r]);
                     self.s.nic_free[r] = inject + self.params.gap;
                     let arrive = inject + self.params.latency + self.wire_extra(rank, dst);
@@ -508,7 +616,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
                         kind: MsgKind::Rts { send_op: op },
                     };
                     self.record_send(&msg, inject, arrive);
-                    self.s.queue.push(arrive, Event::Arrive(msg));
+                    self.push_event(rank, arrive, Event::Arrive(msg));
                 } else {
                     let cpu_end = self.occupy_cpu(
                         noise,
@@ -518,7 +626,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
                         t,
                         self.params.cpu_cost(bytes),
                     );
-                    let r = rank as usize;
+                    let r = self.li(rank);
                     let inject = cpu_end.max(self.s.nic_free[r]);
                     self.s.nic_free[r] = inject + self.params.nic_cost(bytes);
                     let arrive = inject + self.params.wire_time(bytes) + self.wire_extra(rank, dst);
@@ -532,7 +640,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
                         kind: MsgKind::Eager,
                     };
                     self.record_send(&msg, inject, arrive);
-                    self.s.queue.push(arrive, Event::Arrive(msg));
+                    self.push_event(rank, arrive, Event::Arrive(msg));
                     // Eager sends complete locally once buffered.
                     self.complete(rank, op, cpu_end);
                 }
@@ -572,7 +680,8 @@ impl<'e, R: Recorder> Engine<'e, R> {
                         ),
                     }
                 } else {
-                    let posted = &mut self.s.posted[rank as usize];
+                    let r = self.li(rank);
+                    let posted = &mut self.s.posted[r];
                     posted.push(
                         tag,
                         PostedRecv {
@@ -628,7 +737,8 @@ impl<'e, R: Recorder> Engine<'e, R> {
                         MsgKind::Rts { send_op } => UnexKind::Rts { send_op },
                         _ => unreachable!(),
                     };
-                    let unexpected = &mut self.s.unexpected[msg.dst as usize];
+                    let d = self.li(msg.dst);
+                    let unexpected = &mut self.s.unexpected[d];
                     unexpected.push(
                         msg.tag,
                         UnexMsg {
@@ -668,8 +778,9 @@ impl<'e, R: Recorder> Engine<'e, R> {
                     t,
                     self.params.cpu_cost(msg.bytes),
                 );
-                let inject = cpu_end.max(self.s.nic_free[sender as usize]);
-                self.s.nic_free[sender as usize] = inject + self.params.nic_cost(msg.bytes);
+                let si = self.li(sender);
+                let inject = cpu_end.max(self.s.nic_free[si]);
+                self.s.nic_free[si] = inject + self.params.nic_cost(msg.bytes);
                 let arrive =
                     inject + self.params.wire_time(msg.bytes) + self.wire_extra(sender, msg.src);
                 let payload = Msg {
@@ -682,7 +793,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
                     kind: MsgKind::Payload { recv_op },
                 };
                 self.record_send(&payload, inject, arrive);
-                self.s.queue.push(arrive, Event::Arrive(payload));
+                self.push_event(sender, arrive, Event::Arrive(payload));
                 self.complete(sender, send_op, cpu_end);
             }
             MsgKind::Payload { recv_op } => {
@@ -748,8 +859,9 @@ impl<'e, R: Recorder> Engine<'e, R> {
             t,
             self.params.overhead,
         );
-        let inject = cpu_end.max(self.s.nic_free[rank as usize]);
-        self.s.nic_free[rank as usize] = inject + self.params.gap;
+        let r = self.li(rank);
+        let inject = cpu_end.max(self.s.nic_free[r]);
+        self.s.nic_free[r] = inject + self.params.gap;
         let arrive = inject + self.params.latency + self.wire_extra(rank, sender);
         let msg = Msg {
             id: self.new_msg_id(),
@@ -761,7 +873,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
             kind: MsgKind::Cts { send_op, recv_op },
         };
         self.record_send(&msg, inject, arrive);
-        self.s.queue.push(arrive, Event::Arrive(msg));
+        self.push_event(rank, arrive, Event::Arrive(msg));
     }
 
     /// First posted receive at `dst` matching `(src, tag)`, FIFO order.
@@ -770,19 +882,23 @@ impl<'e, R: Recorder> Engine<'e, R> {
     /// `src == None` wildcard on a posted receive is handled in the
     /// predicate (see [`TagQueue::take_first`] for the order argument).
     fn take_posted(&mut self, dst: u32, src: u32, tag: Tag) -> Option<PostedRecv> {
-        self.s.posted[dst as usize].take_first(tag, |p| p.src.is_none() || p.src == Some(src))
+        let d = self.li(dst);
+        self.s.posted[d].take_first(tag, |p| p.src.is_none() || p.src == Some(src))
     }
 
     /// First unexpected message at `rank` matching the receive's filter.
     fn take_unexpected(&mut self, rank: u32, srcf: Option<u32>, tag: Tag) -> Option<UnexMsg> {
-        self.s.unexpected[rank as usize].take_first(tag, |u| srcf.is_none() || srcf == Some(u.src))
+        let r = self.li(rank);
+        self.s.unexpected[r].take_first(tag, |u| srcf.is_none() || srcf == Some(u.src))
     }
 
     fn complete(&mut self, rank: u32, op: u32, t: Time) {
         let f = self.cs.flat(rank, op);
-        debug_assert!(!self.s.done[f], "op completed twice");
-        self.s.done[f] = true;
-        let finish = &mut self.s.finish[rank as usize];
+        let fl = self.lf(f);
+        debug_assert!(!self.s.done[fl], "op completed twice");
+        self.s.done[fl] = true;
+        let ri = self.li(rank);
+        let finish = &mut self.s.finish[ri];
         *finish = (*finish).max(t);
         self.s.completed += 1;
         if R::ENABLED {
@@ -791,7 +907,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
         // Dependency fan-out: CSR targets are rank-local op ids (deps
         // never cross ranks), so the dependent's flat id shares this
         // rank's base offset.
-        let base = self.cs.rank_off[rank as usize] as usize;
+        let base = self.cs.rank_off[rank as usize] as usize - self.s.op_base;
         let lo = self.cs.dep_off[f] as usize;
         let hi = self.cs.dep_off[f + 1] as usize;
         for i in lo..hi {
@@ -807,35 +923,46 @@ impl<'e, R: Recorder> Engine<'e, R> {
                         at: t,
                     });
                 }
-                self.s.queue.push(t, Event::OpReady { rank, op: d });
+                self.push_event(rank, t, Event::OpReady { rank, op: d });
             }
         }
     }
 
     fn deadlock_report(&self) -> SimError {
-        let mut stuck = Vec::new();
-        'outer: for r in 0..self.cs.num_ranks() {
-            let base = self.cs.rank_off[r] as usize;
-            for i in 0..self.cs.ops_on(r as u32) {
+        SimError::Deadlock {
+            completed: self.s.completed,
+            total: self.cs.total_ops(),
+            stuck_examples: stuck_ops(self.cs, std::slice::from_ref(&&*self.s), 8),
+        }
+    }
+}
+
+/// Up to `cap` formatted stuck-op examples, scanning the scratches'
+/// owned rank slices in rank order. Shared between the serial engine
+/// (one full-range scratch) and the sharded driver (one scratch per
+/// shard, contiguous and rank-ordered), so the deadlock message is
+/// byte-identical in both modes.
+pub(crate) fn stuck_ops(cs: &CompiledSchedule, parts: &[&RunScratch], cap: usize) -> Vec<String> {
+    let mut stuck = Vec::new();
+    'outer: for s in parts {
+        for r in s.rank_lo..s.rank_hi {
+            let base = cs.rank_off[r as usize] as usize;
+            for i in 0..cs.ops_on(r) {
                 let f = base + i;
-                if !self.s.done[f] {
+                if !s.done[f - s.op_base] {
                     stuck.push(format!(
                         "rank {r} op {i}: {} (unmet deps: {})",
-                        self.cs.op_kind(f),
-                        self.s.indeg[f]
+                        cs.op_kind(f),
+                        s.indeg[f - s.op_base]
                     ));
-                    if stuck.len() >= 8 {
+                    if stuck.len() >= cap {
                         break 'outer;
                     }
                 }
             }
         }
-        SimError::Deadlock {
-            completed: self.s.completed,
-            total: self.cs.total_ops(),
-            stuck_examples: stuck,
-        }
     }
+    stuck
 }
 
 #[cfg(test)]

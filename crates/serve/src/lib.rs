@@ -204,8 +204,16 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        // A connection without socket timeouts can park a worker forever
+        // on a stalled peer — refuse it rather than risk that.
+        if let Err(e) = stream
+            .set_read_timeout(Some(shared.cfg.read_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(shared.cfg.write_timeout)))
+        {
+            eprintln!("cesim-serve: dropping connection (cannot set socket timeouts: {e})");
+            drop(stream);
+            continue;
+        }
         let mut q = shared.queue.lock().expect("accept queue lock");
         if q.len() >= shared.cfg.queue_depth {
             drop(q);

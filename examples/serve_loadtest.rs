@@ -6,9 +6,12 @@
 //! caches enabled — then drives each with concurrent clients and
 //! reports req/s plus p50/p99 latency per phase.
 //!
-//! The warm phase must beat the cold phase by at least 1.2× or the
-//! process exits nonzero; CI gates on that, so a regression that
-//! silently bypasses the caches fails the build.
+//! Failed requests never panic the harness: shed (429) and errored
+//! requests are counted and reported in the JSON so CI can see a
+//! degraded run instead of a backtrace. The warm phase must beat the
+//! cold phase by at least 1.2× or the process exits nonzero; CI gates
+//! on that, so a regression that silently bypasses the caches fails
+//! the build.
 //!
 //! ```sh
 //! cargo run --release --example serve_loadtest [BENCH_serve.json]
@@ -27,11 +30,15 @@ const TIMEOUT: Duration = Duration::from_secs(30);
 const BODY: &str =
     r#"{"app":"LULESH","nodes":16,"mode":"fw","mtbce":"60s","reps":1,"steps_scale":0.05}"#;
 
-/// One phase's aggregate numbers (latencies in milliseconds).
+/// One phase's aggregate numbers (latencies in milliseconds; the
+/// percentiles are `None` when no request succeeded).
 struct Phase {
     req_per_s: f64,
-    p50_ms: f64,
-    p99_ms: f64,
+    p50_ms: Option<f64>,
+    p99_ms: Option<f64>,
+    ok: usize,
+    shed: usize,
+    errors: usize,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -41,43 +48,75 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Per-thread tally of one driver thread's requests.
+#[derive(Default)]
+struct Tally {
+    lat: Vec<f64>,
+    shed: usize,
+    errors: usize,
+}
+
 /// Drive `requests` POSTs at `concurrency` from client threads and
-/// collect per-request latencies. Panics on any non-2xx response.
-fn drive(addr: std::net::SocketAddr, requests: usize, concurrency: usize) -> (Duration, Vec<f64>) {
+/// collect per-request latencies of the successful ones. Sheds (429)
+/// and failures are counted, never panicked on.
+fn drive(
+    addr: std::net::SocketAddr,
+    requests: usize,
+    concurrency: usize,
+) -> (Duration, Vec<f64>, usize, usize) {
     let per_thread = requests.div_ceil(concurrency);
     let start = Instant::now();
     let handles: Vec<_> = (0..concurrency)
         .map(|_| {
             std::thread::spawn(move || {
-                let mut lat = Vec::with_capacity(per_thread);
+                let mut t = Tally::default();
                 for _ in 0..per_thread {
                     let t0 = Instant::now();
-                    let resp =
-                        client::post(addr, "/v1/simulate", BODY, TIMEOUT).expect("request failed");
-                    assert!(
-                        (200..300).contains(&resp.status),
-                        "non-2xx response: {} {}",
-                        resp.status,
-                        resp.body
-                    );
-                    lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                    match client::post(addr, "/v1/simulate", BODY, TIMEOUT) {
+                        Ok(resp) if (200..300).contains(&resp.status) => {
+                            t.lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Ok(resp) if resp.status == 429 => t.shed += 1,
+                        Ok(resp) => {
+                            eprintln!("  request failed: {} {}", resp.status, resp.body);
+                            t.errors += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("  request failed: {e}");
+                            t.errors += 1;
+                        }
+                    }
                 }
-                lat
+                t
             })
         })
         .collect();
-    let mut lat: Vec<f64> = handles
-        .into_iter()
-        .flat_map(|h| h.join().expect("client thread panicked"))
-        .collect();
+    let mut lat = Vec::with_capacity(requests);
+    let (mut shed, mut errors) = (0, 0);
+    for h in handles {
+        match h.join() {
+            Ok(t) => {
+                lat.extend(t.lat);
+                shed += t.shed;
+                errors += t.errors;
+            }
+            Err(_) => errors += per_thread,
+        }
+    }
     let wall = start.elapsed();
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (wall, lat)
+    // total_cmp: a NaN latency (impossible from elapsed(), but cheap to
+    // be safe about) must not panic the sort.
+    lat.sort_by(f64::total_cmp);
+    (wall, lat, shed, errors)
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+/// Nearest-rank percentile of an ascending slice; `None` when empty.
+fn percentile(sorted_ms: &[f64], p: f64) -> Option<f64> {
+    if sorted_ms.is_empty() {
+        return None;
+    }
     let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ms[idx]
+    Some(sorted_ms[idx.min(sorted_ms.len() - 1)])
 }
 
 fn run_phase(cfg: ServeConfig, requests: usize, concurrency: usize, prime: bool) -> Phase {
@@ -85,20 +124,26 @@ fn run_phase(cfg: ServeConfig, requests: usize, concurrency: usize, prime: bool)
     let addr = server.addr();
     if prime {
         // One untimed request so the warm phase measures pure cache hits.
-        let resp = client::post(addr, "/v1/simulate", BODY, TIMEOUT).expect("priming request");
-        assert!(
-            (200..300).contains(&resp.status),
-            "prime failed: {}",
-            resp.status
-        );
+        match client::post(addr, "/v1/simulate", BODY, TIMEOUT) {
+            Ok(resp) if (200..300).contains(&resp.status) => {}
+            Ok(resp) => eprintln!("  priming request failed: {} {}", resp.status, resp.body),
+            Err(e) => eprintln!("  priming request failed: {e}"),
+        }
     }
-    let (wall, lat) = drive(addr, requests, concurrency);
+    let (wall, lat, shed, errors) = drive(addr, requests, concurrency);
     server.shutdown();
     Phase {
         req_per_s: lat.len() as f64 / wall.as_secs_f64(),
         p50_ms: percentile(&lat, 0.50),
         p99_ms: percentile(&lat, 0.99),
+        ok: lat.len(),
+        shed,
+        errors,
     }
+}
+
+fn round3(v: f64) -> JsonValue {
+    JsonValue::from((v * 1000.0).round() / 1000.0)
 }
 
 fn phase_json(p: &Phase) -> JsonValue {
@@ -107,14 +152,11 @@ fn phase_json(p: &Phase) -> JsonValue {
             "req_per_s",
             JsonValue::from((p.req_per_s * 100.0).round() / 100.0),
         ),
-        (
-            "p50_ms",
-            JsonValue::from((p.p50_ms * 1000.0).round() / 1000.0),
-        ),
-        (
-            "p99_ms",
-            JsonValue::from((p.p99_ms * 1000.0).round() / 1000.0),
-        ),
+        ("p50_ms", p.p50_ms.map_or(JsonValue::Null, round3)),
+        ("p99_ms", p.p99_ms.map_or(JsonValue::Null, round3)),
+        ("ok", JsonValue::from(p.ok as u64)),
+        ("shed", JsonValue::from(p.shed as u64)),
+        ("errors", JsonValue::from(p.errors as u64)),
     ])
 }
 
@@ -144,18 +186,22 @@ fn main() {
         false,
     );
     eprintln!(
-        "  {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms",
-        cold.req_per_s, cold.p50_ms, cold.p99_ms
+        "  {:.1} req/s, p50 {:.3?} ms, p99 {:.3?} ms, {} ok / {} shed / {} errors",
+        cold.req_per_s, cold.p50_ms, cold.p99_ms, cold.ok, cold.shed, cold.errors
     );
 
     eprintln!("warm phase: {requests} requests, {concurrency} concurrent, caches enabled");
     let warm = run_phase(base, requests, concurrency, true);
     eprintln!(
-        "  {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms",
-        warm.req_per_s, warm.p50_ms, warm.p99_ms
+        "  {:.1} req/s, p50 {:.3?} ms, p99 {:.3?} ms, {} ok / {} shed / {} errors",
+        warm.req_per_s, warm.p50_ms, warm.p99_ms, warm.ok, warm.shed, warm.errors
     );
 
-    let speedup = warm.req_per_s / cold.req_per_s;
+    let speedup = if cold.req_per_s > 0.0 {
+        warm.req_per_s / cold.req_per_s
+    } else {
+        0.0
+    };
     let report = JsonValue::object([
         ("bench", JsonValue::from("serve_loadtest")),
         ("requests", JsonValue::from(requests as u64)),
@@ -167,9 +213,19 @@ fn main() {
             JsonValue::from((speedup * 100.0).round() / 100.0),
         ),
     ]);
-    std::fs::write(&out_path, format!("{}\n", report.to_json())).expect("write bench report");
+    if let Err(e) = std::fs::write(&out_path, format!("{}\n", report.to_json())) {
+        eprintln!("FAIL: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {out_path}: warm/cold speedup {speedup:.2}x");
 
+    if cold.ok == 0 || warm.ok == 0 {
+        eprintln!(
+            "FAIL: a phase had no successful requests (cold {} ok, warm {} ok)",
+            cold.ok, warm.ok
+        );
+        std::process::exit(1);
+    }
     if speedup < 1.2 {
         eprintln!("FAIL: warm phase must be at least 1.2x cold (got {speedup:.2}x)");
         std::process::exit(1);

@@ -15,7 +15,9 @@
 //!    per-thread scratch;
 //! 3. `simulate_compiled_with` — the same compiled schedule through an
 //!    explicitly reused scratch that previously ran a *different*
-//!    schedule (state-bleed detector).
+//!    schedule (state-bleed detector);
+//! 4. `simulate_compiled_sharded` — the lookahead-window sharded engine
+//!    at shard counts {2, 4, 7} in both lockstep and threaded modes.
 //!
 //! A structural property additionally checks the flat tables of
 //! [`CompiledSchedule`] against a naive per-rank reference built
@@ -25,7 +27,8 @@
 //! visit order.
 
 use dram_ce_sim::engine::{
-    simulate, simulate_compiled, simulate_compiled_with, CompiledSchedule, NoNoise, RunScratch,
+    simulate, simulate_compiled, simulate_compiled_sharded, simulate_compiled_with,
+    CompiledSchedule, NoNoise, RunScratch, ShardMode,
 };
 use dram_ce_sim::goal::{OpKind, Rank, Schedule, ScheduleBuilder, Tag};
 use dram_ce_sim::model::{LogGopsParams, Span};
@@ -171,6 +174,23 @@ proptest! {
             &legacy_noisy,
             &simulate_compiled_with(&cs, &p, &mut scratch, &mut mk())
         );
+
+        // Sharded execution must agree on the full Result — including
+        // deadlock reports — for any shard count and either drive mode.
+        // CeNoise draws from per-rank substreams, so shard-local clones
+        // consume exactly the streams the serial run would.
+        for shards in [2usize, 4, 7] {
+            for mode in [ShardMode::Lockstep, ShardMode::Threads] {
+                prop_assert_eq!(
+                    &legacy,
+                    &simulate_compiled_sharded(&cs, &p, shards, mode, &NoNoise)
+                );
+                prop_assert_eq!(
+                    &legacy_noisy,
+                    &simulate_compiled_sharded(&cs, &p, shards, mode, &mk())
+                );
+            }
+        }
     }
 
     /// Structural equivalence of the flat tables against a naive

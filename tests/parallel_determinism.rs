@@ -5,7 +5,8 @@
 //! `(figure, cell, replica)` coordinates rather than execution order, and
 //! results are reassembled in job order. Consequence under test: the
 //! rendered output — including the CSV artifact — is **byte-identical**
-//! for every thread count.
+//! for every thread count, and likewise for every `--shards` value when
+//! individual simulations are split across lookahead-window shards.
 
 use dram_ce_sim::experiment::{run as run_experiment, Experiment, Outcome};
 use dram_ce_sim::figures::{fig4, fig5, with_threads, FigureData, ScaleConfig};
@@ -127,6 +128,69 @@ fn fig5_csv_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// Intra-run sharding composes with the sweep runner: the figure CSVs
+/// are byte-identical no matter how many shards each simulation is
+/// split into, because the sharded engine's lookahead-window merge
+/// reproduces the serial event order exactly.
+#[test]
+fn fig4_csv_is_byte_identical_across_shard_counts() {
+    let sharded = |shards: usize| {
+        let mut cfg = small(0);
+        cfg.shards = shards;
+        figure_csv(&fig4(&cfg))
+    };
+    let serial = sharded(1);
+    assert!(serial.lines().count() > 1, "sweep produced no cells");
+    for shards in [2, 4, 7] {
+        assert_eq!(
+            sharded(shards),
+            serial,
+            "fig4 CSV diverged at --shards {shards}"
+        );
+    }
+}
+
+#[test]
+fn fig5_csv_is_byte_identical_across_shard_counts() {
+    let sharded = |shards: usize| {
+        let mut cfg = small(0);
+        cfg.shards = shards;
+        figure_csv(&fig5(&cfg))
+    };
+    let serial = sharded(1);
+    for shards in [2, 4, 7] {
+        assert_eq!(
+            sharded(shards),
+            serial,
+            "fig5 CSV diverged at --shards {shards}"
+        );
+    }
+}
+
+/// Sharding must also leave the **recorded** path untouched: observed
+/// sweeps route events through per-shard buffering recorders and a
+/// deterministic merge, and still render byte-identical CSVs (critical
+/// path, provenance, and detour-id-sensitive columns included).
+#[test]
+fn observed_fig4_csv_is_byte_identical_across_shard_counts() {
+    let observed = |shards: usize| {
+        let mut cfg = small(0);
+        cfg.observe = true;
+        cfg.observe_replicas = 2;
+        cfg.shards = shards;
+        figure_csv(&fig4(&cfg))
+    };
+    let serial = observed(1);
+    assert_eq!(serial.lines().next().unwrap().split(',').count(), 24);
+    for shards in [2, 4, 7] {
+        assert_eq!(
+            observed(shards),
+            serial,
+            "observed fig4 CSV diverged at --shards {shards}"
+        );
+    }
+}
+
 /// Same replica-level guarantee one layer down: a single experiment's
 /// per-replica results are identical whether the replicas run serially or
 /// across a pool.
@@ -142,6 +206,17 @@ fn experiment_outcomes_identical_serial_vs_parallel() {
     assert_eq!(serial.runs, parallel.runs);
     assert_eq!(serial.baseline, parallel.baseline);
     assert_eq!(serial.diverged, parallel.diverged);
+    // ...and whether each replica's simulation is itself sharded.
+    let sharded_exp = Experiment::new(AppId::Hpcg, 16)
+        .mode(LoggingMode::Firmware)
+        .mtbce(Span::from_secs(2))
+        .reps(6)
+        .steps(4)
+        .shards(4);
+    let sharded: Outcome = run_experiment(&sharded_exp).unwrap();
+    assert_eq!(serial.runs, sharded.runs);
+    assert_eq!(serial.baseline, sharded.baseline);
+    assert_eq!(serial.diverged, sharded.diverged);
     // The replicas genuinely differ from each other (distinct seeds), so
     // the equality above is not vacuous.
     let distinct: std::collections::HashSet<u64> =
