@@ -8,10 +8,19 @@
 //! `simulate()`, measured as interleaved min-of-N to shed scheduler
 //! noise. The active `TimelineRecorder` cost is printed alongside for
 //! the logs (it is allowed to cost — it records everything).
+//!
+//! The runtime-telemetry layer (span profiler + flight recorder) has
+//! the same contract at runtime instead of compile time: disabled via
+//! its process-wide atomic, the sharded engine path with the window
+//! hook installed must stay within 2% of the pre-hook path.
 
 use cesim_bench::regen_scale;
-use cesim_core::engine::{simulate, NoNoise, NullRecorder, Simulator};
+use cesim_core::engine::{
+    simulate, simulate_compiled_sharded, CompiledSchedule, NoNoise, NullRecorder, ShardMode,
+    Simulator,
+};
 use cesim_core::model::LogGopsParams;
+use cesim_core::obs::telemetry::{self, Span};
 use cesim_core::obs::TimelineRecorder;
 use cesim_core::workloads::{self, AppId, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -73,6 +82,54 @@ fn bench_obs(c: &mut Criterion) {
         null_overhead < 0.02,
         "NullRecorder must be free: measured {:+.2}% vs the default path",
         null_overhead * 100.0
+    );
+
+    // Runtime telemetry (span profiler + flight recorder) is gated on a
+    // single process-wide atomic; the sharded engine additionally fires
+    // a window hook once per lookahead window. Contract: with the hook
+    // installed and telemetry *disabled*, the engine path stays within
+    // 2% of the same run measured before any hook existed. The enabled
+    // cost is printed alongside for the logs.
+    let cs = CompiledSchedule::compile(&sched);
+    let run_sharded = |cs: &CompiledSchedule| {
+        let _s = Span::enter("bench_cell");
+        black_box(simulate_compiled_sharded(cs, &params, 4, ShardMode::Lockstep, &NoNoise).unwrap())
+    };
+    let mut t_before = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        run_sharded(&cs);
+        t_before = t_before.min(t0.elapsed().as_secs_f64());
+    }
+    telemetry::install_engine_hook();
+    let mut t_disabled = f64::INFINITY;
+    let mut t_enabled = f64::INFINITY;
+    for _ in 0..rounds {
+        telemetry::set_enabled(false);
+        let t0 = Instant::now();
+        run_sharded(&cs);
+        t_disabled = t_disabled.min(t0.elapsed().as_secs_f64());
+
+        telemetry::set_enabled(true);
+        let t0 = Instant::now();
+        run_sharded(&cs);
+        t_enabled = t_enabled.min(t0.elapsed().as_secs_f64());
+    }
+    telemetry::set_enabled(false);
+    let disabled_overhead = t_disabled / t_before - 1.0;
+    println!(
+        "=== telemetry overhead (sharded x4, min of {rounds}): no-hook {:.3}ms, \
+         disabled {:.3}ms ({:+.2}%), enabled {:.3}ms ({:+.2}%) ===",
+        t_before * 1e3,
+        t_disabled * 1e3,
+        disabled_overhead * 100.0,
+        t_enabled * 1e3,
+        (t_enabled / t_before - 1.0) * 100.0,
+    );
+    assert!(
+        disabled_overhead < 0.02,
+        "disabled telemetry must be free: measured {:+.2}% vs the pre-hook engine path",
+        disabled_overhead * 100.0
     );
 
     let mut g = c.benchmark_group("obs");

@@ -62,6 +62,9 @@ const FLAGS: &[&str] = &[
     "observe",
     "chart",
     "single-node",
+    "profile",
+    "shard-health",
+    "log-requests",
     "help",
 ];
 

@@ -38,6 +38,10 @@ COMMANDS
   trace             Generate / extrapolate / simulate MPI traces; export
                     Chrome traces and interval metrics (see TRACE OPTIONS)
   trace-check FILE  Validate a Chrome trace written by trace --trace-out
+  metrics-check FILE
+                    Validate a Prometheus text exposition (e.g. a saved
+                    GET /metrics scrape): HELP/TYPE pairing, label
+                    escaping, histogram consistency
   attribute FILE    Per-event CE detour provenance for a simulated trace:
                     absorbed/propagated classification, amplification
                     factors, JSONL + heatmap reports (ATTRIBUTE OPTIONS)
@@ -80,6 +84,10 @@ SCALE OPTIONS (fig3..fig7)
   --observe-replicas N
                     Number of replicas per cell to record and aggregate
                     [default 1; implies --observe]
+  --profile         Span-profiler phase breakdown (build/compile/baseline/
+                    cell_run) on stderr after the sweep; results unchanged
+  --shard-health    With --shards > 1: per-shard busy/stall/barrier table
+                    and imbalance report on stderr after the sweep
 
 TRACE OPTIONS (cesim trace [FILE])
   --generate FILE   Write a synthetic PMPI-style trace and exit
@@ -114,6 +122,11 @@ RUN OPTIONS (cesim run)
   --threads N       Worker threads for the replicas [default 0 = all cores]
   --shards N        Intra-run event-loop shards [default 1 = serial engine];
                     results are byte-identical for every value
+  --progress        With --shards > 1: window-based progress and ETA on
+                    stderr while the sharded replicas run
+  --profile         Span-profiler phase breakdown on stderr after the run
+  --shard-health    With --shards > 1: per-shard busy/stall/barrier table
+                    and imbalance report on stderr after the run
 
 FIG2 OPTIONS
   --window SECONDS  Observation window [default 300]
@@ -127,9 +140,13 @@ SERVE OPTIONS (cesim serve)
   --cache-entries N Compiled-schedule LRU capacity, 0 disables [default 64]
   --response-cache-entries N
                     Full-response LRU capacity, 0 disables [default 256]
+  --log-requests    One structured access-log line per request on stderr
+                    (method, path, status, microseconds, cache hit/miss)
   Endpoints: POST /v1/simulate, POST /v1/sweep, GET /healthz, GET /metrics
-  (Prometheus text). Shuts down gracefully on SIGTERM/ctrl-c, draining
-  queued and in-flight requests. See README.md for curl examples.
+  (Prometheus text), GET /v1/debug/flightrec (recent telemetry events as
+  JSON; also dumped to stderr on SIGUSR1). Shuts down gracefully on
+  SIGTERM/ctrl-c, draining queued and in-flight requests. See README.md
+  for curl examples.
 ";
 
 const USAGE: &str = "usage: cesim <command> [options] — run 'cesim help' for the command list";
@@ -172,8 +189,9 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
-    // Only the trace tools take positional arguments (a trace file path).
-    if !matches!(cmd, "trace" | "trace-check" | "attribute") {
+    // Only the trace tools and metrics-check take positional arguments
+    // (an input file path).
+    if !matches!(cmd, "trace" | "trace-check" | "attribute" | "metrics-check") {
         if let Some(p) = args.positionals.first() {
             return Err(Failure::Usage(format!("unexpected argument '{p}'")));
         }
@@ -189,6 +207,11 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
         "attribute" if args.positionals.is_empty() => {
             return Err(Failure::Usage(
                 "attribute needs a trace file argument".into(),
+            ));
+        }
+        "metrics-check" if args.positionals.is_empty() => {
+            return Err(Failure::Usage(
+                "metrics-check needs a metrics file argument".into(),
             ));
         }
         "trace"
@@ -228,6 +251,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
         "goal" => Ok(cmd_goal(args)?),
         "trace" => Ok(cmd_trace(args)?),
         "trace-check" => Ok(cmd_trace_check(args)?),
+        "metrics-check" => Ok(cmd_metrics_check(args)?),
         "attribute" => Ok(cmd_attribute(args)?),
         "ablate" => Ok(cmd_ablate(args)?),
         "serve" => Ok(cmd_serve(args)?),
@@ -254,7 +278,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if cfg.queue_depth == 0 {
         return Err("--queue-depth must be at least 1".into());
     }
+    cfg.log_requests = args.has_flag("log-requests");
     cesim_serve::run(cfg).map_err(|e| format!("serve: {e}"))
+}
+
+/// `cesim metrics-check FILE` — validate a saved Prometheus scrape body
+/// with the in-repo exposition validator (CI gates on this).
+fn cmd_metrics_check(args: &Args) -> Result<(), String> {
+    let Some(path) = args.positionals.first() else {
+        return Err("metrics-check needs a metrics file argument".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let stats =
+        cesim_serve::promcheck::validate_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: ok ({} families, {} samples, {} histograms)",
+        stats.families, stats.samples, stats.histograms
+    );
+    Ok(())
 }
 
 fn cmd_skeletons() -> Result<(), String> {
@@ -330,8 +371,27 @@ fn scale_config(args: &Args) -> Result<ScaleConfig, String> {
 }
 
 fn cmd_fig(args: &Args, f: impl Fn(&ScaleConfig) -> FigureData) -> Result<(), String> {
-    let cfg = scale_config(args)?;
+    use cesim_core::obs::telemetry;
+    let mut cfg = scale_config(args)?;
+    let profile = args.has_flag("profile");
+    let shard_health = args.has_flag("shard-health");
+    if profile {
+        telemetry::set_enabled(true);
+    }
+    if shard_health && cfg.shards <= 1 {
+        eprintln!("note: --shard-health needs --shards > 1; ignoring");
+    }
+    let telem = if shard_health && cfg.shards > 1 {
+        Some(std::sync::Arc::new(
+            cesim_core::engine::ShardTelemetry::new(cfg.shards),
+        ))
+    } else {
+        None
+    };
+    cfg.shard_telemetry = telem.clone();
+    let sweep_start = std::time::Instant::now();
     let fig = f(&cfg);
+    let wall = sweep_start.elapsed();
     if args.has_flag("chart") {
         print!("{}", render_chart(&fig));
     } else {
@@ -340,6 +400,12 @@ fn cmd_fig(args: &Args, f: impl Fn(&ScaleConfig) -> FigureData) -> Result<(), St
     if let Some(path) = args.get("csv") {
         std::fs::write(path, figure_csv(&fig)).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    if let Some(t) = &telem {
+        eprintln!("{}", t.report());
+    }
+    if profile {
+        eprint!("{}", telemetry::profile_table(wall));
     }
     Ok(())
 }
@@ -772,6 +838,14 @@ fn parse_mode(s: &str) -> Result<LoggingMode, String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
+    use cesim_core::engine::{shard_globals, CompiledSchedule, ShardTelemetry};
+    use cesim_core::experiment::run_against_baseline_compiled_telem;
+    use cesim_core::obs::telemetry::{self, Span as ProfSpan};
+    use cesim_core::workloads::natural_ranks;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
     let app = match args.get("app") {
         None => AppId::Lulesh,
         Some(name) => AppId::parse(name).ok_or_else(|| format!("unknown workload '{name}'"))?,
@@ -784,6 +858,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let shards = args.get_parsed("shards", 1usize)?;
     if shards == 0 {
         return Err("--shards must be at least 1".into());
+    }
+    let profile = args.has_flag("profile");
+    let shard_health = args.has_flag("shard-health");
+    if profile {
+        telemetry::set_enabled(true);
+    }
+    if shard_health && shards <= 1 {
+        eprintln!("note: --shard-health needs --shards > 1; ignoring");
     }
     let mut exp = Experiment::new(app, nodes)
         .mode(mode)
@@ -807,7 +889,87 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         exp.scope
     );
     let threads = args.get_parsed("threads", 0usize)?;
-    let out = figures::with_threads(threads, || run_experiment(&exp)).map_err(|e| e.to_string())?;
+    let run_start = Instant::now();
+
+    // Staged explicitly (instead of experiment::run) so the span
+    // profiler can attribute build/compile/baseline/run separately and
+    // the sharded replicas can report window-based progress.
+    let ranks = natural_ranks(exp.app, exp.nodes);
+    let sched = {
+        let _s = ProfSpan::enter("build");
+        cesim_core::workloads::build(exp.app, ranks, &exp.workload)
+    };
+    let cs = {
+        let _s = ProfSpan::enter("compile");
+        Arc::new(CompiledSchedule::compile(&sched))
+    };
+    let base = {
+        let _s = ProfSpan::enter("baseline");
+        simulate(&sched, &exp.params, &mut NoNoise).map_err(|e| e.to_string())?
+    };
+    let telem = if shards > 1 && (shard_health || profile) {
+        Some(ShardTelemetry::new(shards))
+    } else {
+        None
+    };
+
+    // Sharded runs finish replicas slowly; report window-based progress
+    // from the engine's global counters instead of staying silent.
+    let ticker_stop = Arc::new(AtomicBool::new(false));
+    let ticker = if shards > 1 && args.has_flag("progress") {
+        let stop = Arc::clone(&ticker_stop);
+        let expected_ps = base
+            .finish
+            .since(cesim_core::model::Time::ZERO)
+            .as_ps()
+            .saturating_mul(reps as u64);
+        let start = shard_globals();
+        Some(std::thread::spawn(move || loop {
+            for _ in 0..20 {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            let g = shard_globals();
+            let sim_ps = g.sim_ps_advanced.saturating_sub(start.sim_ps_advanced);
+            let windows = g.windows.saturating_sub(start.windows);
+            let elapsed = run_start.elapsed().as_secs_f64();
+            let sim_s = sim_ps as f64 / 1e12;
+            let expected_s = expected_ps as f64 / 1e12;
+            let pct = if expected_ps > 0 {
+                (sim_s / expected_s * 100.0).min(100.0)
+            } else {
+                0.0
+            };
+            let eta = if sim_ps > 0 && expected_ps > sim_ps {
+                elapsed * (expected_ps - sim_ps) as f64 / sim_ps as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "[run] shard progress: {windows} windows, {sim_s:.1}/{expected_s:.1} sim-s \
+                 ({pct:.0}%, ETA {eta:.0}s)"
+            );
+        }))
+    } else {
+        None
+    };
+
+    let out = {
+        let _s = ProfSpan::enter("run");
+        figures::with_threads(threads, || {
+            run_against_baseline_compiled_telem(&exp, ranks, &cs, base.finish, 0, telem.as_ref())
+        })
+        .map_err(|e| e.to_string())?
+    };
+    // Wall time for the profile table stops here: the ticker join below
+    // can lag up to one poll interval and is not simulation work.
+    let run_wall = run_start.elapsed();
+    ticker_stop.store(true, Ordering::Relaxed);
+    if let Some(t) = ticker {
+        let _ = t.join();
+    }
     println!("ranks simulated : {}", out.ranks);
     println!("baseline        : {}", out.baseline);
     match (out.mean_finish(), out.mean_slowdown_pct()) {
@@ -826,6 +988,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             exp.mode.per_event_cost(),
             exp.mtbce
         ),
+    }
+    if let Some(t) = &telem {
+        if shard_health {
+            eprintln!("{}", t.report());
+        }
+    }
+    if profile {
+        eprint!("{}", telemetry::profile_table(run_wall));
     }
     Ok(())
 }

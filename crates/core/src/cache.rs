@@ -20,6 +20,7 @@
 
 use cesim_engine::{simulate_compiled, CompiledSchedule, NoNoise, SimError};
 use cesim_model::{LogGopsParams, Time};
+use cesim_obs::telemetry::{flight_record, FlightKind, Span};
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -61,12 +62,14 @@ impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
     }
 
     /// Insert `key → value`, evicting the least-recently-used entry when
-    /// at capacity.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// at capacity. Returns `true` when an entry was evicted to make
+    /// room (callers surface this to the flight recorder).
+    pub fn insert(&mut self, key: K, value: V) -> bool {
         if self.cap == 0 {
-            return;
+            return false;
         }
         self.tick += 1;
+        let mut evicted = false;
         if self.map.len() >= self.cap && !self.map.contains_key(&key) {
             if let Some(oldest) = self
                 .map
@@ -75,9 +78,11 @@ impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                evicted = true;
             }
         }
         self.map.insert(key, (value, self.tick));
+        evicted
     }
 
     /// Entries currently held.
@@ -157,18 +162,24 @@ impl ScheduleCache {
             return Ok(hit);
         }
         self.misses.fetch_add(1, Relaxed);
-        let sched = cesim_workloads::build(app, ranks, workload);
-        let cs = Arc::new(CompiledSchedule::compile(&sched));
-        let base = simulate_compiled(&cs, params, &mut NoNoise)?;
-        let entry = Arc::new(CompiledEntry {
-            ranks,
-            schedule: cs,
-            baseline: base.finish,
-        });
-        self.inner
-            .lock()
-            .expect("schedule cache lock")
-            .insert(key, Arc::clone(&entry));
+        let entry = {
+            let _s = Span::enter("compile");
+            let sched = cesim_workloads::build(app, ranks, workload);
+            let cs = Arc::new(CompiledSchedule::compile(&sched));
+            let base = simulate_compiled(&cs, params, &mut NoNoise)?;
+            Arc::new(CompiledEntry {
+                ranks,
+                schedule: cs,
+                baseline: base.finish,
+            })
+        };
+        let mut guard = self.inner.lock().expect("schedule cache lock");
+        let evicted = guard.insert(key, Arc::clone(&entry));
+        let len = guard.len();
+        drop(guard);
+        if evicted {
+            flight_record(FlightKind::CacheEvict, "schedule", len as u64, 0);
+        }
         Ok(entry)
     }
 
@@ -234,10 +245,13 @@ impl ResponseCache {
 
     /// Store a response body under its canonical request key.
     pub fn put(&self, key: String, body: Arc<String>) {
-        self.inner
-            .lock()
-            .expect("response cache lock")
-            .insert(key, body);
+        let mut guard = self.inner.lock().expect("response cache lock");
+        let evicted = guard.insert(key, body);
+        let len = guard.len();
+        drop(guard);
+        if evicted {
+            flight_record(FlightKind::CacheEvict, "response", len as u64, 0);
+        }
     }
 
     /// Lookups served from the cache.

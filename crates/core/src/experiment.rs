@@ -15,8 +15,9 @@
 
 use crate::seed::rep_seed;
 use cesim_engine::{
-    simulate_compiled, simulate_compiled_sharded, simulate_sharded_recorded, CompiledSchedule,
-    NoNoise, ShardMode, SimError, Simulator,
+    simulate_compiled, simulate_compiled_sharded, simulate_compiled_sharded_observed,
+    simulate_sharded_recorded, simulate_sharded_recorded_observed, CompiledSchedule, NoNoise,
+    ShardMode, ShardTelemetry, SimError, Simulator,
 };
 use cesim_goal::Schedule;
 use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
@@ -368,6 +369,22 @@ pub fn run_against_baseline_compiled(
     baseline: Time,
     observe_replicas: usize,
 ) -> Result<Outcome, SimError> {
+    run_against_baseline_compiled_telem(exp, ranks, cs, baseline, observe_replicas, None)
+}
+
+/// [`run_against_baseline_compiled`] with optional shard-health
+/// telemetry: when `telem` is set and the experiment is sharded, every
+/// replica accumulates per-shard busy/stall/barrier counters into it
+/// (see `cesim_engine::ShardTelemetry`). Results are byte-identical
+/// with or without the handle.
+pub fn run_against_baseline_compiled_telem(
+    exp: &Experiment,
+    ranks: usize,
+    cs: &Arc<CompiledSchedule>,
+    baseline: Time,
+    observe_replicas: usize,
+    telem: Option<&ShardTelemetry>,
+) -> Result<Outcome, SimError> {
     let baseline_span = baseline.since(Time::ZERO);
     if exp.diverges() {
         return Ok(Outcome {
@@ -394,7 +411,17 @@ pub fn run_against_baseline_compiled(
                 // huge sweep cell cannot exhaust memory.
                 let cap = ((cs.total_ops() as usize).saturating_mul(12)).clamp(1 << 10, 1 << 22);
                 let mut rec = TimelineRecorder::with_capacity(cap);
-                let r = if exp.shards > 1 {
+                let r = if let (Some(t), true) = (telem, exp.shards > 1) {
+                    simulate_sharded_recorded_observed(
+                        cs,
+                        &exp.params,
+                        exp.shards,
+                        ShardMode::Auto,
+                        &noise,
+                        &mut rec,
+                        t,
+                    )?
+                } else if exp.shards > 1 {
                     simulate_sharded_recorded(
                         cs,
                         &exp.params,
@@ -426,7 +453,16 @@ pub fn run_against_baseline_compiled(
                     }),
                 ))
             } else {
-                let res = if exp.shards > 1 {
+                let res = if let (Some(t), true) = (telem, exp.shards > 1) {
+                    simulate_compiled_sharded_observed(
+                        cs,
+                        &exp.params,
+                        exp.shards,
+                        ShardMode::Auto,
+                        &noise,
+                        t,
+                    )
+                } else if exp.shards > 1 {
                     simulate_compiled_sharded(cs, &exp.params, exp.shards, ShardMode::Auto, &noise)
                 } else {
                     simulate_compiled(cs, &exp.params, &mut noise)
@@ -619,6 +655,32 @@ mod tests {
         // Asking for more observed replicas than reps records them all.
         let capped = run_against_baseline_observed(&exp, ranks, &sched, base.finish, 99).unwrap();
         assert_eq!(capped.obs.unwrap().replicas.len(), exp.reps as usize);
+    }
+
+    #[test]
+    fn shard_telemetry_never_alters_outcomes() {
+        let exp = Experiment::new(AppId::Lulesh, 8)
+            .mode(LoggingMode::Firmware)
+            .mtbce(Span::from_secs(1))
+            .reps(2)
+            .steps(4)
+            .shards(3);
+        let ranks = natural_ranks(exp.app, exp.nodes);
+        let sched = cesim_workloads::build(exp.app, ranks, &exp.workload);
+        let cs = Arc::new(CompiledSchedule::compile(&sched));
+        let base = simulate_compiled(&cs, &exp.params, &mut NoNoise).unwrap();
+        let plain = run_against_baseline_compiled(&exp, ranks, &cs, base.finish, 0).unwrap();
+        let telem = ShardTelemetry::new(exp.shards);
+        let watched =
+            run_against_baseline_compiled_telem(&exp, ranks, &cs, base.finish, 1, Some(&telem))
+                .unwrap();
+        assert_eq!(plain.runs, watched.runs, "telemetry is a pure observer");
+        let report = telem.report();
+        assert_eq!(report.runs, u64::from(exp.reps));
+        assert!(report.events() > 0);
+        for s in &report.per_shard {
+            assert_eq!(s.busy + s.stall + s.barrier, s.wall);
+        }
     }
 
     #[test]

@@ -17,12 +17,13 @@
 //!   Fig. 3's single-process study needs no scaling.
 //! * `steps_scale`, `reps`, `seed` — statistical effort.
 
-use crate::experiment::{run_against_baseline_compiled, CellObs, Experiment};
+use crate::experiment::{run_against_baseline_compiled_telem, CellObs, Experiment};
 use crate::seed::point_seed;
-use cesim_engine::{simulate_compiled, CompiledSchedule, NoNoise};
+use cesim_engine::{simulate_compiled, CompiledSchedule, NoNoise, ShardTelemetry};
 use cesim_goal::Rank;
 use cesim_model::{LoggingMode, Span, SystemSpec};
 use cesim_noise::Scope;
+use cesim_obs::telemetry::Span as ProfSpan;
 use cesim_workloads::{natural_ranks, AppId, WorkloadConfig};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
@@ -68,6 +69,11 @@ pub struct ScaleConfig {
     /// worker-thread budget is divided by this factor so `cells × shards`
     /// never oversubscribes the host (see [`ScaleConfig::scoped`]).
     pub shards: usize,
+    /// Optional shard-health telemetry sink: every sharded run in the
+    /// sweep accumulates per-shard busy/stall/barrier counters into it
+    /// (`--shard-health` / `--profile` on the CLI). Pure observer —
+    /// figure data is byte-identical with or without it.
+    pub shard_telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl Default for ScaleConfig {
@@ -85,6 +91,7 @@ impl Default for ScaleConfig {
             observe_replicas: 1,
             threads: 0,
             shards: 1,
+            shard_telemetry: None,
         }
     }
 }
@@ -288,11 +295,19 @@ fn run_figure(
             .map(|&(ai, nodes)| {
                 let app = cfg.apps[ai];
                 let ranks = natural_ranks(app, nodes);
-                let sched = cesim_workloads::build(app, ranks, &cfg.workload_cfg(ai as u64));
-                let cs = Arc::new(CompiledSchedule::compile(&sched));
-                let base =
+                let sched = {
+                    let _s = ProfSpan::enter("build");
+                    cesim_workloads::build(app, ranks, &cfg.workload_cfg(ai as u64))
+                };
+                let cs = {
+                    let _s = ProfSpan::enter("compile");
+                    Arc::new(CompiledSchedule::compile(&sched))
+                };
+                let base = {
+                    let _s = ProfSpan::enter("baseline");
                     simulate_compiled(&cs, &cesim_model::LogGopsParams::xc40(), &mut NoNoise)
-                        .expect("workload schedules are deadlock-free");
+                        .expect("workload schedules are deadlock-free")
+                };
                 (ranks, cs, base.finish)
             })
             .collect();
@@ -313,7 +328,61 @@ fn run_figure(
         let events_done = std::sync::atomic::AtomicU64::new(0);
         let sim_ps_done = std::sync::atomic::AtomicU64::new(0);
         let sweep_start = std::time::Instant::now();
-        jobs.par_iter()
+
+        // Sharded sweeps complete cells slowly (few big runs instead of
+        // many small ones), so per-cell progress lines can go quiet for
+        // minutes. Report window-based progress from the engine's global
+        // shard counters instead: expected total simulated time is known
+        // after stage 1 (Σ baseline × reps per job), so an ETA can be
+        // derived from simulated-time throughput mid-run.
+        let ticker_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ticker = if cfg.shards > 1 && (cfg.progress || cfg.progress_eta) {
+            let expected_ps: u64 = jobs
+                .iter()
+                .map(|&(ai, si)| {
+                    let base = built[scale_index[&(ai, specs[si].nodes)]].2;
+                    base.as_ps().saturating_mul(cfg.reps as u64)
+                })
+                .sum();
+            let stop = Arc::clone(&ticker_stop);
+            let id = id.to_string();
+            let start = cesim_engine::shard_globals();
+            Some(std::thread::spawn(move || loop {
+                for _ in 0..20 {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                let g = cesim_engine::shard_globals();
+                let sim_ps = g.sim_ps_advanced.saturating_sub(start.sim_ps_advanced);
+                let windows = g.windows.saturating_sub(start.windows);
+                let events = g.events.saturating_sub(start.events);
+                let elapsed = sweep_start.elapsed().as_secs_f64();
+                let sim_s = sim_ps as f64 / 1e12;
+                let expected_s = expected_ps as f64 / 1e12;
+                let pct = if expected_ps > 0 {
+                    (sim_s / expected_s * 100.0).min(100.0)
+                } else {
+                    0.0
+                };
+                let eta = if sim_ps > 0 && expected_ps > sim_ps {
+                    elapsed * (expected_ps - sim_ps) as f64 / sim_ps as f64
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "[{id}] shard progress: {windows} windows, {events} events, \
+                     {sim_s:.1}/{expected_s:.1} sim-s ({pct:.0}%, ETA {eta:.0}s)"
+                );
+            }))
+        } else {
+            None
+        };
+
+        let telem = cfg.shard_telemetry.as_deref();
+        let cells: Vec<Cell> = jobs
+            .par_iter()
             .map(|&(ai, si)| {
                 let app = cfg.apps[ai];
                 let spec = &specs[si];
@@ -335,9 +404,19 @@ fn run_figure(
                 } else {
                     0
                 };
-                let out =
-                    run_against_baseline_compiled(&exp, *ranks, cs, *baseline, observe_replicas)
-                        .expect("workload schedules are deadlock-free");
+                let out = {
+                    let _s = ProfSpan::enter("cell_run");
+                    run_against_baseline_compiled_telem(
+                        &exp,
+                        *ranks,
+                        cs,
+                        *baseline,
+                        observe_replicas,
+                        telem,
+                    )
+                    .expect("workload schedules are deadlock-free")
+                };
+                let _agg = ProfSpan::enter("cell_aggregate");
                 if cfg.progress || cfg.progress_eta {
                     use std::sync::atomic::Ordering::Relaxed;
                     let cell_events: u64 = out.runs.iter().map(|r| r.events).sum();
@@ -381,7 +460,12 @@ fn run_figure(
                     obs: out.obs,
                 }
             })
-            .collect()
+            .collect();
+        ticker_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = ticker {
+            let _ = t.join();
+        }
+        cells
     });
     FigureData {
         id: id.into(),

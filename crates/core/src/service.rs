@@ -303,12 +303,17 @@ pub fn handle_simulate(
     req: &SimulateRequest,
 ) -> Result<JsonValue, ServiceError> {
     let exp = req.to_experiment();
+    // The "compile" phase span lives inside `get_or_compile` so cache
+    // hits contribute nothing to it; the run phase wraps the replicas.
     let entry = state
         .schedules
         .get_or_compile(req.app, req.nodes, &req.workload, &LogGopsParams::xc40())
         .map_err(|e| ServiceError::Internal(e.to_string()))?;
-    let out = run_against_baseline_compiled(&exp, entry.ranks, &entry.schedule, entry.baseline, 0)
-        .map_err(|e| ServiceError::Internal(e.to_string()))?;
+    let out = {
+        let _s = cesim_obs::telemetry::Span::enter("run");
+        run_against_baseline_compiled(&exp, entry.ranks, &entry.schedule, entry.baseline, 0)
+            .map_err(|e| ServiceError::Internal(e.to_string()))?
+    };
     let ci = out.slowdown_ci95_pct();
     Ok(JsonValue::object([
         ("app", req.app.name().into()),

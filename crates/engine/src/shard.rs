@@ -66,14 +66,382 @@ use crate::result::{SimError, SimResult};
 use crate::sim::{event_target, run_engine, stuck_ops, Engine, Event, RunScratch};
 use crate::topology::FlatCrossbar;
 use cesim_model::{LogGopsParams, Time};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Barrier, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Provisional-id stride per shard for recorded runs: shard `i` hands
 /// out ids starting at `(i + 1) << 48`, far above any dense serial id,
 /// so provisional ids never collide across shards (or with the dense
 /// range) before the merge renumbers them.
 const ID_STRIDE: u64 = 1 << 48;
+
+// ---------------------------------------------------------------------
+// Shard health telemetry
+// ---------------------------------------------------------------------
+//
+// Two layers, both relaxed atomics so shard threads never synchronize
+// through the telemetry:
+//
+// * process-wide counters ([`shard_globals`]) — always on (a handful
+//   of relaxed adds per *window*, far below measurement noise), the
+//   source for live daemon gauges and window-based progress reporting;
+// * an opt-in per-run [`ShardTelemetry`] — per-shard busy/stall/
+//   barrier time, windows, events, outbox traffic. Timing reads the
+//   clock only when a telemetry handle is passed, so the default path
+//   never calls `Instant::now` per window.
+
+static G_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static G_EVENTS: AtomicU64 = AtomicU64::new(0);
+static G_SIM_PS: AtomicU64 = AtomicU64::new(0);
+static G_RUNS_ACTIVE: AtomicU64 = AtomicU64::new(0);
+static G_RUNS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static WINDOW_HOOK: OnceLock<WindowHook> = OnceLock::new();
+
+/// Callback invoked once per advanced lookahead window (by whichever
+/// thread computed the bound) with the window end in picoseconds.
+/// Installed process-wide by observability layers (e.g. the flight
+/// recorder); must be cheap and must not call back into the engine.
+pub type WindowHook = fn(wend_ps: u64);
+
+/// Install the process-wide [`WindowHook`]. First caller wins; later
+/// calls are ignored (the hook is expected to fan out on its own).
+pub fn set_window_hook(hook: WindowHook) {
+    let _ = WINDOW_HOOK.set(hook);
+}
+
+/// Snapshot of process-wide sharded-engine activity since start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardGlobals {
+    /// Lookahead windows advanced (all runs).
+    pub windows: u64,
+    /// Events popped inside windows (all runs).
+    pub events: u64,
+    /// Simulated picoseconds advanced (sum of window-start deltas).
+    pub sim_ps_advanced: u64,
+    /// Sharded drives currently executing.
+    pub runs_active: u64,
+    /// Sharded drives started since process start.
+    pub runs_total: u64,
+}
+
+/// Read the process-wide sharded-engine counters.
+pub fn shard_globals() -> ShardGlobals {
+    ShardGlobals {
+        windows: G_WINDOWS.load(Ordering::Relaxed),
+        events: G_EVENTS.load(Ordering::Relaxed),
+        sim_ps_advanced: G_SIM_PS.load(Ordering::Relaxed),
+        runs_active: G_RUNS_ACTIVE.load(Ordering::Relaxed),
+        runs_total: G_RUNS_TOTAL.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-window global bookkeeping: count the window, accumulate the
+/// sim-time delta between consecutive window starts (`prev_m_ps` is
+/// `u64::MAX` before the first window), and fire the window hook.
+fn note_window(m_ps: u64, prev_m_ps: u64, wend_ps: u64) {
+    G_WINDOWS.fetch_add(1, Ordering::Relaxed);
+    if prev_m_ps != u64::MAX {
+        G_SIM_PS.fetch_add(m_ps.saturating_sub(prev_m_ps), Ordering::Relaxed);
+    }
+    if let Some(h) = WINDOW_HOOK.get() {
+        h(wend_ps);
+    }
+}
+
+/// Per-shard health counters. Written with relaxed atomics from the
+/// shard's own thread; read by reporting code whenever convenient.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Wall nanoseconds spent executing windows that popped events.
+    busy_ns: AtomicU64,
+    /// Wall nanoseconds spent in windows that popped nothing — the
+    /// shard rode along while others had the work.
+    stall_ns: AtomicU64,
+    /// Wall nanoseconds waiting at window barriers (threaded mode).
+    barrier_ns: AtomicU64,
+    /// Total accounted wall nanoseconds. Every accounted nanosecond
+    /// lands in exactly one of the three buckets above, so
+    /// `busy + stall + barrier == wall` holds exactly.
+    wall_ns: AtomicU64,
+    /// Windows this shard participated in.
+    windows: AtomicU64,
+    /// Events this shard popped.
+    events: AtomicU64,
+    /// Cross-shard messages this shard staged in its outbox.
+    outbox_msgs: AtomicU64,
+}
+
+impl ShardStats {
+    #[inline]
+    fn add_ns(counter: &AtomicU64, ns: u64) {
+        counter.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Account a measured segment to one timing bucket (and the wall
+    /// total, preserving the conservation law).
+    #[inline]
+    fn lap(&self, bucket: Lap, ns: u64) {
+        let counter = match bucket {
+            Lap::Busy => &self.busy_ns,
+            Lap::Stall => &self.stall_ns,
+            Lap::Barrier => &self.barrier_ns,
+        };
+        Self::add_ns(counter, ns);
+        Self::add_ns(&self.wall_ns, ns);
+    }
+
+    fn health(&self) -> ShardHealth {
+        ShardHealth {
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+            stall: Duration::from_nanos(self.stall_ns.load(Ordering::Relaxed)),
+            barrier: Duration::from_nanos(self.barrier_ns.load(Ordering::Relaxed)),
+            wall: Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
+            windows: self.windows.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            outbox_msgs: self.outbox_msgs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Which timing bucket a measured segment belongs to.
+#[derive(Clone, Copy)]
+enum Lap {
+    Busy,
+    Stall,
+    Barrier,
+}
+
+/// Boundary-timestamp accounting for one shard thread: consecutive
+/// [`Stamp::lap`] calls chain on the same instants, so the buckets
+/// partition the elapsed time with no gaps or double counting.
+struct Stamp<'a> {
+    stats: &'a ShardStats,
+    mark: Instant,
+}
+
+impl<'a> Stamp<'a> {
+    fn new(stats: &'a ShardStats) -> Self {
+        Stamp {
+            stats,
+            mark: Instant::now(),
+        }
+    }
+
+    #[inline]
+    fn lap(&mut self, bucket: Lap) {
+        let now = Instant::now();
+        let ns = now.duration_since(self.mark).as_nanos() as u64;
+        self.stats.lap(bucket, ns);
+        self.mark = now;
+    }
+}
+
+/// Aggregated shard-health telemetry for one or more sharded runs.
+/// Create one sized for the shard count, pass it to
+/// [`simulate_compiled_sharded_observed`] (possibly from many replicas
+/// concurrently — counters accumulate), then read [`Self::report`].
+#[derive(Debug, Default)]
+pub struct ShardTelemetry {
+    stats: Vec<ShardStats>,
+    drive_ns: AtomicU64,
+    runs: AtomicU64,
+}
+
+impl ShardTelemetry {
+    /// Telemetry sized for `shards` shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardTelemetry {
+            stats: (0..shards.max(1)).map(|_| ShardStats::default()).collect(),
+            drive_ns: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shard slots.
+    pub fn shards(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Runs accumulated so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Credit a serial-fallback run (no windows to attribute; the
+    /// whole run is busy time on shard 0).
+    fn note_serial_fallback(&self, elapsed: Duration, events: u64) {
+        let ns = elapsed.as_nanos() as u64;
+        let st = &self.stats[0];
+        st.lap(Lap::Busy, ns);
+        st.windows.fetch_add(1, Ordering::Relaxed);
+        st.events.fetch_add(events, Ordering::Relaxed);
+        self.drive_ns.fetch_add(ns, Ordering::Relaxed);
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot everything into a plain-value report.
+    pub fn report(&self) -> ShardHealthReport {
+        ShardHealthReport {
+            per_shard: self.stats.iter().map(ShardStats::health).collect(),
+            runs: self.runs.load(Ordering::Relaxed),
+            drive: Duration::from_nanos(self.drive_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-value snapshot of one shard's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Wall time in windows where this shard popped events.
+    pub busy: Duration,
+    /// Wall time in windows where this shard had nothing to do.
+    pub stall: Duration,
+    /// Wall time waiting at window barriers (threaded mode only).
+    pub barrier: Duration,
+    /// Total accounted wall time (`busy + stall + barrier`, exactly).
+    pub wall: Duration,
+    /// Windows participated in.
+    pub windows: u64,
+    /// Events popped.
+    pub events: u64,
+    /// Cross-shard messages staged.
+    pub outbox_msgs: u64,
+}
+
+/// The imbalance report: per-shard health plus the aggregate ratios
+/// the ISSUE asks operators to watch. [`fmt::Display`] renders the
+/// human table printed by `--shard-health`.
+#[derive(Clone, Debug, Default)]
+pub struct ShardHealthReport {
+    /// One entry per shard.
+    pub per_shard: Vec<ShardHealth>,
+    /// Sharded runs accumulated into this report.
+    pub runs: u64,
+    /// Total wall time inside the window drivers.
+    pub drive: Duration,
+}
+
+impl ShardHealthReport {
+    /// Total events popped across shards.
+    pub fn events(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.events).sum()
+    }
+
+    /// Windows advanced (shards participate in every window, so this
+    /// is the maximum over shards).
+    pub fn windows(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.windows).max().unwrap_or(0)
+    }
+
+    /// Total cross-shard messages staged.
+    pub fn outbox_msgs(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.outbox_msgs).sum()
+    }
+
+    /// Largest per-shard busy time.
+    pub fn max_busy(&self) -> Duration {
+        self.per_shard
+            .iter()
+            .map(|s| s.busy)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Mean per-shard busy time.
+    pub fn mean_busy(&self) -> Duration {
+        if self.per_shard.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.per_shard.iter().map(|s| s.busy).sum();
+        total / self.per_shard.len() as u32
+    }
+
+    /// Busy-time imbalance: max/mean (1.0 = perfectly balanced; also
+    /// 1.0 when nothing ran).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_busy().as_secs_f64();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_busy().as_secs_f64() / mean
+        }
+    }
+
+    /// Fraction of accounted wall time spent in empty windows.
+    pub fn stall_fraction(&self) -> f64 {
+        self.fraction(|s| s.stall)
+    }
+
+    /// Fraction of accounted wall time spent waiting at barriers.
+    pub fn barrier_fraction(&self) -> f64 {
+        self.fraction(|s| s.barrier)
+    }
+
+    fn fraction(&self, f: impl Fn(&ShardHealth) -> Duration) -> f64 {
+        let wall: Duration = self.per_shard.iter().map(|s| s.wall).sum();
+        if wall.is_zero() {
+            return 0.0;
+        }
+        let part: Duration = self.per_shard.iter().map(f).sum();
+        part.as_secs_f64() / wall.as_secs_f64()
+    }
+
+    /// Lookahead efficiency: events popped per shard-window. Low
+    /// values mean windows advance mostly empty — the lookahead `L`
+    /// is small relative to event spacing.
+    pub fn lookahead_efficiency(&self) -> f64 {
+        let shard_windows: u64 = self.per_shard.iter().map(|s| s.windows).sum();
+        if shard_windows == 0 {
+            0.0
+        } else {
+            self.events() as f64 / shard_windows as f64
+        }
+    }
+}
+
+impl fmt::Display for ShardHealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "shard health: {} shards, {} windows, {} events, {} run(s), drive {:.3}s",
+            self.per_shard.len(),
+            self.windows(),
+            self.events(),
+            self.runs,
+            self.drive.as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "{:>7} {:>11} {:>11} {:>11} {:>9} {:>12} {:>9}",
+            "shard", "busy(s)", "stall(s)", "barrier(s)", "windows", "events", "outbox"
+        )?;
+        for (i, s) in self.per_shard.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>7} {:>11.4} {:>11.4} {:>11.4} {:>9} {:>12} {:>9}",
+                i,
+                s.busy.as_secs_f64(),
+                s.stall.as_secs_f64(),
+                s.barrier.as_secs_f64(),
+                s.windows,
+                s.events,
+                s.outbox_msgs
+            )?;
+        }
+        write!(
+            f,
+            "busy max/mean {:.4}/{:.4}s (imbalance {:.2}x); stall {:.1}%; barrier {:.1}%; lookahead {:.1} events/shard-window",
+            self.max_busy().as_secs_f64(),
+            self.mean_busy().as_secs_f64(),
+            self.imbalance(),
+            100.0 * self.stall_fraction(),
+            100.0 * self.barrier_fraction(),
+            self.lookahead_efficiency()
+        )
+    }
+}
 
 /// How the sharded driver executes its shards.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -205,7 +573,31 @@ pub fn simulate_compiled_sharded<N: NoiseModel + Clone + Send>(
     mode: ShardMode,
     noise: &N,
 ) -> Result<SimResult, SimError> {
-    run_sharded(cs, params, shards, mode, noise, &mut NullRecorder)
+    run_sharded(cs, params, shards, mode, noise, &mut NullRecorder, None)
+}
+
+/// [`simulate_compiled_sharded`] with shard-health telemetry: per-shard
+/// busy/stall/barrier time, window and event counts accumulate into
+/// `telem` (relaxed atomics — safe to share across concurrent
+/// replicas). The simulation result is byte-identical with or without
+/// the telemetry handle.
+pub fn simulate_compiled_sharded_observed<N: NoiseModel + Clone + Send>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    shards: usize,
+    mode: ShardMode,
+    noise: &N,
+    telem: &ShardTelemetry,
+) -> Result<SimResult, SimError> {
+    run_sharded(
+        cs,
+        params,
+        shards,
+        mode,
+        noise,
+        &mut NullRecorder,
+        Some(telem),
+    )
 }
 
 /// [`simulate_compiled_sharded`] with instrumentation: per-shard event
@@ -220,9 +612,24 @@ pub fn simulate_sharded_recorded<N: NoiseModel + Clone + Send, R: Recorder>(
     noise: &N,
     rec: &mut R,
 ) -> Result<SimResult, SimError> {
-    run_sharded(cs, params, shards, mode, noise, rec)
+    run_sharded(cs, params, shards, mode, noise, rec, None)
 }
 
+/// [`simulate_sharded_recorded`] with shard-health telemetry (see
+/// [`simulate_compiled_sharded_observed`]).
+pub fn simulate_sharded_recorded_observed<N: NoiseModel + Clone + Send, R: Recorder>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    shards: usize,
+    mode: ShardMode,
+    noise: &N,
+    rec: &mut R,
+    telem: &ShardTelemetry,
+) -> Result<SimResult, SimError> {
+    run_sharded(cs, params, shards, mode, noise, rec, Some(telem))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
     cs: &CompiledSchedule,
     params: &LogGopsParams,
@@ -230,6 +637,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
     mode: ShardMode,
     noise: &N,
     rec: &mut R,
+    telem: Option<&ShardTelemetry>,
 ) -> Result<SimResult, SimError> {
     if cs.num_ranks() == 0 {
         return Err(SimError::EmptySchedule);
@@ -238,9 +646,15 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
     if s_eff <= 1 || params.latency.is_zero() {
         // No usable partition or no lookahead: the serial engine IS the
         // sharded engine with one shard.
+        let t0 = telem.map(|_| Instant::now());
         let mut scratch = RunScratch::new();
         let mut n = noise.clone();
-        return run_engine(cs, *params, &FlatCrossbar, &mut scratch, &mut *rec, &mut n);
+        let out = run_engine(cs, *params, &FlatCrossbar, &mut scratch, &mut *rec, &mut n);
+        if let (Some(t), Some(t0)) = (telem, t0) {
+            let events = out.as_ref().map(|r| r.events_processed).unwrap_or(0);
+            t.note_serial_fallback(t0.elapsed(), events);
+        }
+        return out;
     }
 
     let cuts = cuts(cs.num_ranks(), s_eff);
@@ -266,6 +680,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
             &mut scratches,
             &mut noises,
             &mut recs,
+            telem,
         );
         merge_records(recs, rec);
         n
@@ -279,6 +694,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
             &mut scratches,
             &mut noises,
             &mut recs,
+            telem,
         )
     };
 
@@ -327,6 +743,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
 
 /// Run the window protocol to completion in the requested mode;
 /// returns total events processed.
+#[allow(clippy::too_many_arguments)]
 fn drive<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     cs: &CompiledSchedule,
     params: LogGopsParams,
@@ -335,12 +752,23 @@ fn drive<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     scratches: &mut [RunScratch],
     noises: &mut [N],
     recs: &mut [R],
+    telem: Option<&ShardTelemetry>,
 ) -> u64 {
-    if mode.threaded() {
-        drive_threaded(cs, params, cuts, scratches, noises, recs)
+    G_RUNS_ACTIVE.fetch_add(1, Ordering::Relaxed);
+    G_RUNS_TOTAL.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let events = if mode.threaded() {
+        drive_threaded(cs, params, cuts, scratches, noises, recs, telem)
     } else {
-        drive_lockstep(cs, params, cuts, scratches, noises, recs)
+        drive_lockstep(cs, params, cuts, scratches, noises, recs, telem)
+    };
+    if let Some(t) = telem {
+        t.drive_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        t.runs.fetch_add(1, Ordering::Relaxed);
     }
+    G_RUNS_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    events
 }
 
 /// Process one shard's slice of the window `[.., wend)`; returns events
@@ -378,6 +806,7 @@ fn run_window<N: NoiseModel + ?Sized, R: WindowRecorder>(
 
 /// Single-threaded lockstep: the same window schedule as the threaded
 /// driver, shards advanced round-robin on the calling thread.
+#[allow(clippy::too_many_arguments)]
 fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
     cs: &CompiledSchedule,
     params: LogGopsParams,
@@ -385,22 +814,44 @@ fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
     scratches: &mut [RunScratch],
     noises: &mut [N],
     recs: &mut [R],
+    telem: Option<&ShardTelemetry>,
 ) -> u64 {
     let lookahead = params.latency;
     let mut events = 0u64;
     let mut outbox: Vec<(Time, EvKey, Event)> = Vec::new();
+    let mut prev_m_ps = u64::MAX;
     while let Some(m) = scratches.iter().filter_map(|s| s.queue.peek_time()).min() {
         let wend = m + lookahead;
-        for ((s, n), r) in scratches
+        note_window(m.as_ps(), prev_m_ps, wend.as_ps());
+        prev_m_ps = m.as_ps();
+        let mut window_events = 0u64;
+        for (i, ((s, n), r)) in scratches
             .iter_mut()
             .zip(noises.iter_mut())
             .zip(recs.iter_mut())
+            .enumerate()
         {
-            events += run_window(cs, params, s, n, r, wend);
+            let popped = match telem.and_then(|t| t.stats.get(i)) {
+                Some(st) => {
+                    let t0 = Instant::now();
+                    let popped = run_window(cs, params, s, n, r, wend);
+                    let bucket = if popped == 0 { Lap::Stall } else { Lap::Busy };
+                    st.lap(bucket, t0.elapsed().as_nanos() as u64);
+                    st.windows.fetch_add(1, Ordering::Relaxed);
+                    st.events.fetch_add(popped, Ordering::Relaxed);
+                    st.outbox_msgs
+                        .fetch_add(s.outbox.len() as u64, Ordering::Relaxed);
+                    popped
+                }
+                None => run_window(cs, params, s, n, r, wend),
+            };
+            events += popped;
+            window_events += popped;
             // Stage this shard's cross-shard sends; routed below once the
             // borrow on `scratches` is back.
             outbox.append(&mut s.outbox);
         }
+        G_EVENTS.fetch_add(window_events, Ordering::Relaxed);
         for (t, key, ev) in outbox.drain(..) {
             let d = shard_of(cuts, event_target(&ev));
             scratches[d].queue.push(t, key, ev);
@@ -415,6 +866,7 @@ fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
 /// it), and after **routing** outboxes (so mailbox drains see every
 /// message). Mailbox mutexes are uncontended by construction — senders
 /// and the draining owner are separated by the route barrier.
+#[allow(clippy::too_many_arguments)]
 fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     cs: &CompiledSchedule,
     params: LogGopsParams,
@@ -422,12 +874,14 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     scratches: &mut [RunScratch],
     noises: &mut [N],
     recs: &mut [R],
+    telem: Option<&ShardTelemetry>,
 ) -> u64 {
     let s_eff = scratches.len();
     let lookahead = params.latency;
     let barrier = Barrier::new(s_eff);
     let mins: Vec<AtomicU64> = (0..s_eff).map(|_| AtomicU64::new(0)).collect();
     let wend_ps = AtomicU64::new(0);
+    let prev_m_ps = AtomicU64::new(u64::MAX);
     let done = AtomicBool::new(false);
     let mailboxes: Vec<Mutex<Vec<(Time, EvKey, Event)>>> =
         (0..s_eff).map(|_| Mutex::new(Vec::new())).collect();
@@ -440,9 +894,18 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
             .zip(recs.iter_mut())
             .enumerate()
         {
-            let (barrier, mins, wend_ps, done, mailboxes, events_total) =
-                (&barrier, &mins, &wend_ps, &done, &mailboxes, &events_total);
+            let (barrier, mins, wend_ps, prev_m_ps, done, mailboxes, events_total) = (
+                &barrier,
+                &mins,
+                &wend_ps,
+                &prev_m_ps,
+                &done,
+                &mailboxes,
+                &events_total,
+            );
             scope.spawn(move || {
+                let stats = telem.and_then(|t| t.stats.get(i));
+                let mut stamp = stats.map(Stamp::new);
                 let mut events = 0u64;
                 loop {
                     mins[i].store(
@@ -458,15 +921,32 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
                         if m == u64::MAX {
                             done.store(true, Ordering::SeqCst);
                         } else {
-                            wend_ps.store((Time::from_ps(m) + lookahead).as_ps(), Ordering::SeqCst);
+                            let wend = (Time::from_ps(m) + lookahead).as_ps();
+                            wend_ps.store(wend, Ordering::SeqCst);
+                            note_window(m, prev_m_ps.swap(m, Ordering::Relaxed), wend);
                         }
                     }
                     barrier.wait();
+                    if let Some(s) = stamp.as_mut() {
+                        s.lap(Lap::Barrier);
+                    }
                     if done.load(Ordering::SeqCst) {
                         break;
                     }
                     let wend = Time::from_ps(wend_ps.load(Ordering::SeqCst));
-                    events += run_window(cs, params, scratch, noise, rec, wend);
+                    let popped = run_window(cs, params, scratch, noise, rec, wend);
+                    events += popped;
+                    G_EVENTS.fetch_add(popped, Ordering::Relaxed);
+                    if let Some(s) = stamp.as_mut() {
+                        let bucket = if popped == 0 { Lap::Stall } else { Lap::Busy };
+                        s.lap(bucket);
+                    }
+                    if let Some(st) = stats {
+                        st.windows.fetch_add(1, Ordering::Relaxed);
+                        st.events.fetch_add(popped, Ordering::Relaxed);
+                        st.outbox_msgs
+                            .fetch_add(scratch.outbox.len() as u64, Ordering::Relaxed);
+                    }
                     for (t, key, ev) in scratch.outbox.drain(..) {
                         let d = shard_of(cuts, event_target(&ev));
                         mailboxes[d]
@@ -474,9 +954,18 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
                             .expect("mailbox lock")
                             .push((t, key, ev));
                     }
+                    if let Some(s) = stamp.as_mut() {
+                        s.lap(Lap::Busy);
+                    }
                     barrier.wait();
+                    if let Some(s) = stamp.as_mut() {
+                        s.lap(Lap::Barrier);
+                    }
                     for (t, key, ev) in mailboxes[i].lock().expect("mailbox lock").drain(..) {
                         scratch.queue.push(t, key, ev);
+                    }
+                    if let Some(s) = stamp.as_mut() {
+                        s.lap(Lap::Busy);
                     }
                 }
                 events_total.fetch_add(events, Ordering::SeqCst);
@@ -783,6 +1272,76 @@ mod tests {
             simulate_compiled_sharded(&empty, &xc40(), 4, ShardMode::Auto, &NoNoise).unwrap_err(),
             SimError::EmptySchedule
         );
+    }
+
+    #[test]
+    fn telemetry_is_conserved_and_counts_serial_events() {
+        let sched = busy_schedule(8);
+        let cs = CompiledSchedule::compile(&sched);
+        let serial = simulate_compiled(&cs, &xc40(), &mut NoNoise).unwrap();
+        for mode in [ShardMode::Lockstep, ShardMode::Threads] {
+            let telem = ShardTelemetry::new(4);
+            let got = simulate_compiled_sharded_observed(&cs, &xc40(), 4, mode, &NoNoise, &telem)
+                .unwrap();
+            assert_eq!(got, serial, "telemetry must not alter results ({mode:?})");
+            let report = telem.report();
+            assert_eq!(report.runs, 1);
+            assert_eq!(report.per_shard.len(), 4);
+            assert_eq!(
+                report.events(),
+                serial.events_processed,
+                "per-shard events must sum to the serial count ({mode:?})"
+            );
+            let windows = report.windows();
+            assert!(windows > 0, "windowed run must advance windows");
+            for (i, s) in report.per_shard.iter().enumerate() {
+                assert_eq!(s.windows, windows, "shard {i} missed windows ({mode:?})");
+                assert_eq!(
+                    s.busy + s.stall + s.barrier,
+                    s.wall,
+                    "shard {i} time buckets must partition wall time ({mode:?})"
+                );
+            }
+            assert!(report.imbalance() >= 1.0);
+            assert!(report.lookahead_efficiency() > 0.0);
+            // The Display table renders without panicking and mentions
+            // the headline aggregates.
+            let text = report.to_string();
+            assert!(text.contains("shard health"), "{text}");
+            assert!(text.contains("imbalance"), "{text}");
+        }
+    }
+
+    #[test]
+    fn telemetry_accumulates_across_runs_and_fallbacks() {
+        let sched = busy_schedule(5);
+        let cs = CompiledSchedule::compile(&sched);
+        let serial = simulate_compiled(&cs, &xc40(), &mut NoNoise).unwrap();
+        let telem = ShardTelemetry::new(3);
+        for _ in 0..2 {
+            simulate_compiled_sharded_observed(
+                &cs,
+                &xc40(),
+                3,
+                ShardMode::Lockstep,
+                &NoNoise,
+                &telem,
+            )
+            .unwrap();
+        }
+        // Serial fallback (one shard) still credits events and a run.
+        simulate_compiled_sharded_observed(&cs, &xc40(), 1, ShardMode::Auto, &NoNoise, &telem)
+            .unwrap();
+        let report = telem.report();
+        assert_eq!(report.runs, 3);
+        assert_eq!(report.events(), 3 * serial.events_processed);
+        let before = shard_globals();
+        simulate_compiled_sharded(&cs, &xc40(), 3, ShardMode::Lockstep, &NoNoise).unwrap();
+        let after = shard_globals();
+        assert!(after.windows > before.windows);
+        assert_eq!(after.events - before.events, serial.events_processed);
+        assert!(after.runs_total == before.runs_total + 1);
+        assert!(after.sim_ps_advanced >= before.sim_ps_advanced);
     }
 
     /// A same-tick wildcard race across shards: two eager sends injected

@@ -17,7 +17,11 @@
 //!   pass that classifies every injected detour as absorbed or
 //!   propagated, with amplification factors and makespan attribution,
 //! * [`json`] — re-export of the shared `cesim-json` parser/serializer
-//!   used to validate exported traces and emit provenance JSONL.
+//!   used to validate exported traces and emit provenance JSONL,
+//! * [`telemetry`] — runtime telemetry for the tool itself: a scoped
+//!   span profiler (phase tables, Prometheus histograms) and a
+//!   lock-free flight recorder of recent runtime events, both gated
+//!   on one process-wide atomic so the disabled path is free.
 //!
 //! The event taxonomy itself ([`SimEvent`], [`Recorder`]) lives in
 //! `cesim_engine::record` so the engine carries no dependency on this
@@ -32,6 +36,7 @@ pub mod critical;
 pub mod json;
 pub mod metrics;
 pub mod provenance;
+pub mod telemetry;
 pub mod timeline;
 
 pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
@@ -41,6 +46,7 @@ pub use metrics::{interval_metrics_csv, IntervalMetrics};
 pub use provenance::{
     analyze, heatmap_csv, provenance_jsonl, DetourFate, Fate, ProvenanceReport, ProvenanceSummary,
 };
+pub use telemetry::Span;
 pub use timeline::TimelineRecorder;
 
 // Re-export the engine-side contract so downstream users need one import.

@@ -1,0 +1,621 @@
+//! Runtime telemetry: a process-wide span profiler and flight recorder.
+//!
+//! This is the measurement substrate for the runtime itself (the
+//! sharded engine, the sweep pipeline, the serve daemon) — as opposed
+//! to the *simulation* observability in [`crate::timeline`] /
+//! [`crate::provenance`], which records what happens inside the
+//! simulated machine. Everything here answers "where did the
+//! wall-clock go?" for the simulator's own execution.
+//!
+//! # The span profiler
+//!
+//! [`Span::enter("compile")`](Span::enter) returns a guard; dropping it
+//! attributes the elapsed wall time to the `"compile"` phase in a
+//! global registry. Mirroring the engine's `Recorder` contract
+//! (`const ENABLED` — PR 2), spans are designed to be left in
+//! release-build hot paths permanently: when the sink is disabled
+//! (the default) `enter` is a single relaxed atomic load and no clock
+//! is read. Phases are surfaced as a [`profile_table`] (the CLI
+//! `--profile` flag) and as `cesim_phase_seconds` histograms on the
+//! daemon's `GET /metrics`.
+//!
+//! # The flight recorder
+//!
+//! A fixed-size lock-free ring of the most recent structured telemetry
+//! events (span begin/end, window advance, shed, panic, cache evict).
+//! Writers claim a slot with one `fetch_add` and stamp it with a
+//! unique sequence number *last* (release ordering); readers validate
+//! the stamp before and after reading a slot and drop torn records, so
+//! a dump never blocks or corrupts a writer. The dump —
+//! [`flight_dump_json`] — is wired to panic (via
+//! [`install_panic_hook`]), to SIGUSR1 in the daemon, and to
+//! `GET /v1/debug/flightrec`, so a wedged or slow process can be
+//! diagnosed post-hoc without a restart.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Phase-duration histogram bucket upper bounds, in seconds (a `+Inf`
+/// bucket is implicit). Spans sub-millisecond parses to multi-minute
+/// full-machine runs.
+pub const PHASE_BUCKETS: [f64; 9] = [0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0];
+
+/// Number of slots in the flight-recorder ring.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PHASES: Mutex<BTreeMap<&'static str, PhaseAgg>> = Mutex::new(BTreeMap::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Turn the telemetry sink on or off. Off (the default) makes every
+/// span and flight-record call a near-no-op; nothing is buffered.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the telemetry sink is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the first telemetry call in this process — the
+/// time base for flight-recorder events.
+fn mono_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[derive(Default, Clone)]
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+    /// Cumulative counts per [`PHASE_BUCKETS`] bound (Prometheus
+    /// histogram convention: an observation lands in every bucket
+    /// whose bound is >= its value).
+    buckets: [u64; PHASE_BUCKETS.len()],
+}
+
+/// A scoped profiling span: wall time between [`Span::enter`] and drop
+/// is attributed to `label`. Zero-cost when the sink is disabled.
+#[must_use = "a span measures the time until it is dropped"]
+pub struct Span {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Open a span for `label`. Labels are static so the registry and
+    /// the flight recorder never allocate per event.
+    #[inline]
+    pub fn enter(label: &'static str) -> Span {
+        if !enabled() {
+            return Span { label, start: None };
+        }
+        flight_record(FlightKind::SpanBegin, label, 0, 0);
+        Span {
+            label,
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos() as u64;
+        let secs = elapsed.as_secs_f64();
+        {
+            let mut phases = PHASES.lock().expect("phase registry lock");
+            let agg = phases.entry(self.label).or_default();
+            agg.count += 1;
+            agg.total_ns += ns;
+            for (slot, bound) in agg.buckets.iter_mut().zip(PHASE_BUCKETS.iter()) {
+                if secs <= *bound {
+                    *slot += 1;
+                }
+            }
+        }
+        flight_record(FlightKind::SpanEnd, self.label, ns, 0);
+    }
+}
+
+/// One row of the phase registry, as captured by [`phase_snapshot`].
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    /// Phase label as passed to [`Span::enter`].
+    pub label: &'static str,
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall time across those spans.
+    pub total: Duration,
+    /// Cumulative histogram counts per [`PHASE_BUCKETS`] bound.
+    pub buckets: [u64; PHASE_BUCKETS.len()],
+}
+
+/// Snapshot the phase registry, sorted by label.
+pub fn phase_snapshot() -> Vec<PhaseRow> {
+    let phases = PHASES.lock().expect("phase registry lock");
+    phases
+        .iter()
+        .map(|(label, agg)| PhaseRow {
+            label,
+            count: agg.count,
+            total: Duration::from_nanos(agg.total_ns),
+            buckets: agg.buckets,
+        })
+        .collect()
+}
+
+/// Clear the phase registry and the flight ring (test isolation and
+/// per-run `--profile` scoping).
+pub fn reset() {
+    PHASES.lock().expect("phase registry lock").clear();
+    if let Some(ring) = RING.get() {
+        for slot in ring {
+            slot.seq.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// Render the phase breakdown as an aligned text table, with a final
+/// machine-parsable `profile-total:` line relating the sum of phase
+/// times to `wall` (the enclosing measured wall time). With
+/// non-overlapping spans on one thread, coverage approaches 100%.
+pub fn profile_table(wall: Duration) -> String {
+    let rows = phase_snapshot();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>12} {:>12} {:>7}\n",
+        "phase", "count", "total(s)", "mean(ms)", "%wall"
+    ));
+    let mut total = Duration::ZERO;
+    for r in &rows {
+        total += r.total;
+        let mean_ms = r.total.as_secs_f64() * 1e3 / r.count.max(1) as f64;
+        let pct = percent(r.total, wall);
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>12.4} {:>12.3} {:>6.1}%\n",
+            r.label,
+            r.count,
+            r.total.as_secs_f64(),
+            mean_ms,
+            pct
+        ));
+    }
+    out.push_str(&format!(
+        "profile-total: phases={:.4}s wall={:.4}s coverage={:.1}%\n",
+        total.as_secs_f64(),
+        wall.as_secs_f64(),
+        percent(total, wall)
+    ));
+    out
+}
+
+fn percent(part: Duration, whole: Duration) -> f64 {
+    if whole.is_zero() {
+        0.0
+    } else {
+        100.0 * part.as_secs_f64() / whole.as_secs_f64()
+    }
+}
+
+/// Append `cesim_phase_seconds` Prometheus histograms (one label set
+/// per phase) to `out`. Deterministically ordered; empty when no spans
+/// have completed.
+pub fn render_prometheus(out: &mut String) {
+    let rows = phase_snapshot();
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str("# HELP cesim_phase_seconds Wall time per pipeline phase (span profiler).\n");
+    out.push_str("# TYPE cesim_phase_seconds histogram\n");
+    for r in &rows {
+        for (i, bound) in PHASE_BUCKETS.iter().enumerate() {
+            out.push_str(&format!(
+                "cesim_phase_seconds_bucket{{phase=\"{}\",le=\"{bound}\"}} {}\n",
+                r.label, r.buckets[i]
+            ));
+        }
+        out.push_str(&format!(
+            "cesim_phase_seconds_bucket{{phase=\"{}\",le=\"+Inf\"}} {}\n",
+            r.label, r.count
+        ));
+        out.push_str(&format!(
+            "cesim_phase_seconds_sum{{phase=\"{}\"}} {}\n",
+            r.label,
+            r.total.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "cesim_phase_seconds_count{{phase=\"{}\"}} {}\n",
+            r.label, r.count
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// What a flight-recorder event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// A profiling span opened (`a`/`b` unused).
+    SpanBegin = 1,
+    /// A profiling span closed (`a` = duration in ns).
+    SpanEnd = 2,
+    /// The sharded engine advanced a lookahead window (`a` = window
+    /// end in ps; sampled, not every window).
+    WindowAdvance = 3,
+    /// The daemon shed a connection with 429 (`a` = queue depth).
+    Shed = 4,
+    /// A panic was observed (`a`/`b` unused).
+    Panic = 5,
+    /// A cache evicted an entry (`a` = entries after eviction).
+    CacheEvict = 6,
+    /// A diagnostic signal (SIGUSR1) arrived.
+    Signal = 7,
+}
+
+impl FlightKind {
+    fn name(self) -> &'static str {
+        match self {
+            FlightKind::SpanBegin => "span_begin",
+            FlightKind::SpanEnd => "span_end",
+            FlightKind::WindowAdvance => "window_advance",
+            FlightKind::Shed => "shed",
+            FlightKind::Panic => "panic",
+            FlightKind::CacheEvict => "cache_evict",
+            FlightKind::Signal => "signal",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<FlightKind> {
+        match v {
+            1 => Some(FlightKind::SpanBegin),
+            2 => Some(FlightKind::SpanEnd),
+            3 => Some(FlightKind::WindowAdvance),
+            4 => Some(FlightKind::Shed),
+            5 => Some(FlightKind::Panic),
+            6 => Some(FlightKind::CacheEvict),
+            7 => Some(FlightKind::Signal),
+            _ => None,
+        }
+    }
+}
+
+/// One ring slot. `seq == 0` means never written; otherwise `seq` is
+/// the unique 1-based ticket of the write, stored last with release
+/// ordering so a reader that sees the same nonzero `seq` before and
+/// after reading the payload saw a consistent record.
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    kind: AtomicU64,
+    label: AtomicU64,
+    t_ns: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+static RING: OnceLock<Vec<Slot>> = OnceLock::new();
+static TICKET: AtomicU64 = AtomicU64::new(0);
+static LABELS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+fn ring() -> &'static [Slot] {
+    RING.get_or_init(|| (0..FLIGHT_CAPACITY).map(|_| Slot::default()).collect())
+}
+
+/// Intern a static label, returning its dense id. The table only ever
+/// holds the handful of distinct labels the codebase uses.
+fn label_id(label: &'static str) -> u64 {
+    let mut table = LABELS.lock().expect("flight label lock");
+    if let Some(i) = table.iter().position(|l| *l == label) {
+        return i as u64;
+    }
+    table.push(label);
+    (table.len() - 1) as u64
+}
+
+/// Record one flight event. A near-no-op when telemetry is disabled;
+/// otherwise lock-free (one `fetch_add` plus relaxed stores).
+pub fn flight_record(kind: FlightKind, label: &'static str, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    let t = mono_ns();
+    let id = label_id(label);
+    let ring = ring();
+    let ticket = TICKET.fetch_add(1, Ordering::Relaxed) + 1;
+    let slot = &ring[(ticket - 1) as usize % FLIGHT_CAPACITY];
+    // Readers treat a slot whose seq changes under them as torn and
+    // drop it, so plain relaxed payload stores are fine here.
+    slot.kind.store(kind as u8 as u64, Ordering::Relaxed);
+    slot.label.store(id, Ordering::Relaxed);
+    slot.t_ns.store(t, Ordering::Relaxed);
+    slot.a.store(a, Ordering::Relaxed);
+    slot.b.store(b, Ordering::Relaxed);
+    slot.seq.store(ticket, Ordering::Release);
+}
+
+/// Total flight events recorded since process start (including ones
+/// the ring has since overwritten).
+pub fn flight_total() -> u64 {
+    TICKET.load(Ordering::Relaxed)
+}
+
+/// One decoded flight-recorder event.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Global 1-based sequence number of the event.
+    pub seq: u64,
+    /// Nanoseconds since the telemetry epoch.
+    pub t_ns: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// Label (span name, cache name, ...).
+    pub label: &'static str,
+    /// Kind-specific payload.
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+/// Snapshot the ring, oldest first. Records being overwritten while we
+/// read (seq changed mid-read) are dropped rather than returned torn.
+pub fn flight_snapshot() -> Vec<FlightEvent> {
+    let Some(ring) = RING.get() else {
+        return Vec::new();
+    };
+    let labels = LABELS.lock().expect("flight label lock").clone();
+    let mut out = Vec::new();
+    for slot in ring {
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 == 0 {
+            continue;
+        }
+        let kind = slot.kind.load(Ordering::Relaxed);
+        let label = slot.label.load(Ordering::Relaxed);
+        let t_ns = slot.t_ns.load(Ordering::Relaxed);
+        let a = slot.a.load(Ordering::Relaxed);
+        let b = slot.b.load(Ordering::Relaxed);
+        if slot.seq.load(Ordering::Acquire) != s1 {
+            continue;
+        }
+        let Some(kind) = FlightKind::from_u8(kind as u8) else {
+            continue;
+        };
+        let Some(label) = labels.get(label as usize).copied() else {
+            continue;
+        };
+        out.push(FlightEvent {
+            seq: s1,
+            t_ns,
+            kind,
+            label,
+            a,
+            b,
+        });
+    }
+    out.sort_unstable_by_key(|e| e.seq);
+    out
+}
+
+/// Dump the flight recorder as a JSON object: ring metadata plus the
+/// surviving events, oldest first.
+pub fn flight_dump_json() -> String {
+    let events = flight_snapshot();
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str(&format!(
+        "{{\"total\":{},\"capacity\":{},\"events\":[",
+        flight_total(),
+        FLIGHT_CAPACITY
+    ));
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"t_us\":{},\"kind\":\"{}\",\"label\":\"{}\",\"a\":{},\"b\":{}}}",
+            e.seq,
+            e.t_ns / 1_000,
+            e.kind.name(),
+            escape(e.label),
+            e.a,
+            e.b
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Install a panic hook that records a [`FlightKind::Panic`] event and
+/// dumps the flight recorder to stderr before delegating to the
+/// previous hook. Idempotent; a no-op chain when telemetry is
+/// disabled at panic time.
+pub fn install_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if enabled() {
+                flight_record(FlightKind::Panic, "panic", 0, 0);
+                eprintln!("cesim-flightrec: {}", flight_dump_json());
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Register the flight recorder with the sharded engine: window
+/// advances are sampled into the ring (every 256th window, plus the
+/// first) so the recent history shows engine progress without
+/// flooding out request-level events. Idempotent.
+pub fn install_engine_hook() {
+    static WINDOWS_SEEN: AtomicU64 = AtomicU64::new(0);
+    fn on_window(wend_ps: u64) {
+        let n = WINDOWS_SEEN.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(256) {
+            flight_record(FlightKind::WindowAdvance, "window", wend_ps, n + 1);
+        }
+    }
+    cesim_engine::set_window_hook(on_window);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and ring are process-global; tests that toggle the
+    /// sink serialize on this.
+    fn with_sink<T>(f: impl FnOnce() -> T) -> T {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        reset();
+        out
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        // Not under the sink lock: the default state is disabled, and
+        // a disabled span must not touch the registry.
+        let before = flight_total();
+        set_enabled(false);
+        {
+            let _s = Span::enter("never");
+        }
+        assert!(phase_snapshot().iter().all(|r| r.label != "never"));
+        assert_eq!(flight_total(), before);
+    }
+
+    #[test]
+    fn span_attributes_time_to_phase() {
+        with_sink(|| {
+            {
+                let _s = Span::enter("unit_test_phase");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let rows = phase_snapshot();
+            let r = rows
+                .iter()
+                .find(|r| r.label == "unit_test_phase")
+                .expect("phase recorded");
+            assert_eq!(r.count, 1);
+            assert!(r.total >= Duration::from_millis(2));
+            // Cumulative buckets: the +Inf-adjacent large bounds must
+            // all contain the observation.
+            assert_eq!(r.buckets[PHASE_BUCKETS.len() - 1], 1);
+        });
+    }
+
+    #[test]
+    fn profile_table_reports_coverage() {
+        with_sink(|| {
+            {
+                let _a = Span::enter("alpha");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let table = profile_table(Duration::from_millis(10));
+            assert!(table.contains("alpha"), "{table}");
+            assert!(table.contains("profile-total:"), "{table}");
+            assert!(table.contains("wall=0.0100s"), "{table}");
+        });
+    }
+
+    #[test]
+    fn flight_ring_keeps_most_recent() {
+        with_sink(|| {
+            let base = flight_total();
+            for i in 0..(FLIGHT_CAPACITY as u64 + 10) {
+                flight_record(FlightKind::Shed, "overflow", i, 0);
+            }
+            let events = flight_snapshot();
+            assert_eq!(events.len(), FLIGHT_CAPACITY);
+            // Oldest surviving record is the 11th written in this test
+            // (the ticket counter is global and never resets).
+            assert_eq!(events.first().unwrap().seq, base + 11);
+            assert_eq!(events.last().unwrap().a, FLIGHT_CAPACITY as u64 + 9);
+            // Monotone sequence, no duplicates.
+            for w in events.windows(2) {
+                assert!(w[0].seq < w[1].seq);
+            }
+        });
+    }
+
+    #[test]
+    fn flight_dump_is_valid_json() {
+        with_sink(|| {
+            flight_record(FlightKind::CacheEvict, "schedule", 3, 0);
+            {
+                let _s = Span::enter("dumped");
+            }
+            let dump = flight_dump_json();
+            let v = crate::json::JsonValue::parse(&dump).expect("dump parses");
+            let events = v.get("events").and_then(|e| e.as_array()).unwrap();
+            assert!(!events.is_empty());
+            assert!(v.get("capacity").and_then(|c| c.as_u64()).unwrap() == FLIGHT_CAPACITY as u64);
+            let kinds: Vec<_> = events
+                .iter()
+                .filter_map(|e| e.get("kind").and_then(|k| k.as_str()))
+                .collect();
+            assert!(kinds.contains(&"cache_evict"), "{kinds:?}");
+            assert!(kinds.contains(&"span_begin"), "{kinds:?}");
+            assert!(kinds.contains(&"span_end"), "{kinds:?}");
+        });
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        with_sink(|| {
+            {
+                let _s = Span::enter("render_me");
+            }
+            let mut out = String::new();
+            render_prometheus(&mut out);
+            assert!(out.contains("# TYPE cesim_phase_seconds histogram"));
+            assert!(out.contains("cesim_phase_seconds_bucket{phase=\"render_me\",le=\"+Inf\"} 1"));
+            assert!(out.contains("cesim_phase_seconds_count{phase=\"render_me\"} 1"));
+        });
+    }
+
+    #[test]
+    fn concurrent_flight_writers_never_tear_the_snapshot() {
+        with_sink(|| {
+            let threads: Vec<_> = (0..4)
+                .map(|t| {
+                    std::thread::spawn(move || {
+                        for i in 0..2000u64 {
+                            flight_record(FlightKind::WindowAdvance, "stress", t * 10_000 + i, i);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            let events = flight_snapshot();
+            assert!(!events.is_empty());
+            for w in events.windows(2) {
+                assert!(w[0].seq < w[1].seq, "duplicate or unsorted seq");
+            }
+        });
+    }
+}

@@ -16,8 +16,14 @@
 //!   [`cesim_core::service::SweepRequest`].
 //! * `GET /healthz` — liveness.
 //! * `GET /metrics` — Prometheus text: per-endpoint request counters
-//!   and latency histograms, queue depth, shed/panic counters, and the
-//!   schedule-/response-cache hit counters.
+//!   and latency histograms, queue depth, shed/panic counters, the
+//!   schedule-/response-cache hit counters, build/uptime/worker
+//!   gauges, live shard-engine counters, and span-profiler phase
+//!   histograms (validated in-repo by [`promcheck`]).
+//! * `GET /v1/debug/flightrec` — JSON dump of the in-memory flight
+//!   recorder (recent spans, window advances, sheds, panics, cache
+//!   evictions). The same dump goes to stderr on `SIGUSR1` and on a
+//!   worker panic.
 //!
 //! ## Operational properties
 //!
@@ -41,8 +47,10 @@
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod promcheck;
 pub mod signal;
 
+use cesim_core::obs::telemetry::{self, FlightKind};
 use cesim_core::service::{
     handle_simulate, handle_sweep, ServiceError, ServiceState, SimulateRequest, SweepRequest,
 };
@@ -81,6 +89,9 @@ pub struct ServeConfig {
     /// Expose `/v1/test/sleep` and `/v1/test/panic` (integration tests
     /// only — never enabled by the CLI).
     pub enable_test_endpoints: bool,
+    /// Emit one structured access-log line per request to stderr
+    /// (`--log-requests` on the CLI).
+    pub log_requests: bool,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +106,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             max_body_bytes: 1 << 20,
             enable_test_endpoints: false,
+            log_requests: false,
         }
     }
 }
@@ -120,6 +132,11 @@ pub struct Server {
 impl Server {
     /// Bind and start serving in background threads.
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        // The daemon is long-lived and observability is its contract:
+        // spans, phase histograms, and the flight recorder are always on.
+        telemetry::set_enabled(true);
+        telemetry::install_engine_hook();
+        telemetry::install_panic_hook();
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
@@ -131,6 +148,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             cfg,
         });
+        shared.metrics.set_workers(workers);
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -183,6 +201,11 @@ pub fn run(cfg: ServeConfig) -> std::io::Result<()> {
     let server = Server::bind(cfg)?;
     eprintln!("cesim-serve: listening on {}", server.addr());
     while !signal::triggered() {
+        if signal::usr1_taken() {
+            // Operator asked for a flight-recorder dump (kill -USR1).
+            telemetry::flight_record(FlightKind::Signal, "SIGUSR1", 0, 0);
+            eprintln!("cesim-flightrec: {}", telemetry::flight_dump_json());
+        }
         thread::sleep(Duration::from_millis(100));
     }
     eprintln!("cesim-serve: draining and shutting down");
@@ -216,8 +239,10 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         }
         let mut q = shared.queue.lock().expect("accept queue lock");
         if q.len() >= shared.cfg.queue_depth {
+            let depth = q.len();
             drop(q);
             shared.metrics.shed();
+            telemetry::flight_record(FlightKind::Shed, "queue_full", depth as u64, 0);
             let mut resp = Response::error(429, "queue full; retry later");
             resp.extra_headers.push(("retry-after", "1".into()));
             let _ = http::write_response(&mut stream, &resp);
@@ -246,7 +271,9 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(mut stream) = stream else { return };
+        shared.metrics.worker_busy();
         handle_connection(shared, &mut stream);
+        shared.metrics.worker_idle();
     }
 }
 
@@ -258,10 +285,30 @@ fn endpoint_label(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/v1/simulate" => "/v1/simulate",
         "/v1/sweep" => "/v1/sweep",
+        "/v1/debug/flightrec" => "/v1/debug/flightrec",
         "/v1/test/sleep" => "/v1/test/sleep",
         "/v1/test/panic" => "/v1/test/panic",
         _ => "other",
     }
+}
+
+thread_local! {
+    /// Whether the current request was answered from the full-response
+    /// cache (`None` for endpoints that never consult it). Written by
+    /// [`handle_api`], consumed by the access log in
+    /// [`handle_connection`].
+    static CACHE_OUTCOME: std::cell::Cell<Option<bool>> = const { std::cell::Cell::new(None) };
+}
+
+/// One structured access-log line (stable `key=value` format, greppable
+/// and field-splittable; enabled by [`ServeConfig::log_requests`]).
+fn access_log_line(method: &str, path: &str, status: u16, us: u64, cache: Option<bool>) -> String {
+    let cache = match cache {
+        Some(true) => "hit",
+        Some(false) => "miss",
+        None => "-",
+    };
+    format!("access method={method} path={path} status={status} us={us} cache={cache}")
 }
 
 fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
@@ -287,25 +334,40 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
         }
     };
     let endpoint = endpoint_label(&req.path);
+    CACHE_OUTCOME.with(|c| c.set(None));
     // Panic isolation boundary: a panicking handler (a bug, or the
     // test-only panic endpoint) becomes a 500 and the worker survives.
     let resp = match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
         Ok(resp) => resp,
         Err(_) => {
             shared.metrics.panicked();
+            telemetry::flight_record(FlightKind::Panic, endpoint, 0, 0);
             Response::error(500, "request handler panicked")
         }
     };
     let _ = http::write_response(stream, &resp);
-    shared
-        .metrics
-        .observe(endpoint, resp.status, start.elapsed());
+    let elapsed = start.elapsed();
+    if shared.cfg.log_requests {
+        let cache = CACHE_OUTCOME.with(std::cell::Cell::get);
+        eprintln!(
+            "{}",
+            access_log_line(
+                &req.method,
+                endpoint,
+                resp.status,
+                elapsed.as_micros() as u64,
+                cache
+            )
+        );
+    }
+    shared.metrics.observe(endpoint, resp.status, elapsed);
 }
 
 fn route(shared: &Shared, req: &http::Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/metrics") => Response::text(200, shared.metrics.render(&shared.state)),
+        ("GET", "/v1/debug/flightrec") => Response::json(200, telemetry::flight_dump_json()),
         ("POST", "/v1/simulate") => handle_api(shared, "/v1/simulate", &req.body, |v| {
             SimulateRequest::from_json(v).and_then(|r| handle_simulate(&shared.state, &r))
         }),
@@ -316,7 +378,9 @@ fn route(shared: &Shared, req: &http::Request) -> Response {
         ("POST", "/v1/test/panic") if shared.cfg.enable_test_endpoints => {
             panic!("test endpoint requested a panic")
         }
-        (_, "/healthz" | "/metrics") => Response::error(405, "method not allowed"),
+        (_, "/healthz" | "/metrics" | "/v1/debug/flightrec") => {
+            Response::error(405, "method not allowed")
+        }
         (_, "/v1/simulate" | "/v1/sweep") => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -333,20 +397,36 @@ fn handle_api(
     body: &[u8],
     dispatch: impl FnOnce(&JsonValue) -> Result<JsonValue, ServiceError>,
 ) -> Response {
-    let text = match std::str::from_utf8(body) {
-        Ok(t) => t,
-        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    let value = {
+        let _s = telemetry::Span::enter("parse");
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+        };
+        match JsonValue::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+        }
     };
-    let value = match JsonValue::parse(text) {
-        Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    let hit = {
+        let _s = telemetry::Span::enter("cache_lookup");
+        let key = format!("{path} {}", value.to_json());
+        match shared.state.responses.get(&key) {
+            Some(body) => Ok(body),
+            None => Err(key),
+        }
     };
-    let key = format!("{path} {}", value.to_json());
-    if let Some(hit) = shared.state.responses.get(&key) {
-        return Response::json(200, hit.as_str());
-    }
+    let key = match hit {
+        Ok(body) => {
+            CACHE_OUTCOME.with(|c| c.set(Some(true)));
+            return Response::json(200, body.as_str());
+        }
+        Err(key) => key,
+    };
+    CACHE_OUTCOME.with(|c| c.set(Some(false)));
     match dispatch(&value) {
         Ok(json) => {
+            let _s = telemetry::Span::enter("serialize");
             let rendered = Arc::new(json.to_json());
             shared.state.responses.put(key, Arc::clone(&rendered));
             Response::json(200, rendered.as_str())
@@ -370,5 +450,26 @@ fn test_sleep(body: &[u8]) -> Response {
             Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
         }
         _ => Response::error(400, "body must be {\"ms\": 0..=10000}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::access_log_line;
+
+    #[test]
+    fn access_log_line_is_stable_and_greppable() {
+        assert_eq!(
+            access_log_line("POST", "/v1/simulate", 200, 532, Some(true)),
+            "access method=POST path=/v1/simulate status=200 us=532 cache=hit"
+        );
+        assert_eq!(
+            access_log_line("POST", "/v1/sweep", 200, 88_000, Some(false)),
+            "access method=POST path=/v1/sweep status=200 us=88000 cache=miss"
+        );
+        assert_eq!(
+            access_log_line("GET", "/healthz", 405, 12, None),
+            "access method=GET path=/healthz status=405 us=12 cache=-"
+        );
     }
 }

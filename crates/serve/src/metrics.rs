@@ -11,7 +11,7 @@ use cesim_core::service::ServiceState;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Histogram bucket upper bounds, in seconds (a `+Inf` bucket is
 /// implicit). Spans sub-millisecond cache hits to multi-second sweeps.
@@ -39,6 +39,9 @@ pub struct Metrics {
     queue_depth: AtomicUsize,
     shed: AtomicU64,
     panics: AtomicU64,
+    started: Instant,
+    workers: AtomicUsize,
+    busy_workers: AtomicUsize,
 }
 
 impl Default for Metrics {
@@ -55,6 +58,9 @@ impl Metrics {
             queue_depth: AtomicUsize::new(0),
             shed: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            started: Instant::now(),
+            workers: AtomicUsize::new(0),
+            busy_workers: AtomicUsize::new(0),
         }
     }
 
@@ -96,6 +102,21 @@ impl Metrics {
     /// Publish the current accept-queue depth.
     pub fn set_queue_depth(&self, depth: usize) {
         self.queue_depth.store(depth, Relaxed);
+    }
+
+    /// Publish the configured worker count (once, at startup).
+    pub fn set_workers(&self, n: usize) {
+        self.workers.store(n, Relaxed);
+    }
+
+    /// A worker picked up a connection.
+    pub fn worker_busy(&self) {
+        self.busy_workers.fetch_add(1, Relaxed);
+    }
+
+    /// A worker finished its connection.
+    pub fn worker_idle(&self) {
+        self.busy_workers.fetch_sub(1, Relaxed);
     }
 
     /// Render the Prometheus text exposition, folding in the cache
@@ -182,6 +203,70 @@ impl Metrics {
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
             ));
         }
+
+        out.push_str("# HELP cesim_build_info Build metadata; value is always 1.\n");
+        out.push_str("# TYPE cesim_build_info gauge\n");
+        out.push_str(&format!(
+            "cesim_build_info{{version=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        ));
+
+        out.push_str("# HELP cesim_uptime_seconds Seconds since the daemon started.\n");
+        out.push_str("# TYPE cesim_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "cesim_uptime_seconds {:.3}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+
+        out.push_str("# HELP cesim_workers Configured request-worker threads.\n");
+        out.push_str("# TYPE cesim_workers gauge\n");
+        out.push_str(&format!("cesim_workers {}\n", self.workers.load(Relaxed)));
+
+        out.push_str("# HELP cesim_workers_busy Workers currently handling a connection.\n");
+        out.push_str("# TYPE cesim_workers_busy gauge\n");
+        out.push_str(&format!(
+            "cesim_workers_busy {}\n",
+            self.busy_workers.load(Relaxed)
+        ));
+
+        // Live shard-engine counters: process-wide, so in-flight sharded
+        // simulations are visible between scrapes of the request metrics.
+        let g = cesim_core::engine::shard_globals();
+        out.push_str("# HELP cesim_shard_runs_active Sharded simulations currently in flight.\n");
+        out.push_str("# TYPE cesim_shard_runs_active gauge\n");
+        out.push_str(&format!("cesim_shard_runs_active {}\n", g.runs_active));
+        for (name, help, value) in [
+            (
+                "cesim_shard_runs_total",
+                "Sharded simulations driven since startup.",
+                g.runs_total,
+            ),
+            (
+                "cesim_shard_windows_total",
+                "Lookahead windows advanced by the shard engine.",
+                g.windows,
+            ),
+            (
+                "cesim_shard_events_total",
+                "Events processed by the shard engine.",
+                g.events,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP cesim_shard_sim_seconds_total Simulated seconds advanced by the shard engine.\n",
+        );
+        out.push_str("# TYPE cesim_shard_sim_seconds_total counter\n");
+        out.push_str(&format!(
+            "cesim_shard_sim_seconds_total {:.6}\n",
+            g.sim_ps_advanced as f64 / 1e12
+        ));
+
+        // Span-profiler phase histograms (cesim_phase_seconds).
+        cesim_core::obs::telemetry::render_prometheus(&mut out);
         out
     }
 }
@@ -233,6 +318,39 @@ mod tests {
         let state = ServiceState::new(1, 1);
         m.observe("/v1/sweep", 200, Duration::from_millis(1));
         m.observe("/healthz", 200, Duration::from_millis(1));
-        assert_eq!(m.render(&state), m.render(&state));
+        // Uptime is the one wall-clock-dependent sample; everything else
+        // must render byte-identically.
+        fn strip_uptime(s: &str) -> String {
+            s.lines()
+                .filter(|l| !l.starts_with("cesim_uptime_seconds "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        assert_eq!(
+            strip_uptime(&m.render(&state)),
+            strip_uptime(&m.render(&state))
+        );
+    }
+
+    #[test]
+    fn render_includes_runtime_and_shard_families() {
+        let m = Metrics::new();
+        m.set_workers(7);
+        m.worker_busy();
+        let state = ServiceState::new(1, 1);
+        let text = m.render(&state);
+        assert!(text.contains(&format!(
+            "cesim_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(text.contains("cesim_uptime_seconds "));
+        assert!(text.contains("cesim_workers 7"));
+        assert!(text.contains("cesim_workers_busy 1"));
+        assert!(text.contains("cesim_shard_runs_active "));
+        assert!(text.contains("cesim_shard_windows_total "));
+        assert!(text.contains("cesim_shard_events_total "));
+        assert!(text.contains("cesim_shard_sim_seconds_total "));
+        m.worker_idle();
+        assert!(m.render(&state).contains("cesim_workers_busy 0"));
     }
 }

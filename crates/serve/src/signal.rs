@@ -1,14 +1,17 @@
-//! SIGINT/SIGTERM → shutdown flag, without external crates.
+//! SIGINT/SIGTERM → shutdown flag, SIGUSR1 → flight-recorder dump
+//! flag, without external crates.
 //!
-//! The daemon needs exactly one bit from the OS: "a termination signal
-//! arrived". `libc` is already linked by `std`, so a two-line `extern`
-//! declaration of `signal(2)` is enough — the handler only stores to a
-//! `static AtomicU64` (async-signal-safe) and the serve loop polls the
-//! flag. This is the sole unsafe code in the crate.
+//! The daemon needs exactly two bits from the OS: "a termination
+//! signal arrived" and "an operator asked for a flight-recorder dump".
+//! `libc` is already linked by `std`, so a two-line `extern`
+//! declaration of `signal(2)` is enough — the handlers only store to
+//! `static AtomicBool`s (async-signal-safe) and the serve loop polls
+//! the flags. This is the sole unsafe code in the crate.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SIGNALED: AtomicBool = AtomicBool::new(false);
+static USR1: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod sys {
@@ -16,6 +19,10 @@ mod sys {
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const SIGUSR1: i32 = 10;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const SIGUSR1: i32 = 30;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -25,13 +32,19 @@ mod sys {
         super::SIGNALED.store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_usr1(_signum: i32) {
+        super::USR1.store(true, Ordering::SeqCst);
+    }
+
     pub fn install() {
-        // SAFETY: `signal(2)` with a handler that only performs an
+        // SAFETY: `signal(2)` with handlers that only perform an
         // atomic store — async-signal-safe per POSIX.
         let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        let usr1 = on_usr1 as extern "C" fn(i32) as *const () as usize;
         unsafe {
             signal(SIGINT, handler);
             signal(SIGTERM, handler);
+            signal(SIGUSR1, usr1);
         }
     }
 }
@@ -43,7 +56,7 @@ mod sys {
     }
 }
 
-/// Install the SIGINT/SIGTERM handlers. Idempotent.
+/// Install the SIGINT/SIGTERM/SIGUSR1 handlers. Idempotent.
 pub fn install() {
     sys::install();
 }
@@ -53,8 +66,15 @@ pub fn triggered() -> bool {
     SIGNALED.load(Ordering::SeqCst)
 }
 
-/// Reset the flag (test isolation only).
+/// Consume a pending SIGUSR1 (flight-recorder dump request): returns
+/// `true` at most once per delivered signal.
+pub fn usr1_taken() -> bool {
+    USR1.swap(false, Ordering::SeqCst)
+}
+
+/// Reset the flags (test isolation only).
 #[doc(hidden)]
 pub fn reset() {
     SIGNALED.store(false, Ordering::SeqCst);
+    USR1.store(false, Ordering::SeqCst);
 }

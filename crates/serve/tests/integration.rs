@@ -342,3 +342,74 @@ fn metrics_shape_covers_endpoints_and_caches() {
     }
     server.shutdown();
 }
+
+#[test]
+fn scrape_is_valid_prometheus_and_flightrec_dumps() {
+    // The full observability loop over real sockets: a sharded simulate
+    // populates phase spans and shard counters, the whole scrape body
+    // passes the in-repo exposition validator, and the flight recorder
+    // serves recent structured events as JSON.
+    let server = Server::bind(test_config()).unwrap();
+    let addr = server.addr();
+    let resp = client::post(
+        addr,
+        "/v1/simulate",
+        r#"{"app":"HPCG","nodes":8,"reps":1,"steps":2,"shards":2}"#,
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+
+    let scrape = client::get(addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(scrape.status, 200);
+    let stats = cesim_serve::promcheck::validate_prometheus(&scrape.body)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{}", scrape.body));
+    assert!(
+        stats.histograms >= 2,
+        "latency + phase histograms: {stats:?}"
+    );
+    for needle in [
+        "cesim_build_info{version=",
+        "cesim_uptime_seconds ",
+        "cesim_workers 4",
+        "cesim_shard_runs_total",
+        "cesim_phase_seconds_bucket{phase=\"parse\"",
+        "cesim_phase_seconds_bucket{phase=\"run\"",
+    ] {
+        assert!(
+            scrape.body.contains(needle),
+            "missing {needle:?} in:\n{}",
+            scrape.body
+        );
+    }
+
+    let dump = client::get(addr, "/v1/debug/flightrec", TIMEOUT).unwrap();
+    assert_eq!(dump.status, 200);
+    let v = cesim_json::JsonValue::parse(&dump.body).expect("flightrec dump is valid JSON");
+    assert!(
+        v.get("total")
+            .and_then(cesim_json::JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    let events = v
+        .get("events")
+        .and_then(cesim_json::JsonValue::as_array)
+        .unwrap();
+    assert!(!events.is_empty(), "flight ring must hold recent events");
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(cesim_json::JsonValue::as_str))
+        .collect();
+    assert!(
+        kinds.contains(&"span_begin") && kinds.contains(&"span_end"),
+        "expected span events in flight dump, got kinds {kinds:?}"
+    );
+    assert_eq!(
+        client::post(addr, "/v1/debug/flightrec", "{}", TIMEOUT)
+            .unwrap()
+            .status,
+        405
+    );
+    server.shutdown();
+}
