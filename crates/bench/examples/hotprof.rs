@@ -1,0 +1,129 @@
+//! Quick hot-path profiler for the serial engine — a development tool,
+//! not a benchmark of record (`benches/compile.rs` is that).
+//!
+//! Runs the replica-sweep workload three ways and prints per-event
+//! costs, which is enough to attribute a regression to the queue, the
+//! dispatch path, or the noise model without external profilers:
+//!
+//! * `ce-noise`  — the full bench configuration (CE detours enabled).
+//! * `no-noise`  — same schedule under `NoNoise`; the delta to the line
+//!   above is what noise desynchronization costs (smaller same-time
+//!   batches), not the noise model itself.
+//! * `queue-only` — replays a comparable push/pop volume against
+//!   `EventQueue` directly with the real key pattern (per-rank monotone
+//!   `cseq`, clustered timestamps), isolating queue cost from dispatch.
+//!
+//! Usage: `cargo build --release -p cesim-bench --example hotprof` and
+//! A/B the binary against a stashed baseline build; single runs on a
+//! noisy host swing ±10%, so interleave several rounds.
+
+use cesim_core::engine::queue::{EvKey, EventQueue};
+use cesim_core::engine::{simulate_compiled, CompiledSchedule, NoNoise};
+use cesim_core::goal::builder::TagPool;
+use cesim_core::goal::collectives::{allreduce_recursive_doubling, CollectiveCosts};
+use cesim_core::goal::{Rank, ScheduleBuilder};
+use cesim_core::model::{LogGopsParams, Span, Time};
+use cesim_core::noise::{CeNoise, Scope};
+use std::time::Instant;
+
+fn main() {
+    let n = 256;
+    let rounds = 24;
+    let mut b = ScheduleBuilder::new(n);
+    let mut tags = TagPool::new();
+    let mut cur: Vec<_> = (0..n).map(|r| b.join(Rank::from(r), &[])).collect();
+    for _ in 0..rounds {
+        cur = allreduce_recursive_doubling(&mut b, &mut tags, 8, &CollectiveCosts::default(), &cur);
+    }
+    let sched = b.build();
+    let cs = CompiledSchedule::compile(&sched);
+    let mk = |seed| {
+        CeNoise::new(
+            n,
+            Span::from_ms(50),
+            Span::from_us(200),
+            Scope::AllRanks,
+            seed,
+        )
+    };
+    // Warm-up: populate scratch/caches outside the timed regions.
+    simulate_compiled(&cs, &LogGopsParams::xc40(), &mut mk(u64::MAX)).unwrap();
+    let reps = 24u64;
+
+    let t0 = Instant::now();
+    let mut ev = 0u64;
+    for s in 0..reps {
+        let r = simulate_compiled(&cs, &LogGopsParams::xc40(), &mut mk(s)).unwrap();
+        ev += r.events_processed;
+    }
+    let el = t0.elapsed().as_secs_f64();
+    println!(
+        "ce-noise : reps/s {:.2}  ns/event {:.1}",
+        reps as f64 / el,
+        el * 1e9 / ev as f64
+    );
+
+    let t0 = Instant::now();
+    let mut ev2 = 0u64;
+    for _ in 0..reps {
+        let r = simulate_compiled(&cs, &LogGopsParams::xc40(), &mut NoNoise).unwrap();
+        ev2 += r.events_processed;
+    }
+    let el2 = t0.elapsed().as_secs_f64();
+    println!(
+        "no-noise : reps/s {:.2}  ns/event {:.1}",
+        reps as f64 / el2,
+        el2 * 1e9 / ev2 as f64
+    );
+
+    let mut q: EventQueue<(u32, u32)> = EventQueue::new();
+    let per_rep: usize = 246_016;
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let mut seq = vec![0u32; n];
+        let mut pushed = 0usize;
+        // Seed one event per rank, then let each popped event create one
+        // future event on the same rank until the volume target is hit.
+        for (r, s) in seq.iter_mut().enumerate() {
+            let key = EvKey {
+                crank: r as u32,
+                cseq: *s,
+            };
+            q.push(Time::from_ps(0), key, (r as u32, 0));
+            *s += 1;
+            pushed += 1;
+        }
+        while pushed < per_rep || !q.is_empty() {
+            q.pop_batch(&mut out);
+            for &(t, k, _) in out.iter() {
+                let now = t.as_ps();
+                let r = k.crank as usize;
+                if pushed < per_rep {
+                    let key = EvKey {
+                        crank: r as u32,
+                        cseq: seq[r],
+                    };
+                    q.push(
+                        Time::from_ps(now + 1000 + (pushed as u64 % 7) * 250),
+                        key,
+                        (r as u32, 1),
+                    );
+                    seq[r] += 1;
+                    pushed += 1;
+                }
+                sink = sink.wrapping_add(now);
+            }
+            if out.is_empty() {
+                break;
+            }
+        }
+        q.clear();
+    }
+    let el3 = t0.elapsed().as_secs_f64();
+    println!(
+        "queue-only: ns/event {:.1}  (sink {sink})",
+        el3 * 1e9 / (per_rep as f64 * reps as f64)
+    );
+}

@@ -67,7 +67,8 @@ SCALE OPTIONS (fig3..fig7)
                     execution order
   --shards N        Split each simulation's event loop across N
                     rank-partitioned shards advanced in lookahead windows
-                    [default 1 = serial engine]. Output is byte-identical
+                    [default 1 = serial engine], or 'auto' to pick N from
+                    the rank scale and host CPUs. Output is byte-identical
                     for every value; the sweep thread budget is divided by
                     N so cells x shards never oversubscribes the host
   --csv FILE        Also write the figure's cells as CSV
@@ -120,7 +121,8 @@ RUN OPTIONS (cesim run)
   --single-node     Inject CEs on one rank only (Fig. 3 style)
   --steps N         Override workload step count
   --threads N       Worker threads for the replicas [default 0 = all cores]
-  --shards N        Intra-run event-loop shards [default 1 = serial engine];
+  --shards N        Intra-run event-loop shards [default 1 = serial engine],
+                    or 'auto' to pick N from the rank scale and host CPUs;
                     results are byte-identical for every value
   --progress        With --shards > 1: window-based progress and ETA on
                     stderr while the sharded replicas run
@@ -344,10 +346,7 @@ fn scale_config(args: &Args) -> Result<ScaleConfig, String> {
     cfg.steps_scale = args.get_parsed("steps-scale", cfg.steps_scale)?;
     cfg.seed = args.get_parsed("seed", cfg.seed)?;
     cfg.threads = args.get_parsed("threads", cfg.threads)?;
-    cfg.shards = args.get_parsed("shards", cfg.shards)?;
-    if cfg.shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
+    cfg.shards = parse_shards(args, cfg.shards, cfg.nodes)?;
     if args.has_flag("exact-rate") {
         cfg.preserve_machine_rate = false;
     }
@@ -823,6 +822,26 @@ fn cmd_ablate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--shards`: a positive integer, or the literal `auto`, which
+/// picks a shard count from the rank scale and host parallelism via
+/// [`cesim_core::engine::auto_shards`]. `nranks` is the (approximate)
+/// rank count the simulations will run at.
+fn parse_shards(args: &Args, default: usize, nranks: usize) -> Result<usize, String> {
+    match args.get("shards") {
+        None => Ok(default),
+        Some("auto") => Ok(cesim_core::engine::auto_shards(nranks)),
+        Some(s) => {
+            let n: usize = s.parse().map_err(|_| {
+                format!("invalid --shards '{s}' (expected a positive integer or 'auto')")
+            })?;
+            if n == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            Ok(n)
+        }
+    }
+}
+
 fn parse_mode(s: &str) -> Result<LoggingMode, String> {
     match s {
         "hw" => Ok(LoggingMode::HardwareOnly),
@@ -855,10 +874,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mtbce = cesim_core::model::parse_span(args.get("mtbce").unwrap_or("5544"))?;
     let reps = args.get_parsed("reps", 3u32)?;
     let seed = args.get_parsed("seed", 0xCE11u64)?;
-    let shards = args.get_parsed("shards", 1usize)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
+    let shards = parse_shards(args, 1, natural_ranks(app, nodes))?;
     let profile = args.has_flag("profile");
     let shard_health = args.has_flag("shard-health");
     if profile {

@@ -28,6 +28,10 @@
 
 use cesim_goal::{OpKind, Rank, Schedule, Tag};
 use cesim_model::Span;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique compile counter backing [`CompiledSchedule::uid`].
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
 
 /// Operation class of a compiled op: the discriminant of [`OpKind`],
 /// with the payload split into the parallel arrays of
@@ -55,6 +59,11 @@ pub(crate) const ANY_SOURCE: u32 = u32::MAX;
 /// scale. Run it with [`crate::simulate_compiled`] (pooled per-thread
 /// scratch) or [`crate::Simulator::from_compiled`].
 pub struct CompiledSchedule {
+    /// Process-unique id of this compilation, used by
+    /// [`crate::RunScratch`] to stamp (and cache) per-schedule dispatch
+    /// plans across replica resets. Never reused within a process, so a
+    /// stamp match guarantees the plan was built for this very table.
+    pub(crate) uid: u64,
     /// `rank_off[r]..rank_off[r + 1]` is rank `r`'s slice of the flat op
     /// index space; `flat = rank_off[rank] + op`.
     pub(crate) rank_off: Vec<u32>,
@@ -159,6 +168,7 @@ impl CompiledSchedule {
         }
 
         CompiledSchedule {
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
             rank_off,
             class,
             dur,

@@ -45,9 +45,10 @@ pub use noise::{NoNoise, NoiseModel};
 pub use record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent, VecRecorder};
 pub use result::{SimError, SimResult};
 pub use shard::{
-    set_window_hook, shard_globals, simulate_compiled_sharded, simulate_compiled_sharded_observed,
-    simulate_sharded_recorded, simulate_sharded_recorded_observed, ShardGlobals, ShardHealth,
-    ShardHealthReport, ShardMode, ShardTelemetry, WindowHook,
+    auto_shards, set_window_hook, shard_globals, simulate_compiled_sharded,
+    simulate_compiled_sharded_observed, simulate_sharded_recorded,
+    simulate_sharded_recorded_observed, ShardGlobals, ShardHealth, ShardHealthReport, ShardMode,
+    ShardTelemetry, WindowHook,
 };
 pub use sim::{simulate, simulate_compiled, simulate_compiled_with, RunScratch, Simulator};
 pub use topology::{Dragonfly, FatTree, FlatCrossbar, Topology, Torus3D};

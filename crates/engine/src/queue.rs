@@ -1,9 +1,9 @@
 //! The central event queue.
 //!
-//! A binary min-heap ordered by `(time, creator rank, creator sequence)`.
-//! The key is **content-computable**: it is derived from *which rank
-//! created the event and how many events that rank had created before*,
-//! never from global insertion order. Two consequences:
+//! A deterministic time-ordered queue over `(time, creator rank, creator
+//! sequence)`. The key is **content-computable**: it is derived from
+//! *which rank created the event and how many events that rank had
+//! created before*, never from global insertion order. Two consequences:
 //!
 //! * ties are still broken deterministically (keys are unique: a rank's
 //!   sequence numbers are monotone), so whole-simulation results stay
@@ -12,75 +12,123 @@
 //!   which queue instance they pass through — the property the sharded
 //!   engine ([`crate::shard`]) relies on to merge per-shard streams
 //!   byte-identically with the serial engine.
+//!
+//! # Layout: wavefront buckets, not a heap
+//!
+//! Lockstep collectives make the event population *wave-shaped*: at any
+//! instant the queue holds a handful of distinct timestamps, each shared
+//! by a large same-time run (hundreds of events — one per rank of the
+//! current wavefront). A comparison heap pays `O(log n)` sift work per
+//! event to maintain a total order it never needs: events are consumed
+//! one whole timestamp at a time.
+//!
+//! So the queue buckets events by timestamp instead:
+//!
+//! * **Waves** — a short `Vec` of `(time, bucket)` pairs, sorted by
+//!   time, one per distinct *future* timestamp. A push appends to its
+//!   wave's bucket unordered in O(1) (plus a binary search over the
+//!   handful of live times); each bucket memoizes its minimum key so
+//!   peeking never scans.
+//! * **The active run** — when the earliest wave is first *popped from*,
+//!   its bucket is sorted once by the `(crank, cseq)` tie-break (a
+//!   contiguous `u64` sort, unique keys, so the order is deterministic)
+//!   and pops become cursor increments.
+//! * **The side heap** — events pushed *at* the active timestamp while
+//!   it is being drained (a completing op readying a dependent at the
+//!   same instant) go to a small binary min-heap that the pop path
+//!   merges with the run head. It stays tiny: such events are consumed
+//!   almost immediately by the dispatch loop's ordered merge.
+//!
+//! Pop order is exactly ascending `(time, crank, cseq)` — identical to
+//! the heap this replaces, which `proptests` below and the engine's
+//! equivalence suites verify. Pushing a timestamp *below* the active one
+//! (impossible in engine use, where pushes are causal, but legal API)
+//! takes a slow path that demotes the active run back to a wave.
 
 use cesim_model::Time;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Content-computable tie-break key: the rank that created the event and
 /// that rank's private event-creation counter. Combined with the
 /// timestamp this identifies an event uniquely, independent of which
-/// heap (or how many heaps) it travels through.
+/// queue (or how many queues) it travels through.
+///
+/// `cseq` is 32-bit so the whole tie-break packs into a single `u64`
+/// (`crank << 32 | cseq`); a rank would need to create 4 billion events
+/// in one run to wrap, orders of magnitude beyond any schedule here
+/// (overflow is checked in debug builds at the increment site).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct EvKey {
     /// Rank on which the event was created (the rank whose processing
     /// pushed it; for the initial wavefront, the root op's own rank).
     pub crank: u32,
     /// That rank's monotone creation counter at push time.
-    pub cseq: u64,
+    pub cseq: u32,
 }
 
-/// A scheduled event of type `E`.
-struct Entry<E> {
-    time: Time,
-    key: EvKey,
-    event: E,
+/// Pack the tie-break into an order-preserving `u64`.
+#[inline(always)]
+fn pack_key(key: EvKey) -> u64 {
+    ((key.crank as u64) << 32) | key.cseq as u64
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.key.cmp(&self.key))
+/// Inverse of [`pack_key`].
+#[inline(always)]
+fn unpack_key(k: u64) -> EvKey {
+    EvKey {
+        crank: (k >> 32) as u32,
+        cseq: k as u32,
     }
 }
 
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// One future timestamp's unordered event bucket.
+struct Wave<E> {
+    /// Timestamp shared by every entry (ps).
+    t: u64,
+    /// Minimum packed key in `events`, memoized on push so
+    /// [`EventQueue::peek_min`] is O(1) without sorting.
+    min: u64,
+    /// `(packed key, payload)` in arrival order; sorted only when this
+    /// wave becomes the active run.
+    events: Vec<(u64, E)>,
 }
 
-/// Deterministic time-ordered event queue.
+/// Deterministic time-ordered event queue (see module docs for the
+/// wavefront-bucket layout).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Future timestamps, ascending, all strictly above `active_t` when
+    /// a run is active. Never contains an empty bucket.
+    waves: Vec<Wave<E>>,
+    /// The timestamp currently being drained (valid when `active`).
+    active_t: u64,
+    active: bool,
+    /// The active timestamp's events, sorted by packed key; consumed by
+    /// advancing `cursor`.
+    run: Vec<(u64, E)>,
+    cursor: usize,
+    /// Min-heap of events pushed at `active_t` after activation.
+    side: Vec<(u64, E)>,
+    /// Retired bucket backings, kept for reuse — steady-state replicas
+    /// allocate nothing.
+    spare: Vec<Vec<(u64, E)>>,
+    len: usize,
     pushed: u64,
 }
 
-impl<E> EventQueue<E> {
+// `E: Copy` is deliberate: event payloads are small index-like values
+// (the arena reduced them to `Copy` refs), which keeps bucket sorting
+// and the side heap's hole-style sifts to single moves of 16-byte pairs.
+impl<E: Copy> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            pushed: 0,
-        }
+        Self::default()
     }
 
-    /// An empty queue with pre-reserved capacity.
+    /// An empty queue with pre-reserved capacity (for the active run;
+    /// wave buckets grow to their own high-water marks on first use).
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            pushed: 0,
-        }
+        let mut q = Self::default();
+        q.run.reserve(cap);
+        q
     }
 
     /// Schedule `event` at `time` under the tie-break `key`.
@@ -90,60 +138,245 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn push(&mut self, time: Time, key: EvKey, event: E) {
         self.pushed += 1;
-        self.heap.push(Entry { time, key, event });
+        self.len += 1;
+        let t = time.as_ps();
+        let k = pack_key(key);
+        if self.active {
+            if t == self.active_t {
+                // Same-instant push while draining: the dispatch loop
+                // will consume it almost immediately — keep it in the
+                // small merge heap instead of disturbing any bucket.
+                side_push(&mut self.side, (k, event));
+                return;
+            }
+            if t < self.active_t {
+                // Legal API, unreachable from the engine (pushes are
+                // causal: never earlier than the time being dispatched).
+                self.demote_active();
+            }
+        }
+        self.wave_push(t, k, event);
     }
 
-    /// Bulk-schedule `events` in one O(n) heapify instead of n·O(log n)
-    /// pushes — the fast path for seeding the initial ready wavefront.
-    ///
-    /// Keys are explicit and unique, so the pop order is **identical**
-    /// to the push-one-at-a-time path (a heap's pop order is fully
-    /// determined by its comparator once keys are distinct).
-    pub fn seed(&mut self, events: impl IntoIterator<Item = (Time, EvKey, E)>) {
-        // Reuse the heap's existing buffer: take it apart, extend, and
-        // rebuild. `BinaryHeap::from(Vec)` is the linear-time heapify.
-        let mut entries = std::mem::take(&mut self.heap).into_vec();
-        for (time, key, event) in events {
-            self.pushed += 1;
-            entries.push(Entry { time, key, event });
+    /// File `(k, event)` under the wave for `t`, creating it in sorted
+    /// position if absent. The wave list holds one entry per distinct
+    /// live future timestamp — single digits in wave-shaped workloads —
+    /// so the binary search and any insertion shuffle are cheap.
+    #[inline]
+    fn wave_push(&mut self, t: u64, k: u64, event: E) {
+        match self.waves.binary_search_by_key(&t, |w| w.t) {
+            Ok(i) => {
+                let w = &mut self.waves[i];
+                w.min = w.min.min(k);
+                w.events.push((k, event));
+            }
+            Err(i) => {
+                let mut events = self.spare.pop().unwrap_or_default();
+                events.push((k, event));
+                self.waves.insert(i, Wave { t, min: k, events });
+            }
         }
-        self.heap = BinaryHeap::from(entries);
+    }
+
+    /// Slow path: push below the active timestamp. Returns the active
+    /// run (and side heap) to a wave bucket so the normal ordering
+    /// machinery re-applies.
+    #[cold]
+    fn demote_active(&mut self) {
+        let mut events = self.spare.pop().unwrap_or_default();
+        events.extend_from_slice(&self.run[self.cursor..]);
+        events.append(&mut self.side);
+        self.run.clear();
+        self.cursor = 0;
+        self.active = false;
+        if events.is_empty() {
+            self.spare.push(events);
+            return;
+        }
+        let min = events.iter().map(|&(k, _)| k).min().expect("non-empty");
+        debug_assert!(self.waves.first().is_none_or(|w| w.t > self.active_t));
+        self.waves.insert(
+            0,
+            Wave {
+                t: self.active_t,
+                min,
+                events,
+            },
+        );
+    }
+
+    /// Make the earliest wave the active run: sort its bucket once by
+    /// the packed tie-break (unique keys, so `sort_unstable` is
+    /// deterministic) and drain it by cursor from then on.
+    fn activate_next(&mut self) -> bool {
+        debug_assert!(self.cursor == self.run.len() && self.side.is_empty());
+        if self.waves.is_empty() {
+            return false;
+        }
+        let wave = self.waves.remove(0);
+        let mut retired = std::mem::replace(&mut self.run, wave.events);
+        retired.clear();
+        self.spare.push(retired);
+        self.run.sort_unstable_by_key(|&(k, _)| k);
+        self.cursor = 0;
+        self.active_t = wave.t;
+        self.active = true;
+        true
+    }
+
+    /// Bulk-schedule `events` — the fast path for seeding the initial
+    /// ready wavefront. Buckets make this plain appends; the per-wave
+    /// sort on activation restores exactly the order one-at-a-time
+    /// pushes would produce (pop order is fully determined by the key
+    /// once keys are distinct).
+    pub fn seed(&mut self, events: impl IntoIterator<Item = (Time, EvKey, E)>) {
+        for (time, key, event) in events {
+            self.push(time, key, event);
+        }
     }
 
     /// Remove and return the earliest event.
     #[inline]
     pub fn pop(&mut self) -> Option<(Time, EvKey, E)> {
-        self.heap.pop().map(|e| (e.time, e.key, e.event))
+        loop {
+            let run_head = self.run.get(self.cursor);
+            let (k, ev) = match (run_head, self.side.first()) {
+                (Some(&r), Some(&s)) => {
+                    if r.0 < s.0 {
+                        self.cursor += 1;
+                        r
+                    } else {
+                        side_pop(&mut self.side)
+                    }
+                }
+                (Some(&r), None) => {
+                    self.cursor += 1;
+                    r
+                }
+                (None, Some(_)) => side_pop(&mut self.side),
+                (None, None) => {
+                    if !self.activate_next() {
+                        return None;
+                    }
+                    continue;
+                }
+            };
+            self.len -= 1;
+            return Some((Time::from_ps(self.active_t), unpack_key(k), ev));
+        }
+    }
+
+    /// Drain every event sharing the minimum timestamp into `out`
+    /// (cleared first), in exactly the order repeated [`EventQueue::pop`]
+    /// calls would yield them. Returns the number drained.
+    ///
+    /// The dispatch loop uses this to amortize per-event work across
+    /// same-timestamp bursts (the common case: a whole wavefront of
+    /// ranks acting at the identical instant). Buckets make it the
+    /// natural operation: the active run *is* the batch.
+    #[inline]
+    pub fn pop_batch(&mut self, out: &mut Vec<(Time, EvKey, E)>) -> usize {
+        out.clear();
+        if self.cursor == self.run.len() && self.side.is_empty() && !self.activate_next() {
+            return 0;
+        }
+        let t = Time::from_ps(self.active_t);
+        if self.side.is_empty() {
+            // Whole-run fast path: the sorted tail is the batch.
+            out.extend(
+                self.run[self.cursor..]
+                    .iter()
+                    .map(|&(k, ev)| (t, unpack_key(k), ev)),
+            );
+            self.cursor = self.run.len();
+            self.len -= out.len();
+        } else {
+            // Rare: leftover same-instant pushes must merge in.
+            while let Some((k, ev)) = self.pop_active() {
+                out.push((t, unpack_key(k), ev));
+                self.len -= 1;
+            }
+        }
+        out.len()
+    }
+
+    /// Pop the next `(key, payload)` of the active timestamp only
+    /// (`None` once the run and side heap are drained).
+    #[inline]
+    fn pop_active(&mut self) -> Option<(u64, E)> {
+        match (self.run.get(self.cursor), self.side.first()) {
+            (Some(&r), Some(&s)) => Some(if r.0 < s.0 {
+                self.cursor += 1;
+                r
+            } else {
+                side_pop(&mut self.side)
+            }),
+            (Some(&r), None) => {
+                self.cursor += 1;
+                Some(r)
+            }
+            (None, Some(_)) => Some(side_pop(&mut self.side)),
+            (None, None) => None,
+        }
     }
 
     /// Timestamp of the earliest event without removing it.
     #[inline]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        if self.cursor < self.run.len() || !self.side.is_empty() {
+            return Some(Time::from_ps(self.active_t));
+        }
+        self.waves.first().map(|w| Time::from_ps(w.t))
     }
 
-    /// Remove all events, retaining the allocated buffer — a cleared
+    /// `(time, key)` of the earliest event without removing it.
+    #[inline]
+    pub fn peek_min(&self) -> Option<(Time, EvKey)> {
+        let run_head = self.run.get(self.cursor).map(|&(k, _)| k);
+        let side_head = self.side.first().map(|&(k, _)| k);
+        let k = match (run_head, side_head) {
+            (Some(r), Some(s)) => r.min(s),
+            (Some(r), None) => r,
+            (None, Some(s)) => s,
+            (None, None) => {
+                // Wave buckets are unsorted but memoize their minimum.
+                let w = self.waves.first()?;
+                return Some((Time::from_ps(w.t), unpack_key(w.min)));
+            }
+        };
+        Some((Time::from_ps(self.active_t), unpack_key(k)))
+    }
+
+    /// Remove all events, retaining the allocated buffers — a cleared
     /// queue behaves exactly like a fresh one without reallocating.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for mut w in self.waves.drain(..) {
+            w.events.clear();
+            self.spare.push(w.events);
+        }
+        self.run.clear();
+        self.side.clear();
+        self.cursor = 0;
+        self.active = false;
+        self.len = 0;
         self.pushed = 0;
     }
 
-    /// Grow the backing buffer to hold at least `additional` more events
-    /// (no-op when capacity is already there — reused queues keep their
-    /// high-water allocation).
+    /// Grow the active-run buffer to hold at least `additional` more
+    /// events (no-op when capacity is already there — reused queues keep
+    /// their high-water allocation).
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.run.reserve(additional);
     }
 
     /// Number of events currently queued.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total events ever pushed (for statistics).
@@ -154,15 +387,68 @@ impl<E> EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue::new()
+        EventQueue {
+            waves: Vec::new(),
+            active_t: 0,
+            active: false,
+            run: Vec::new(),
+            cursor: 0,
+            side: Vec::new(),
+            spare: Vec::new(),
+            len: 0,
+            pushed: 0,
+        }
     }
+}
+
+/// Binary min-heap push for the side buffer (hole-based sift-up).
+#[inline]
+fn side_push<E: Copy>(heap: &mut Vec<(u64, E)>, entry: (u64, E)) {
+    let mut i = heap.len();
+    heap.push(entry);
+    while i > 0 {
+        let p = (i - 1) / 2;
+        if heap[p].0 <= entry.0 {
+            break;
+        }
+        heap[i] = heap[p];
+        i = p;
+    }
+    heap[i] = entry;
+}
+
+/// Binary min-heap pop for the side buffer. Caller ensures non-empty.
+#[inline]
+fn side_pop<E: Copy>(heap: &mut Vec<(u64, E)>) -> (u64, E) {
+    let top = heap[0];
+    let last = heap.pop().expect("side heap non-empty");
+    let n = heap.len();
+    if n > 0 {
+        let mut i = 0;
+        loop {
+            let mut c = 2 * i + 1;
+            if c >= n {
+                break;
+            }
+            if c + 1 < n && heap[c + 1].0 < heap[c].0 {
+                c += 1;
+            }
+            if last.0 <= heap[c].0 {
+                break;
+            }
+            heap[i] = heap[c];
+            i = c;
+        }
+        heap[i] = last;
+    }
+    top
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn k(crank: u32, cseq: u64) -> EvKey {
+    fn k(crank: u32, cseq: u32) -> EvKey {
         EvKey { crank, cseq }
     }
 
@@ -174,12 +460,14 @@ mod tests {
         q.push(Time::from_ps(20), k(0, 2), "b");
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_time(), Some(Time::from_ps(10)));
+        assert_eq!(q.peek_min(), Some((Time::from_ps(10), k(0, 1))));
         assert_eq!(q.pop(), Some((Time::from_ps(10), k(0, 1), "a")));
         assert_eq!(q.pop(), Some((Time::from_ps(20), k(0, 2), "b")));
         assert_eq!(q.pop(), Some((Time::from_ps(30), k(0, 0), "c")));
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+        assert_eq!(q.peek_min(), None);
         assert_eq!(q.total_pushed(), 3);
     }
 
@@ -197,6 +485,28 @@ mod tests {
         assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 7)]);
     }
 
+    /// The packed `u64` tie-break must order exactly like the
+    /// `(crank, cseq)` pair, including at field boundaries.
+    #[test]
+    fn packed_key_orders_like_tuple() {
+        let samples = [
+            k(0, 0),
+            k(0, 1),
+            k(1, 0),
+            k(1, u32::MAX),
+            k(u32::MAX, 0),
+            k(u32::MAX, u32::MAX),
+        ];
+        for &ka in &samples {
+            for &kb in &samples {
+                let tuple = ka.cmp(&kb);
+                let packed = pack_key(ka).cmp(&pack_key(kb));
+                assert_eq!(tuple, packed, "{ka:?} vs {kb:?}");
+                assert_eq!(unpack_key(pack_key(ka)), ka);
+            }
+        }
+    }
+
     /// The pop order of a fixed event set is independent of insertion
     /// order — the property the sharded engine's mailbox drain relies on
     /// (cross-shard events are inserted at window boundaries in whatever
@@ -206,7 +516,7 @@ mod tests {
         let events: Vec<(Time, EvKey, usize)> = (0..200usize)
             .map(|i| {
                 let t = Time::from_ps((i as u64).wrapping_mul(7919) % 50);
-                (t, k((i % 7) as u32, (i / 7) as u64), i)
+                (t, k((i % 7) as u32, (i / 7) as u32), i)
             })
             .collect();
         let mut fwd = EventQueue::new();
@@ -226,7 +536,7 @@ mod tests {
         }
     }
 
-    /// The bulk-heapify path must pop in exactly the order the
+    /// The bulk-seed path must pop in exactly the order the
     /// push-one-at-a-time path would, including ties — many distinct
     /// times collide on purpose here.
     #[test]
@@ -234,7 +544,7 @@ mod tests {
         let items: Vec<(Time, EvKey, usize)> = (0..500usize)
             .map(|i| {
                 let t = Time::from_ps((i as u64).wrapping_mul(7919) % 50);
-                (t, k((i % 3) as u32, (i / 3) as u64), i)
+                (t, k((i % 3) as u32, (i / 3) as u32), i)
             })
             .collect();
         let mut pushed = EventQueue::new();
@@ -292,6 +602,84 @@ mod tests {
         assert_eq!(q.pop().unwrap().2, 2);
         assert_eq!(q.pop().unwrap().2, 1);
     }
+
+    /// Pushing below the drained-but-active timestamp (the demotion slow
+    /// path — unreachable from the engine, legal for the API).
+    #[test]
+    fn push_below_active_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(10), k(0, 0), "b");
+        q.push(Time::from_ps(20), k(0, 1), "d");
+        assert_eq!(q.pop(), Some((Time::from_ps(10), k(0, 0), "b")));
+        // 10 is now the active (exhausted) run; push both below it and
+        // at it, then above it.
+        q.push(Time::from_ps(5), k(0, 2), "a");
+        q.push(Time::from_ps(10), k(0, 3), "c");
+        assert_eq!(q.peek_min(), Some((Time::from_ps(5), k(0, 2))));
+        assert_eq!(q.pop(), Some((Time::from_ps(5), k(0, 2), "a")));
+        assert_eq!(q.pop(), Some((Time::from_ps(10), k(0, 3), "c")));
+        assert_eq!(q.pop(), Some((Time::from_ps(20), k(0, 1), "d")));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Demotion with the active run only partially consumed.
+    #[test]
+    fn push_below_partially_drained_run() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.push(Time::from_ps(10), k(0, i), i);
+        }
+        assert_eq!(q.pop(), Some((Time::from_ps(10), k(0, 0), 0)));
+        // Same-instant push lands in the side heap, then an earlier
+        // push demotes run + side together.
+        q.push(Time::from_ps(10), k(1, 0), 100);
+        q.push(Time::from_ps(3), k(0, 4), 99);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec![99, 1, 2, 3, 100]);
+    }
+
+    /// `pop_batch` drains exactly the leading same-timestamp run, in
+    /// pop order, and leaves the next timestamp intact.
+    #[test]
+    fn pop_batch_drains_one_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(5), k(1, 0), "b");
+        q.push(Time::from_ps(5), k(0, 0), "a");
+        q.push(Time::from_ps(7), k(0, 1), "c");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), 2);
+        assert_eq!(
+            out,
+            vec![
+                (Time::from_ps(5), k(0, 0), "a"),
+                (Time::from_ps(5), k(1, 0), "b"),
+            ]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_batch(&mut out), 1);
+        assert_eq!(out, vec![(Time::from_ps(7), k(0, 1), "c")]);
+        assert_eq!(q.pop_batch(&mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    /// `pop_batch` must include side-heap entries (same-instant pushes
+    /// after partial drains) merged into key order.
+    #[test]
+    fn pop_batch_merges_side_heap() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(5), k(0, 0), 0);
+        q.push(Time::from_ps(5), k(2, 0), 3);
+        assert_eq!(q.pop(), Some((Time::from_ps(5), k(0, 0), 0)));
+        // Land two more at the active instant: one ahead of the run
+        // head, one behind it.
+        q.push(Time::from_ps(5), k(1, 0), 2);
+        q.push(Time::from_ps(5), k(0, 1), 1);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), 3);
+        let got: Vec<_> = out.iter().map(|&(_, _, e)| e).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(q.pop_batch(&mut out), 0);
+    }
 }
 
 #[cfg(test)]
@@ -303,8 +691,8 @@ mod proptests {
         /// Same-timestamp events pop in stable FIFO order: per creating
         /// rank they come out in creation order, ties across ranks break
         /// by rank id, and none of it depends on the order events were
-        /// pushed into the heap (or whether they arrived via `push` or
-        /// the O(n) `seed` heapify).
+        /// pushed into the queue (or whether they arrived via `push` or
+        /// the bulk `seed` path).
         #[test]
         fn same_time_pop_order_is_stable_fifo(
             // Few distinct timestamps + few ranks → dense tie collisions.
@@ -312,7 +700,7 @@ mod proptests {
             shuffle in 0u64..=u64::MAX,
         ) {
             // Assign each event its creator's FIFO sequence number.
-            let mut next_seq = [0u64; 3];
+            let mut next_seq = [0u32; 3];
             let mut events: Vec<(Time, EvKey, usize)> = items
                 .iter()
                 .enumerate()
@@ -362,6 +750,88 @@ mod proptests {
                 popped2.push(e);
             }
             prop_assert_eq!(&popped2, &expected);
+        }
+
+        /// Flattening successive `pop_batch` calls yields exactly the
+        /// sequence repeated `pop` would — including same-timestamp FIFO
+        /// ties — and each batch covers one whole timestamp run.
+        #[test]
+        fn pop_batch_flattens_to_pop_sequence(
+            items in proptest::collection::vec((0u64..4, 0u32..3), 1..64),
+        ) {
+            let mut next_seq = [0u32; 3];
+            let events: Vec<(Time, EvKey, usize)> = items
+                .iter()
+                .enumerate()
+                .map(|(payload, &(t, crank))| {
+                    let cseq = next_seq[crank as usize];
+                    next_seq[crank as usize] += 1;
+                    (Time::from_ps(t), EvKey { crank, cseq }, payload)
+                })
+                .collect();
+
+            let mut a = EventQueue::new();
+            let mut b = EventQueue::new();
+            for &(t, key, p) in &events {
+                a.push(t, key, p);
+                b.push(t, key, p);
+            }
+
+            let mut by_pop = Vec::new();
+            while let Some(e) = a.pop() {
+                by_pop.push(e);
+            }
+
+            let mut by_batch = Vec::new();
+            let mut scratch = Vec::new();
+            loop {
+                let n = b.pop_batch(&mut scratch);
+                prop_assert_eq!(n, scratch.len());
+                if n == 0 {
+                    break;
+                }
+                // A batch is exactly one timestamp run: uniform inside,
+                // strictly earlier than whatever remains queued.
+                let t0 = scratch[0].0;
+                prop_assert!(scratch.iter().all(|&(t, _, _)| t == t0));
+                if let Some(next) = b.peek_time() {
+                    prop_assert!(next > t0);
+                }
+                by_batch.extend_from_slice(&scratch);
+            }
+            prop_assert_eq!(&by_batch, &by_pop);
+        }
+
+        /// Interleaved pushes and pops — including pushes at and below
+        /// the timestamp currently being drained — always produce the
+        /// globally sorted `(time, crank, cseq)` sequence. This walks
+        /// the activation, side-heap, and demotion paths randomly.
+        #[test]
+        fn interleaved_ops_stay_sorted(
+            script in proptest::collection::vec((0u64..6, 0u32..3, 0u8..2), 1..80),
+        ) {
+            let mut next_seq = [0u32; 3];
+            let mut q = EventQueue::new();
+            let mut live: Vec<(Time, EvKey, usize)> = Vec::new();
+            for (i, &(t, crank, do_pop)) in script.iter().enumerate() {
+                let do_pop = do_pop == 1;
+                let cseq = next_seq[crank as usize];
+                next_seq[crank as usize] += 1;
+                let key = EvKey { crank, cseq };
+                q.push(Time::from_ps(t), key, i);
+                live.push((Time::from_ps(t), key, i));
+                if do_pop {
+                    let got = q.pop().expect("queue non-empty");
+                    live.sort_by_key(|&(t, key, _)| (t, key));
+                    let expect = live.remove(0);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            live.sort_by_key(|&(t, key, _)| (t, key));
+            for expect in live {
+                prop_assert_eq!(q.pop(), Some(expect));
+            }
+            prop_assert_eq!(q.pop(), None);
         }
     }
 }

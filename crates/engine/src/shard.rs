@@ -63,7 +63,7 @@ use crate::noise::NoiseModel;
 use crate::queue::EvKey;
 use crate::record::{NullRecorder, Recorder, SimEvent};
 use crate::result::{SimError, SimResult};
-use crate::sim::{event_target, run_engine, stuck_ops, Engine, Event, RunScratch};
+use crate::sim::{run_engine, stuck_ops, Engine, Msg, RunScratch};
 use crate::topology::FlatCrossbar;
 use cesim_model::{LogGopsParams, Time};
 use std::fmt;
@@ -478,6 +478,40 @@ fn cuts(nranks: usize, shards: usize) -> Vec<u32> {
     (0..=shards).map(|s| (nranks * s / shards) as u32).collect()
 }
 
+/// Pick an empirically good power-of-two shard count for `nranks` ranks
+/// on this host — what `--shards auto` resolves to.
+///
+/// The count follows the CPU count (rounded up to a power of two),
+/// bounded by `nranks / 1024` so each shard keeps at least ~1k ranks of
+/// work (finer splits drown in window overhead and are where the
+/// measured scaling went non-monotonic), and clamped to 64.
+///
+/// Single-CPU hosts return 1. The old binary-heap queue rewarded
+/// splitting even without parallelism — each shard's heap, and
+/// therefore every sift, shrank by the split factor (the first
+/// `sharded_single_run_scaling` entry in `BENCH_engine.json` climbs
+/// through 1.55x at 64 shards) — but the wavefront bucket queue already
+/// works on one small sorted run at a time, so the remeasured lockstep
+/// scaling is flat (0.92–1.00x at 64k ranks) and sharding is pure
+/// overhead without real cores behind it.
+///
+/// Schedules below 2048 ranks also return 1: window overhead beats any
+/// split there regardless of host.
+pub fn auto_shards(nranks: usize) -> usize {
+    let cap = (nranks / 1024).max(1).next_power_of_two();
+    if nranks / 1024 < 2 {
+        return 1;
+    }
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cpus <= 1 {
+        1
+    } else {
+        cpus.next_power_of_two().min(cap).min(64)
+    }
+}
+
 /// Owning shard of `rank` under `cuts`.
 #[inline]
 fn shard_of(cuts: &[u32], rank: u32) -> usize {
@@ -663,6 +697,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
     let noise_base = noise.events_injected();
     for (i, s) in scratches.iter_mut().enumerate() {
         s.reset_range(cs, cuts[i], cuts[i + 1]);
+        s.plan_dispatch(cs, params);
         if R::ENABLED {
             s.offset_ids((i as u64 + 1) * ID_STRIDE);
         }
@@ -783,6 +818,7 @@ fn run_window<N: NoiseModel + ?Sized, R: WindowRecorder>(
     wend: Time,
 ) -> u64 {
     let mut events = 0u64;
+    let mut batch = std::mem::take(&mut scratch.batch);
     let mut eng = Engine {
         cs,
         params,
@@ -790,17 +826,35 @@ fn run_window<N: NoiseModel + ?Sized, R: WindowRecorder>(
         s: scratch,
         rec,
     };
+    // Same batched delivery as the serial loop (see `run_engine`): a
+    // whole same-timestamp run per heap drain, with the heap minimum
+    // re-checked before each batch entry so newly created same-time
+    // events interleave exactly as repeated pops would. Every batch
+    // entry sits strictly below `wend`, and interleaved events share the
+    // batch timestamp, so the window bound holds for all of them.
     loop {
         match eng.s.queue.peek_time() {
-            Some(t) if t < wend => {
-                let (t, key, ev) = eng.s.queue.pop().expect("peeked entry exists");
-                eng.rec.begin_pop(t, key);
-                events += 1;
-                eng.dispatch(noise, ev, t);
-            }
+            Some(t) if t < wend => {}
             _ => break,
         }
+        eng.s.queue.pop_batch(&mut batch);
+        for &(bt, bkey, bev) in &batch {
+            while let Some((qt, qkey)) = eng.s.queue.peek_min() {
+                if (qt, qkey) < (bt, bkey) {
+                    let (t, key, ev) = eng.s.queue.pop().expect("peeked entry exists");
+                    eng.rec.begin_pop(t, key);
+                    events += 1;
+                    eng.dispatch(noise, ev, t);
+                } else {
+                    break;
+                }
+            }
+            eng.rec.begin_pop(bt, bkey);
+            events += 1;
+            eng.dispatch(noise, bev, bt);
+        }
     }
+    eng.s.batch = batch;
     events
 }
 
@@ -818,7 +872,7 @@ fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
 ) -> u64 {
     let lookahead = params.latency;
     let mut events = 0u64;
-    let mut outbox: Vec<(Time, EvKey, Event)> = Vec::new();
+    let mut outbox: Vec<(Time, EvKey, Msg)> = Vec::new();
     let mut prev_m_ps = u64::MAX;
     while let Some(m) = scratches.iter().filter_map(|s| s.queue.peek_time()).min() {
         let wend = m + lookahead;
@@ -852,9 +906,9 @@ fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
             outbox.append(&mut s.outbox);
         }
         G_EVENTS.fetch_add(window_events, Ordering::Relaxed);
-        for (t, key, ev) in outbox.drain(..) {
-            let d = shard_of(cuts, event_target(&ev));
-            scratches[d].queue.push(t, key, ev);
+        for (t, key, m) in outbox.drain(..) {
+            let d = shard_of(cuts, m.dst);
+            scratches[d].deliver(t, key, m);
         }
     }
     events
@@ -883,7 +937,7 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     let wend_ps = AtomicU64::new(0);
     let prev_m_ps = AtomicU64::new(u64::MAX);
     let done = AtomicBool::new(false);
-    let mailboxes: Vec<Mutex<Vec<(Time, EvKey, Event)>>> =
+    let mailboxes: Vec<Mutex<Vec<(Time, EvKey, Msg)>>> =
         (0..s_eff).map(|_| Mutex::new(Vec::new())).collect();
     let events_total = AtomicU64::new(0);
 
@@ -947,12 +1001,9 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
                         st.outbox_msgs
                             .fetch_add(scratch.outbox.len() as u64, Ordering::Relaxed);
                     }
-                    for (t, key, ev) in scratch.outbox.drain(..) {
-                        let d = shard_of(cuts, event_target(&ev));
-                        mailboxes[d]
-                            .lock()
-                            .expect("mailbox lock")
-                            .push((t, key, ev));
+                    for (t, key, m) in scratch.outbox.drain(..) {
+                        let d = shard_of(cuts, m.dst);
+                        mailboxes[d].lock().expect("mailbox lock").push((t, key, m));
                     }
                     if let Some(s) = stamp.as_mut() {
                         s.lap(Lap::Busy);
@@ -961,8 +1012,8 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
                     if let Some(s) = stamp.as_mut() {
                         s.lap(Lap::Barrier);
                     }
-                    for (t, key, ev) in mailboxes[i].lock().expect("mailbox lock").drain(..) {
-                        scratch.queue.push(t, key, ev);
+                    for (t, key, m) in mailboxes[i].lock().expect("mailbox lock").drain(..) {
+                        scratch.deliver(t, key, m);
                     }
                     if let Some(s) = stamp.as_mut() {
                         s.lap(Lap::Busy);

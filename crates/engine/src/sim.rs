@@ -47,7 +47,8 @@ pub(crate) struct Msg {
     /// Unique id tying a recorder's `MsgSend` to its `MsgDeliver`.
     id: u64,
     src: u32,
-    dst: u32,
+    /// Destination rank — the shard router's only lookup.
+    pub(crate) dst: u32,
     tag: Tag,
     bytes: u64,
     /// The op on `src` this message serves (recorder attribution; for a
@@ -67,19 +68,92 @@ impl Msg {
     }
 }
 
+/// Index of an in-flight message in the [`MsgSlab`] arena. The
+/// generation makes stale copies detectable: a ref is valid for exactly
+/// one `alloc`-to-`take` lifetime of its slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct MsgRef {
+    slot: u32,
+    gen: u32,
+}
+
+/// Generational arena for in-flight messages.
+///
+/// Between its send-side injection and its arrival dispatch a message
+/// used to ride inside the `Event` enum, making every heap entry
+/// `Msg`-sized. The slab keeps the one live copy here and hands the
+/// queue an 8-byte [`MsgRef`] instead, so heap sift swaps move a
+/// quarter of the bytes. Slots are recycled through a free list;
+/// generations only ever increase (per slot), so a ref leaked across
+/// [`MsgSlab::reset`] can never alias a later message.
+#[derive(Default)]
+pub(crate) struct MsgSlab {
+    msgs: Vec<Msg>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl MsgSlab {
+    /// Park `msg` in the arena until its arrival; returns its ref.
+    #[inline]
+    fn alloc(&mut self, msg: Msg) -> MsgRef {
+        match self.free.pop() {
+            Some(slot) => {
+                self.msgs[slot as usize] = msg;
+                MsgRef {
+                    slot,
+                    gen: self.gens[slot as usize],
+                }
+            }
+            None => {
+                let slot = self.msgs.len() as u32;
+                self.msgs.push(msg);
+                self.gens.push(0);
+                MsgRef { slot, gen: 0 }
+            }
+        }
+    }
+
+    /// Retire `r` and return its message. The slot's generation is
+    /// bumped, so `r` (and any copy of it) is dead from here on.
+    #[inline]
+    fn take(&mut self, r: MsgRef) -> Msg {
+        let i = r.slot as usize;
+        debug_assert_eq!(self.gens[i], r.gen, "stale MsgRef dereferenced");
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.free.push(r.slot);
+        self.msgs[i]
+    }
+
+    /// Messages currently in flight.
+    #[cfg(test)]
+    fn live(&self) -> usize {
+        self.msgs.len() - self.free.len()
+    }
+
+    /// Would `r` still resolve to the message it was issued for?
+    #[cfg(test)]
+    fn is_current(&self, r: MsgRef) -> bool {
+        self.gens[r.slot as usize] == r.gen
+    }
+
+    /// Reset for a new replica, keeping all allocations: every slot
+    /// becomes free and every generation is bumped, so refs issued
+    /// before the reset can never alias messages allocated after it
+    /// (generations stay monotone across resets).
+    fn reset(&mut self) {
+        for g in &mut self.gens {
+            *g = g.wrapping_add(1);
+        }
+        self.free.clear();
+        self.free.extend((0..self.msgs.len() as u32).rev());
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Event {
     OpReady { rank: u32, op: u32 },
-    Arrive(Msg),
-}
-
-/// The rank an event is delivered to (which shard must process it).
-#[inline]
-pub(crate) fn event_target(ev: &Event) -> u32 {
-    match ev {
-        Event::OpReady { rank, .. } => *rank,
-        Event::Arrive(m) => m.dst,
-    }
+    Arrive(MsgRef),
 }
 
 // The matching tag is the `TagQueue` bucket key, not repeated in the
@@ -136,17 +210,29 @@ pub struct RunScratch {
     /// Useful work requested (busy minus detours).
     pub(crate) work: Vec<Span>,
     /// Per-rank event-creation counters — the `cseq` half of [`EvKey`].
-    push_seq: Vec<u64>,
+    push_seq: Vec<u32>,
     // Per-op state (indexed by flat op id minus `op_base`).
     pub(crate) indeg: Vec<u32>,
     pub(crate) done: Vec<bool>,
+    /// Per-op dispatch records (see [`RunScratch::plan_dispatch`]),
+    /// cached under `plan_stamp` across resets.
+    ops: Vec<PackedOp>,
+    /// `(schedule uid, eager threshold, rank_lo, rank_hi)` the current
+    /// `ops` table was planned for.
+    plan_stamp: Option<(u64, u64, u32, u32)>,
     // Per-rank MPI match queues.
     posted: Vec<TagQueue<PostedRecv>>,
     unexpected: Vec<TagQueue<UnexMsg>>,
+    /// In-flight message arena; `Event::Arrive` holds refs into it.
+    slab: MsgSlab,
     pub(crate) queue: EventQueue<Event>,
-    /// Events created here but owned by another shard, staged until the
-    /// next window boundary. Always empty on the serial path.
-    pub(crate) outbox: Vec<(Time, EvKey, Event)>,
+    /// Reused buffer for the batch dispatch loop ([`EventQueue::pop_batch`]).
+    pub(crate) batch: Vec<(Time, EvKey, Event)>,
+    /// Messages created here but owned by another shard, staged until
+    /// the next window boundary. Always empty on the serial path.
+    /// (Only `Arrive` events ever cross shards — dependencies are
+    /// rank-local, so `OpReady` always lands on the creating shard.)
+    pub(crate) outbox: Vec<(Time, EvKey, Msg)>,
     /// First rank this scratch owns (0 on the serial path).
     pub(crate) rank_lo: u32,
     /// One past the last rank this scratch owns.
@@ -216,12 +302,15 @@ impl RunScratch {
         for q in &mut self.unexpected {
             q.clear();
         }
+        self.slab.reset();
         self.queue.clear();
+        self.batch.clear();
         self.outbox.clear();
         // Pre-size for the initial ready wavefront plus in-flight
-        // messages; bounded by the op count rather than a fixed guess so
-        // large schedules avoid repeated heap regrowth (no-op once the
-        // buffer is warm).
+        // messages, from the *owned slice's* op count (not the global
+        // total — a shard's queue only ever sees its own ranks' events)
+        // so large sharded runs avoid repeated buffer regrowth without
+        // over-allocating per shard. No-op once the buffer is warm.
         self.queue.reserve(total.clamp(64, 1 << 22));
         self.completed = 0;
         self.msgs_delivered = 0;
@@ -262,6 +351,87 @@ impl RunScratch {
         self.next_msg_id = base;
         self.next_detour_id = base;
     }
+
+    /// (Re)build the per-op dispatch table for the owned slice: every
+    /// field the hot loop needs — op class with the eager-vs-rendezvous
+    /// protocol decision folded into the opcode, the size/duration
+    /// argument, peer, tag, and the dependency fan-out range —
+    /// interleaved into one 32-byte record. The [`CompiledSchedule`]'s
+    /// parallel arrays are laid out column-major; dispatch visits ops in
+    /// data-dependent order across ranks, so reading five columns per op
+    /// means up to five cache misses where the packed record pays one.
+    /// The table depends only on `(schedule, eager threshold, rank
+    /// slice)` and is cached across resets under that stamp — replica
+    /// reuse of a warm scratch never replans.
+    pub(crate) fn plan_dispatch(&mut self, cs: &CompiledSchedule, params: &LogGopsParams) {
+        let stamp = (cs.uid, params.eager_threshold, self.rank_lo, self.rank_hi);
+        if self.plan_stamp == Some(stamp) {
+            return;
+        }
+        let lo = self.op_base;
+        let hi = lo + self.done.len();
+        self.ops.clear();
+        self.ops.reserve(hi - lo);
+        for f in lo..hi {
+            let (opcode, arg) = match cs.class[f] {
+                OpClass::Calc => (OPC_CALC, cs.dur[f].as_ps()),
+                // Branch-free protocol selection: the threshold
+                // comparison's boolean is the opcode offset.
+                OpClass::Send => (
+                    OPC_SEND_EAGER + params.is_rendezvous(cs.bytes[f]) as u32,
+                    cs.bytes[f],
+                ),
+                OpClass::Recv => (OPC_RECV, cs.bytes[f]),
+            };
+            self.ops.push(PackedOp {
+                arg,
+                dep_lo: cs.dep_off[f],
+                dep_cnt: cs.dep_off[f + 1] - cs.dep_off[f],
+                peer: cs.peer[f],
+                tag: cs.tag[f],
+                opcode,
+            });
+        }
+        self.plan_stamp = Some(stamp);
+    }
+
+    /// Accept a cross-shard message routed here by the sharded driver:
+    /// park it in the local arena and enqueue its arrival under the key
+    /// its creator assigned (never re-keyed — the content-computable
+    /// key is what keeps the merged pop order serial).
+    pub(crate) fn deliver(&mut self, time: Time, key: EvKey, msg: Msg) {
+        let r = self.slab.alloc(msg);
+        self.queue.push(time, key, Event::Arrive(r));
+    }
+}
+
+// Dispatch opcodes: `OpClass` with the send-protocol choice precomputed.
+const OPC_CALC: u32 = 0;
+const OPC_SEND_EAGER: u32 = 1;
+const OPC_SEND_REND: u32 = 2;
+const OPC_RECV: u32 = 3;
+
+/// One op's dispatch-hot fields in a single 32-byte record (two per
+/// cache line): opcode with the send protocol pre-decided, the
+/// class-dependent argument, peer/tag, and the dependency fan-out range
+/// of [`CompiledSchedule::dep_tgt`] — everything [`Engine::exec_op`] and
+/// [`Engine::complete`] read per dispatched op.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct PackedOp {
+    /// Calc: duration in ps. Send/Recv: payload bytes.
+    arg: u64,
+    /// First dependent edge in `dep_tgt` (completion fan-out).
+    dep_lo: u32,
+    /// Dependent-edge count.
+    dep_cnt: u32,
+    /// Send destination / receive source filter ([`ANY_SOURCE`] =
+    /// wildcard); unused for calcs.
+    peer: u32,
+    /// Message tag; unused for calcs.
+    tag: Tag,
+    /// One of the `OPC_*` dispatch codes.
+    opcode: u32,
 }
 
 /// Clear + refill a vector in place, keeping its capacity.
@@ -401,10 +571,12 @@ pub(crate) fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
         return Err(SimError::EmptySchedule);
     }
     scratch.reset(cs);
+    scratch.plan_dispatch(cs, &params);
     // Seed the initial ready wavefront in one O(n) heapify; root keys
     // reproduce the legacy rank-major seeding order (time 0, rank-major
     // `crank`, in-rank `cseq` in root order).
     scratch.seed_roots(cs);
+    let mut batch = std::mem::take(&mut scratch.batch);
     let mut eng = Engine {
         cs,
         params,
@@ -413,10 +585,29 @@ pub(crate) fn run_engine<R: Recorder, N: NoiseModel + ?Sized>(
         rec,
     };
     let mut events_processed = 0u64;
-    while let Some((t, _key, ev)) = eng.s.queue.pop() {
-        events_processed += 1;
-        eng.dispatch(noise, ev, t);
+    // Batched delivery: drain whole same-timestamp runs in one heap
+    // operation, then dispatch them in order. Dispatching an entry can
+    // push events that sort *before* a later batch entry (zero-duration
+    // completions ready dependents at the same timestamp under a lower
+    // creator key), so the inner loop re-checks the heap minimum before
+    // every batch entry — the dispatched sequence is exactly the one
+    // repeated `pop` would produce.
+    while eng.s.queue.pop_batch(&mut batch) > 0 {
+        for &(bt, bkey, bev) in &batch {
+            while let Some((qt, qkey)) = eng.s.queue.peek_min() {
+                if (qt, qkey) < (bt, bkey) {
+                    let (t, _key, ev) = eng.s.queue.pop().expect("peeked entry exists");
+                    events_processed += 1;
+                    eng.dispatch(noise, ev, t);
+                } else {
+                    break;
+                }
+            }
+            events_processed += 1;
+            eng.dispatch(noise, bev, bt);
+        }
     }
+    eng.s.batch = batch;
     if eng.s.completed != cs.total_ops() {
         return Err(eng.deadlock_report());
     }
@@ -453,7 +644,10 @@ impl<'e, R: Recorder> Engine<'e, R> {
     pub(crate) fn dispatch<N: NoiseModel + ?Sized>(&mut self, noise: &mut N, ev: Event, t: Time) {
         match ev {
             Event::OpReady { rank, op } => self.exec_op(noise, rank, op, t),
-            Event::Arrive(msg) => self.arrive(noise, msg, t),
+            Event::Arrive(mref) => {
+                let msg = self.s.slab.take(mref);
+                self.arrive(noise, msg, t)
+            }
         }
     }
 
@@ -470,22 +664,40 @@ impl<'e, R: Recorder> Engine<'e, R> {
         f - self.s.op_base
     }
 
-    /// Schedule `ev` at `time`, keyed by creating rank `crank`'s next
-    /// creation counter. Events for ranks this scratch owns go straight
-    /// to the local heap; anything else is staged in the outbox for the
-    /// sharded driver to route at the next window boundary. (The serial
-    /// engine owns every rank, so the outbox arm is dead there.)
+    /// Creating rank `crank`'s next event key (its private monotone
+    /// creation counter — the content-computable half of determinism).
     #[inline]
-    fn push_event(&mut self, crank: u32, time: Time, ev: Event) {
+    fn next_key(&mut self, crank: u32) -> EvKey {
         let i = self.li(crank);
         let cseq = self.s.push_seq[i];
+        debug_assert!(cseq < u32::MAX, "per-rank event-creation counter overflow");
         self.s.push_seq[i] = cseq + 1;
-        let key = EvKey { crank, cseq };
-        let dst = event_target(&ev);
-        if dst >= self.s.rank_lo && dst < self.s.rank_hi {
-            self.s.queue.push(time, key, ev);
+        EvKey { crank, cseq }
+    }
+
+    /// Schedule op readiness at `time`. Dependencies never cross ranks,
+    /// so an `OpReady` is always local to the creating shard.
+    #[inline]
+    fn push_op_ready(&mut self, rank: u32, time: Time, op: u32) {
+        let key = self.next_key(rank);
+        self.s.queue.push(time, key, Event::OpReady { rank, op });
+    }
+
+    /// Schedule `msg`'s arrival at `time`, keyed by creating rank
+    /// `crank`'s next creation counter. Messages for ranks this scratch
+    /// owns are parked in the local arena and enqueued; anything else is
+    /// staged (as the full `Msg` — the ref would be meaningless in
+    /// another slab) in the outbox for the sharded driver to route at
+    /// the next window boundary. (The serial engine owns every rank, so
+    /// the outbox arm is dead there.)
+    #[inline]
+    fn push_arrive(&mut self, crank: u32, time: Time, msg: Msg) {
+        let key = self.next_key(crank);
+        if msg.dst >= self.s.rank_lo && msg.dst < self.s.rank_hi {
+            let r = self.s.slab.alloc(msg);
+            self.s.queue.push(time, key, Event::Arrive(r));
         } else {
-            self.s.outbox.push((time, key, ev));
+            self.s.outbox.push((time, key, msg));
         }
     }
 
@@ -587,67 +799,75 @@ impl<'e, R: Recorder> Engine<'e, R> {
 
     fn exec_op<N: NoiseModel + ?Sized>(&mut self, noise: &mut N, rank: u32, op: u32, t: Time) {
         let f = self.cs.flat(rank, op);
-        match self.cs.class[f] {
-            OpClass::Calc => {
-                let dur = self.cs.dur[f];
+        // Table-driven dispatch: one 32-byte record per op, class and
+        // send protocol precomputed by `plan_dispatch` — the hot loop
+        // never re-derives the eager-vs-rendezvous decision and touches
+        // a single cache line per op instead of one per schedule column.
+        let o = self.s.ops[self.lf(f)];
+        match o.opcode {
+            OPC_CALC => {
+                let dur = Span::from_ps(o.arg);
                 let end = self.occupy_cpu(noise, rank, op, SegKind::Calc, t, dur);
                 self.complete(rank, op, end);
             }
-            OpClass::Send => {
-                let dst = self.cs.peer[f];
-                let bytes = self.cs.bytes[f];
-                let tag = self.cs.tag[f];
-                if self.params.is_rendezvous(bytes) {
-                    // RTS control message; the send op stays open until the
-                    // CTS returns and the payload is injected.
-                    let cpu_end =
-                        self.occupy_cpu(noise, rank, op, SegKind::Rts, t, self.params.overhead);
-                    let r = self.li(rank);
-                    let inject = cpu_end.max(self.s.nic_free[r]);
-                    self.s.nic_free[r] = inject + self.params.gap;
-                    let arrive = inject + self.params.latency + self.wire_extra(rank, dst);
-                    let msg = Msg {
-                        id: self.new_msg_id(),
-                        src: rank,
-                        dst,
-                        tag,
-                        bytes,
-                        src_op: op,
-                        kind: MsgKind::Rts { send_op: op },
-                    };
-                    self.record_send(&msg, inject, arrive);
-                    self.push_event(rank, arrive, Event::Arrive(msg));
-                } else {
-                    let cpu_end = self.occupy_cpu(
-                        noise,
-                        rank,
-                        op,
-                        SegKind::SendCpu,
-                        t,
-                        self.params.cpu_cost(bytes),
-                    );
-                    let r = self.li(rank);
-                    let inject = cpu_end.max(self.s.nic_free[r]);
-                    self.s.nic_free[r] = inject + self.params.nic_cost(bytes);
-                    let arrive = inject + self.params.wire_time(bytes) + self.wire_extra(rank, dst);
-                    let msg = Msg {
-                        id: self.new_msg_id(),
-                        src: rank,
-                        dst,
-                        tag,
-                        bytes,
-                        src_op: op,
-                        kind: MsgKind::Eager,
-                    };
-                    self.record_send(&msg, inject, arrive);
-                    self.push_event(rank, arrive, Event::Arrive(msg));
-                    // Eager sends complete locally once buffered.
-                    self.complete(rank, op, cpu_end);
-                }
+            OPC_SEND_REND => {
+                let dst = o.peer;
+                let bytes = o.arg;
+                let tag = o.tag;
+                // RTS control message; the send op stays open until the
+                // CTS returns and the payload is injected.
+                let cpu_end =
+                    self.occupy_cpu(noise, rank, op, SegKind::Rts, t, self.params.overhead);
+                let r = self.li(rank);
+                let inject = cpu_end.max(self.s.nic_free[r]);
+                self.s.nic_free[r] = inject + self.params.gap;
+                let arrive = inject + self.params.latency + self.wire_extra(rank, dst);
+                let msg = Msg {
+                    id: self.new_msg_id(),
+                    src: rank,
+                    dst,
+                    tag,
+                    bytes,
+                    src_op: op,
+                    kind: MsgKind::Rts { send_op: op },
+                };
+                self.record_send(&msg, inject, arrive);
+                self.push_arrive(rank, arrive, msg);
             }
-            OpClass::Recv => {
-                let peer = self.cs.peer[f];
-                let tag = self.cs.tag[f];
+            OPC_SEND_EAGER => {
+                let dst = o.peer;
+                let bytes = o.arg;
+                let tag = o.tag;
+                let cpu_end = self.occupy_cpu(
+                    noise,
+                    rank,
+                    op,
+                    SegKind::SendCpu,
+                    t,
+                    self.params.cpu_cost(bytes),
+                );
+                let r = self.li(rank);
+                let inject = cpu_end.max(self.s.nic_free[r]);
+                self.s.nic_free[r] = inject + self.params.nic_cost(bytes);
+                let arrive = inject + self.params.wire_time(bytes) + self.wire_extra(rank, dst);
+                let msg = Msg {
+                    id: self.new_msg_id(),
+                    src: rank,
+                    dst,
+                    tag,
+                    bytes,
+                    src_op: op,
+                    kind: MsgKind::Eager,
+                };
+                self.record_send(&msg, inject, arrive);
+                self.push_arrive(rank, arrive, msg);
+                // Eager sends complete locally once buffered.
+                self.complete(rank, op, cpu_end);
+            }
+            _ => {
+                debug_assert_eq!(o.opcode, OPC_RECV);
+                let peer = o.peer;
+                let tag = o.tag;
                 let srcf = (peer != ANY_SOURCE).then_some(peer);
                 if let Some(u) = self.take_unexpected(rank, srcf, tag) {
                     if R::ENABLED {
@@ -793,7 +1013,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
                     kind: MsgKind::Payload { recv_op },
                 };
                 self.record_send(&payload, inject, arrive);
-                self.push_event(sender, arrive, Event::Arrive(payload));
+                self.push_arrive(sender, arrive, payload);
                 self.complete(sender, send_op, cpu_end);
             }
             MsgKind::Payload { recv_op } => {
@@ -873,7 +1093,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
             kind: MsgKind::Cts { send_op, recv_op },
         };
         self.record_send(&msg, inject, arrive);
-        self.push_event(rank, arrive, Event::Arrive(msg));
+        self.push_arrive(rank, arrive, msg);
     }
 
     /// First posted receive at `dst` matching `(src, tag)`, FIFO order.
@@ -906,10 +1126,13 @@ impl<'e, R: Recorder> Engine<'e, R> {
         }
         // Dependency fan-out: CSR targets are rank-local op ids (deps
         // never cross ranks), so the dependent's flat id shares this
-        // rank's base offset.
+        // rank's base offset. The edge range comes from the packed
+        // dispatch record — still warm from `exec_op` — instead of two
+        // `dep_off` column reads.
         let base = self.cs.rank_off[rank as usize] as usize - self.s.op_base;
-        let lo = self.cs.dep_off[f] as usize;
-        let hi = self.cs.dep_off[f + 1] as usize;
+        let o = self.s.ops[fl];
+        let lo = o.dep_lo as usize;
+        let hi = lo + o.dep_cnt as usize;
         for i in lo..hi {
             let d = self.cs.dep_tgt[i];
             let indeg = &mut self.s.indeg[base + d as usize];
@@ -923,7 +1146,7 @@ impl<'e, R: Recorder> Engine<'e, R> {
                         at: t,
                     });
                 }
-                self.push_event(rank, t, Event::OpReady { rank, op: d });
+                self.push_op_ready(rank, t, d);
             }
         }
     }
@@ -1630,6 +1853,83 @@ mod tests {
         assert_eq!(a, base);
         assert_eq!(traced, base);
         assert!(!rec.events.is_empty());
+    }
+
+    /// Arena-reuse equivalence: slab indices never alias live messages
+    /// across replica resets. Refs held from any earlier round — both
+    /// consumed and still-nominally-live ones — are stale after a
+    /// reset (generations are monotone per slot), while refs issued in
+    /// the current round resolve to exactly their own message.
+    #[test]
+    fn msg_slab_never_aliases_across_100_resets() {
+        let mk = |id: u64| Msg {
+            id,
+            src: 0,
+            dst: 1,
+            tag: Tag(0),
+            bytes: 8,
+            src_op: 0,
+            kind: MsgKind::Eager,
+        };
+        let mut slab = MsgSlab::default();
+        let mut stale: Vec<MsgRef> = Vec::new();
+        for round in 0..100u64 {
+            let refs: Vec<MsgRef> = (0..8).map(|i| slab.alloc(mk(round * 8 + i))).collect();
+            // Current-round refs are live and resolve to their own
+            // message; take half, leave half in flight.
+            for (i, &r) in refs.iter().enumerate().take(4) {
+                assert!(slab.is_current(r));
+                assert_eq!(slab.take(r).id, round * 8 + i as u64);
+                assert!(!slab.is_current(r), "taken ref stayed live");
+            }
+            assert_eq!(slab.live(), 4);
+            // Every ref from every earlier round is dead, even though
+            // its slot has long been recycled for new messages.
+            for &old in &stale {
+                assert!(!slab.is_current(old), "pre-reset ref aliases a slot");
+            }
+            stale.extend(refs);
+            // Reset with messages still in flight (the deadlock case):
+            // the arena empties and the leftover refs go stale.
+            slab.reset();
+            assert_eq!(slab.live(), 0);
+        }
+    }
+
+    /// Engine-level arena reuse: 100 replicas through one warm scratch
+    /// give byte-identical results, and every run consumes exactly the
+    /// messages it created (the arena is drained when the run ends).
+    #[test]
+    fn scratch_arena_reuse_is_clean_across_replicas() {
+        use crate::compile::CompiledSchedule;
+        let p = xc40();
+        let mut b = ScheduleBuilder::new(4);
+        let mut tags = cesim_goal::builder::TagPool::new();
+        let entry: Vec<_> = (0..4)
+            .map(|r| b.calc(Rank::from(r), Span::from_us(2), &[]))
+            .collect();
+        // Eager + rendezvous traffic so the arena sees both protocols.
+        let e1 = cesim_goal::collectives::allreduce_recursive_doubling(
+            &mut b,
+            &mut tags,
+            64,
+            &cesim_goal::collectives::CollectiveCosts::default(),
+            &entry,
+        );
+        cesim_goal::collectives::bcast_binomial(&mut b, &mut tags, Rank(0), 1 << 20, &e1);
+        let cs = CompiledSchedule::compile(&b.build());
+        let mut scratch = RunScratch::new();
+        let first = simulate_compiled_with(&cs, &p, &mut scratch, &mut NoNoise).unwrap();
+        assert_eq!(scratch.slab.live(), 0, "messages leaked past the run");
+        let high_water = scratch.slab.msgs.len();
+        assert!(high_water > 0, "schedule produced no messages");
+        for _ in 0..99 {
+            let again = simulate_compiled_with(&cs, &p, &mut scratch, &mut NoNoise).unwrap();
+            assert_eq!(again, first);
+            assert_eq!(scratch.slab.live(), 0);
+            // Steady state: replica reuse never grows the arena.
+            assert_eq!(scratch.slab.msgs.len(), high_water);
+        }
     }
 
     #[test]

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Profile-guided-optimization pipeline for the engine hot path.
+#
+# Four stages:
+#   1. plain release run of the replica-sweep bench (the reference);
+#   2. instrumented build (-Cprofile-generate) + a training sweep that
+#      exercises the pop->dispatch->match->push cycle;
+#   3. llvm-profdata merge of the raw profiles;
+#   4. PGO build (-Cprofile-use) + the same bench, printed side by side
+#      with the reference.
+#
+# The PGO builds use an isolated CARGO_TARGET_DIR (target/pgo/build) so
+# they never invalidate the normal release cache, and stage 4 also
+# builds the PGO `cesim` CLI binary so callers can diff figure CSVs
+# against a plain build (CI's pgo-smoke job does exactly that).
+#
+# Environment knobs:
+#   LLVM_PROFDATA     llvm-profdata binary (default: found on PATH)
+#   PGO_DIR           scratch dir (default target/pgo)
+#   PGO_PLAIN_JSON    where to write the plain bench JSON
+#                     (default $PGO_DIR/plain.json)
+#   PGO_JSON          where to write the PGO bench JSON
+#                     (default $PGO_DIR/pgo.json)
+#   ENGINE_BENCH_*    forwarded to both measured runs (ranks, rounds,
+#                     replicas — see crates/bench/benches/compile.rs)
+#   PGO_SKIP_PLAIN=1  skip stage 1 (reuse an existing PGO_PLAIN_JSON)
+#
+# Graceful failure: profile formats are tied to the LLVM major version
+# baked into rustc. If the available llvm-profdata cannot read the
+# .profraw files, stage 3 explains the mismatch and exits 2 instead of
+# leaving a half-built PGO cache behind.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+PGO_DIR="${PGO_DIR:-target/pgo}"
+RAW_DIR="$ROOT/$PGO_DIR/raw"
+MERGED="$ROOT/$PGO_DIR/merged.profdata"
+PGO_TARGET="$ROOT/$PGO_DIR/build"
+PLAIN_JSON="${PGO_PLAIN_JSON:-$ROOT/$PGO_DIR/plain.json}"
+PGO_JSON="${PGO_JSON:-$ROOT/$PGO_DIR/pgo.json}"
+
+PROFDATA="${LLVM_PROFDATA:-llvm-profdata}"
+if ! command -v "$PROFDATA" >/dev/null 2>&1; then
+    echo "pgo.sh: no usable llvm-profdata found (looked for '$PROFDATA')." >&2
+    echo "pgo.sh: install LLVM tools or point LLVM_PROFDATA at the binary" >&2
+    echo "pgo.sh: matching rustc's LLVM ($(rustc -vV | grep 'LLVM version'))." >&2
+    exit 2
+fi
+
+mkdir -p "$RAW_DIR"
+
+if [ "${PGO_SKIP_PLAIN:-0}" != "1" ]; then
+    echo "==> [1/4] plain release bench (reference)"
+    ENGINE_BENCH_JSON="$PLAIN_JSON" cargo bench -p cesim-bench --bench compile
+else
+    echo "==> [1/4] skipped (PGO_SKIP_PLAIN=1, reusing $PLAIN_JSON)"
+fi
+
+echo "==> [2/4] instrumented build + training sweep"
+rm -f "$RAW_DIR"/*.profraw
+RUSTFLAGS="-Cprofile-generate=$RAW_DIR" \
+    CARGO_TARGET_DIR="$PGO_TARGET" \
+    cargo bench -p cesim-bench --bench compile
+
+echo "==> [3/4] merging raw profiles"
+if ! "$PROFDATA" merge -o "$MERGED" "$RAW_DIR"/*.profraw; then
+    echo "pgo.sh: llvm-profdata failed to merge the raw profiles." >&2
+    echo "pgo.sh: this is usually an LLVM version mismatch —" >&2
+    echo "pgo.sh:   rustc:         $(rustc -vV | grep 'LLVM version')" >&2
+    echo "pgo.sh:   llvm-profdata: $("$PROFDATA" merge --version 2>/dev/null | head -1 || true)" >&2
+    echo "pgo.sh: point LLVM_PROFDATA at a matching major version." >&2
+    exit 2
+fi
+
+echo "==> [4/4] PGO build + measured bench"
+RUSTFLAGS="-Cprofile-use=$MERGED" \
+    CARGO_TARGET_DIR="$PGO_TARGET" \
+    ENGINE_BENCH_JSON="$PGO_JSON" \
+    cargo bench -p cesim-bench --bench compile
+RUSTFLAGS="-Cprofile-use=$MERGED" \
+    CARGO_TARGET_DIR="$PGO_TARGET" \
+    cargo build --release -p cesim-cli --bin cesim
+echo "PGO cesim binary: $PGO_TARGET/release/cesim"
+
+python3 - "$PLAIN_JSON" "$PGO_JSON" <<'EOF'
+import json, sys
+
+plain = json.load(open(sys.argv[1]))
+pgo = json.load(open(sys.argv[2]))
+print()
+print(f"{'metric':<32} {'plain':>10} {'pgo':>10} {'ratio':>7}")
+for key in ("rebuild_replicas_per_sec", "compile_once_replicas_per_sec"):
+    a, b = plain[key], pgo[key]
+    print(f"{key:<32} {a:>10.3f} {b:>10.3f} {b / a:>6.3f}x")
+EOF
