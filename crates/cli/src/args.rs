@@ -49,6 +49,8 @@ const VALUED: &[&str] = &[
     "queue-depth",
     "cache-entries",
     "response-cache-entries",
+    "log-level",
+    "log-format",
 ];
 
 /// Bare switches the CLI understands. Anything else spelled `--name` is
@@ -168,6 +170,13 @@ mod tests {
         assert_eq!(a.get_parsed("workers", 1usize).unwrap(), 8);
         assert_eq!(a.get_parsed("queue-depth", 1usize).unwrap(), 16);
         assert_eq!(a.get_parsed("cache-entries", 1usize).unwrap(), 32);
+    }
+
+    #[test]
+    fn logging_options_parse() {
+        let a = parse("serve --log-level debug --log-format json").unwrap();
+        assert_eq!(a.get("log-level"), Some("debug"));
+        assert_eq!(a.get("log-format"), Some("json"));
     }
 
     #[test]

@@ -143,12 +143,21 @@ SERVE OPTIONS (cesim serve)
   --response-cache-entries N
                     Full-response LRU capacity, 0 disables [default 256]
   --log-requests    One structured access-log line per request on stderr
-                    (method, path, status, microseconds, cache hit/miss)
+                    (method, path, status, microseconds, cache hit/miss,
+                    trace id)
   Endpoints: POST /v1/simulate, POST /v1/sweep, GET /healthz, GET /metrics
-  (Prometheus text), GET /v1/debug/flightrec (recent telemetry events as
-  JSON; also dumped to stderr on SIGUSR1). Shuts down gracefully on
+  (Prometheus text with trace-id exemplars), GET /v1/debug/flightrec
+  (recent telemetry events as JSON; also dumped to stderr on SIGUSR1),
+  GET /v1/debug/traces[/:id[/chrome]] (tail-sampled request traces; ids
+  come from the traceparent response header). Shuts down gracefully on
   SIGTERM/ctrl-c, draining queued and in-flight requests. See README.md
   for curl examples.
+
+LOGGING OPTIONS (any command)
+  --log-level L     Structured-log filter: error, warn, info, debug
+                    [default info]
+  --log-format F    Structured-log encoding: logfmt or json
+                    [default logfmt]
 ";
 
 const USAGE: &str = "usage: cesim <command> [options] — run 'cesim help' for the command list";
@@ -191,6 +200,7 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
+    configure_logging(args)?;
     // Only the trace tools and metrics-check take positional arguments
     // (an input file path).
     if !matches!(cmd, "trace" | "trace-check" | "attribute" | "metrics-check") {
@@ -261,6 +271,31 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
             "unknown command '{other}' (try 'cesim help')"
         ))),
     }
+}
+
+/// Apply `--log-level` / `--log-format` to the process-global
+/// structured-log sink before any command runs. Bad names are usage
+/// errors (exit 2), like any other unknown option value.
+fn configure_logging(args: &Args) -> Result<(), Failure> {
+    use cesim_core::obs::logging;
+    let level = match args.get("log-level") {
+        None => logging::Level::Info,
+        Some(v) => logging::Level::parse(v).ok_or_else(|| {
+            Failure::Usage(format!(
+                "invalid --log-level '{v}' (expected error, warn, info, or debug)"
+            ))
+        })?,
+    };
+    let format = match args.get("log-format") {
+        None => logging::Format::Logfmt,
+        Some(v) => logging::Format::parse(v).ok_or_else(|| {
+            Failure::Usage(format!(
+                "invalid --log-format '{v}' (expected logfmt or json)"
+            ))
+        })?,
+    };
+    logging::configure(level, format);
+    Ok(())
 }
 
 /// `cesim serve` — run the simulation daemon until SIGTERM/ctrl-c.

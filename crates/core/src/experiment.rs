@@ -15,9 +15,8 @@
 
 use crate::seed::rep_seed;
 use cesim_engine::{
-    simulate_compiled, simulate_compiled_sharded, simulate_compiled_sharded_observed,
-    simulate_sharded_recorded, simulate_sharded_recorded_observed, CompiledSchedule, NoNoise,
-    ShardMode, ShardTelemetry, SimError, Simulator,
+    simulate_compiled, simulate_sharded_instrumented, CompiledSchedule, NoNoise, NullRecorder,
+    ShardMode, ShardTelemetry, SimError, Simulator, WindowObserver,
 };
 use cesim_goal::Schedule;
 use cesim_model::{LogGopsParams, LoggingMode, Span, Time};
@@ -397,12 +396,28 @@ pub fn run_against_baseline_compiled_telem(
         });
     }
     let detour = exp.mode.per_event_cost();
+    // When the calling thread carries a request-trace context (serve),
+    // propagate it into the replica jobs: each replica runs under its
+    // own span, with shard window batches recorded as child spans.
+    // Purely observational — replicas are seeded from stable
+    // coordinates either way, so results are byte-identical.
+    let trace = cesim_obs::tracectx::current();
+    let trace = trace.as_ref();
     // Each replica is a self-contained job — its own noise model, seeded
     // from stable coordinates — so the replicas parallelize freely and
     // results are reassembled in replica order (identical to serial).
     let results: Vec<Result<(RunStats, Option<ReplicaObs>), SimError>> = (0..exp.reps)
         .into_par_iter()
         .map(|rep| {
+            let _trace_guard = trace.map(|t| t.install());
+            let _rep_span =
+                trace.and_then(|_| cesim_obs::tracectx::begin_dyn(format!("replica {rep}")));
+            let window_spans = (exp.shards > 1)
+                .then(cesim_obs::tracectx::current)
+                .flatten()
+                .map(cesim_obs::tracectx::WindowSpans::new);
+            let window_obs: Option<&dyn WindowObserver> =
+                window_spans.as_ref().map(|w| w as &dyn WindowObserver);
             let mut noise =
                 CeNoise::new(ranks, exp.mtbce, detour, exp.scope, rep_seed(exp.seed, rep));
             if (rep as usize) < observe_replicas {
@@ -411,24 +426,16 @@ pub fn run_against_baseline_compiled_telem(
                 // huge sweep cell cannot exhaust memory.
                 let cap = ((cs.total_ops() as usize).saturating_mul(12)).clamp(1 << 10, 1 << 22);
                 let mut rec = TimelineRecorder::with_capacity(cap);
-                let r = if let (Some(t), true) = (telem, exp.shards > 1) {
-                    simulate_sharded_recorded_observed(
+                let r = if exp.shards > 1 {
+                    simulate_sharded_instrumented(
                         cs,
                         &exp.params,
                         exp.shards,
                         ShardMode::Auto,
                         &noise,
                         &mut rec,
-                        t,
-                    )?
-                } else if exp.shards > 1 {
-                    simulate_sharded_recorded(
-                        cs,
-                        &exp.params,
-                        exp.shards,
-                        ShardMode::Auto,
-                        &noise,
-                        &mut rec,
+                        telem,
+                        window_obs,
                     )?
                 } else {
                     Simulator::from_compiled(Arc::clone(cs), exp.params)
@@ -453,17 +460,17 @@ pub fn run_against_baseline_compiled_telem(
                     }),
                 ))
             } else {
-                let res = if let (Some(t), true) = (telem, exp.shards > 1) {
-                    simulate_compiled_sharded_observed(
+                let res = if exp.shards > 1 {
+                    simulate_sharded_instrumented(
                         cs,
                         &exp.params,
                         exp.shards,
                         ShardMode::Auto,
                         &noise,
-                        t,
+                        &mut NullRecorder,
+                        telem,
+                        window_obs,
                     )
-                } else if exp.shards > 1 {
-                    simulate_compiled_sharded(cs, &exp.params, exp.shards, ShardMode::Auto, &noise)
                 } else {
                     simulate_compiled(cs, &exp.params, &mut noise)
                 };

@@ -280,6 +280,14 @@ fn run_figure(
     scope_for: impl Fn(usize) -> Scope + Sync,
     specs: &[CellSpec],
 ) -> FigureData {
+    // Capture the caller's request-trace context (if the serve daemon
+    // installed one) before entering the pool scope: `cfg.scoped` may
+    // hop to a pool thread, and the rayon cell jobs below run on
+    // arbitrary workers. Each job re-installs the context so its spans
+    // land in the request's trace. Observational only — cell results
+    // are seeded from stable coordinates and byte-identical either way.
+    let trace = cesim_obs::tracectx::current();
+    let trace = trace.as_ref();
     let cells = cfg.scoped(|| {
         // Stage 1: distinct (app index, node count) scales.
         let mut scales: Vec<(usize, usize)> = Vec::new();
@@ -293,6 +301,7 @@ fn run_figure(
         let built: Vec<(usize, Arc<CompiledSchedule>, cesim_model::Time)> = scales
             .par_iter()
             .map(|&(ai, nodes)| {
+                let _trace_guard = trace.map(|t| t.install());
                 let app = cfg.apps[ai];
                 let ranks = natural_ranks(app, nodes);
                 let sched = {
@@ -386,6 +395,14 @@ fn run_figure(
             .map(|&(ai, si)| {
                 let app = cfg.apps[ai];
                 let spec = &specs[si];
+                let _trace_guard = trace.map(|t| t.install());
+                let _cell_span = trace.and_then(|_| {
+                    cesim_obs::tracectx::begin_dyn(format!(
+                        "cell {app} {} {}",
+                        spec.group,
+                        spec.mode.short_label()
+                    ))
+                });
                 let (ranks, cs, baseline) = &built[scale_index[&(ai, spec.nodes)]];
                 let exp = Experiment {
                     app,
@@ -678,6 +695,28 @@ mod tests {
             .find(|c| c.mode == LoggingMode::Firmware && c.group.contains("1.000ms"))
             .unwrap();
         assert_eq!(fw_1ms.slowdown_pct, None);
+    }
+
+    #[test]
+    fn figure_csv_is_byte_identical_under_tracing() {
+        // The serve daemon runs sweeps with a request trace installed;
+        // tracing must be purely observational — same cells, same CSV
+        // bytes — while still recording per-cell spans into the trace.
+        let cfg = tiny();
+        let plain = crate::report::figure_csv(&fig4(&cfg));
+        let ctx = cesim_obs::tracectx::TraceCtx::new_root("POST /v1/sweep", None);
+        let traced = {
+            let _g = ctx.install();
+            let _dispatch = cesim_obs::tracectx::begin("dispatch");
+            crate::report::figure_csv(&fig4(&cfg))
+        };
+        assert_eq!(plain, traced, "tracing must not perturb figure CSVs");
+        let fin = ctx.finish(200, false);
+        assert!(
+            fin.spans.iter().any(|s| s.name.starts_with("cell ")),
+            "sweep cells must land in the trace: {:?}",
+            fin.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

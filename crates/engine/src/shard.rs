@@ -111,6 +111,24 @@ pub fn set_window_hook(hook: WindowHook) {
     let _ = WINDOW_HOOK.set(hook);
 }
 
+/// Lookahead windows per [`WindowObserver::on_window_batch`] callback
+/// (plus one final call for the partial batch at drive end).
+pub const WINDOW_BATCH: u64 = 256;
+
+/// Per-run observer of lookahead-window progress. Unlike the
+/// process-wide [`WindowHook`], an observer is scoped to a single
+/// sharded drive and may carry request context (a trace-span
+/// collector, say). It is invoked by whichever thread advanced the
+/// window bound, at most once per [`WINDOW_BATCH`] windows plus once
+/// at drive end for the remainder, so implementations may take a lock
+/// or read the clock without showing up in the per-window hot path.
+/// Passing an observer never changes simulation results.
+pub trait WindowObserver: Sync {
+    /// `windows` lookahead windows completed since the previous call;
+    /// `wend_ps` is the most recent window-end bound in picoseconds.
+    fn on_window_batch(&self, windows: u64, wend_ps: u64);
+}
+
 /// Snapshot of process-wide sharded-engine activity since start.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardGlobals {
@@ -607,7 +625,16 @@ pub fn simulate_compiled_sharded<N: NoiseModel + Clone + Send>(
     mode: ShardMode,
     noise: &N,
 ) -> Result<SimResult, SimError> {
-    run_sharded(cs, params, shards, mode, noise, &mut NullRecorder, None)
+    run_sharded(
+        cs,
+        params,
+        shards,
+        mode,
+        noise,
+        &mut NullRecorder,
+        None,
+        None,
+    )
 }
 
 /// [`simulate_compiled_sharded`] with shard-health telemetry: per-shard
@@ -631,6 +658,7 @@ pub fn simulate_compiled_sharded_observed<N: NoiseModel + Clone + Send>(
         noise,
         &mut NullRecorder,
         Some(telem),
+        None,
     )
 }
 
@@ -646,7 +674,7 @@ pub fn simulate_sharded_recorded<N: NoiseModel + Clone + Send, R: Recorder>(
     noise: &N,
     rec: &mut R,
 ) -> Result<SimResult, SimError> {
-    run_sharded(cs, params, shards, mode, noise, rec, None)
+    run_sharded(cs, params, shards, mode, noise, rec, None, None)
 }
 
 /// [`simulate_sharded_recorded`] with shard-health telemetry (see
@@ -660,7 +688,27 @@ pub fn simulate_sharded_recorded_observed<N: NoiseModel + Clone + Send, R: Recor
     rec: &mut R,
     telem: &ShardTelemetry,
 ) -> Result<SimResult, SimError> {
-    run_sharded(cs, params, shards, mode, noise, rec, Some(telem))
+    run_sharded(cs, params, shards, mode, noise, rec, Some(telem), None)
+}
+
+/// The fully instrumented sharded entry point: event recording,
+/// optional shard-health telemetry, and an optional per-run
+/// [`WindowObserver`] in one call. Every other `simulate_*sharded*`
+/// wrapper delegates here with the instruments it lacks set to
+/// `None`/`NullRecorder`; results are byte-identical regardless of
+/// which instruments are attached.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_sharded_instrumented<N: NoiseModel + Clone + Send, R: Recorder>(
+    cs: &CompiledSchedule,
+    params: &LogGopsParams,
+    shards: usize,
+    mode: ShardMode,
+    noise: &N,
+    rec: &mut R,
+    telem: Option<&ShardTelemetry>,
+    observer: Option<&dyn WindowObserver>,
+) -> Result<SimResult, SimError> {
+    run_sharded(cs, params, shards, mode, noise, rec, telem, observer)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -672,6 +720,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
     noise: &N,
     rec: &mut R,
     telem: Option<&ShardTelemetry>,
+    observer: Option<&dyn WindowObserver>,
 ) -> Result<SimResult, SimError> {
     if cs.num_ranks() == 0 {
         return Err(SimError::EmptySchedule);
@@ -716,6 +765,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
             &mut noises,
             &mut recs,
             telem,
+            observer,
         );
         merge_records(recs, rec);
         n
@@ -730,6 +780,7 @@ fn run_sharded<N: NoiseModel + Clone + Send, R: Recorder>(
             &mut noises,
             &mut recs,
             telem,
+            observer,
         )
     };
 
@@ -788,14 +839,15 @@ fn drive<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     noises: &mut [N],
     recs: &mut [R],
     telem: Option<&ShardTelemetry>,
+    observer: Option<&dyn WindowObserver>,
 ) -> u64 {
     G_RUNS_ACTIVE.fetch_add(1, Ordering::Relaxed);
     G_RUNS_TOTAL.fetch_add(1, Ordering::Relaxed);
     let t0 = Instant::now();
     let events = if mode.threaded() {
-        drive_threaded(cs, params, cuts, scratches, noises, recs, telem)
+        drive_threaded(cs, params, cuts, scratches, noises, recs, telem, observer)
     } else {
-        drive_lockstep(cs, params, cuts, scratches, noises, recs, telem)
+        drive_lockstep(cs, params, cuts, scratches, noises, recs, telem, observer)
     };
     if let Some(t) = telem {
         t.drive_ns
@@ -869,15 +921,27 @@ fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
     noises: &mut [N],
     recs: &mut [R],
     telem: Option<&ShardTelemetry>,
+    observer: Option<&dyn WindowObserver>,
 ) -> u64 {
     let lookahead = params.latency;
     let mut events = 0u64;
     let mut outbox: Vec<(Time, EvKey, Msg)> = Vec::new();
     let mut prev_m_ps = u64::MAX;
+    let mut windows = 0u64;
+    let mut last_wend_ps = 0u64;
     while let Some(m) = scratches.iter().filter_map(|s| s.queue.peek_time()).min() {
         let wend = m + lookahead;
         note_window(m.as_ps(), prev_m_ps, wend.as_ps());
         prev_m_ps = m.as_ps();
+        if observer.is_some() {
+            windows += 1;
+            last_wend_ps = wend.as_ps();
+            if windows.is_multiple_of(WINDOW_BATCH) {
+                if let Some(o) = observer {
+                    o.on_window_batch(WINDOW_BATCH, last_wend_ps);
+                }
+            }
+        }
         let mut window_events = 0u64;
         for (i, ((s, n), r)) in scratches
             .iter_mut()
@@ -911,6 +975,12 @@ fn drive_lockstep<N: NoiseModel, R: WindowRecorder>(
             scratches[d].deliver(t, key, m);
         }
     }
+    if let Some(o) = observer {
+        let rem = windows % WINDOW_BATCH;
+        if rem > 0 {
+            o.on_window_batch(rem, last_wend_ps);
+        }
+    }
     events
 }
 
@@ -929,6 +999,7 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     noises: &mut [N],
     recs: &mut [R],
     telem: Option<&ShardTelemetry>,
+    observer: Option<&dyn WindowObserver>,
 ) -> u64 {
     let s_eff = scratches.len();
     let lookahead = params.latency;
@@ -940,6 +1011,9 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
     let mailboxes: Vec<Mutex<Vec<(Time, EvKey, Msg)>>> =
         (0..s_eff).map(|_| Mutex::new(Vec::new())).collect();
     let events_total = AtomicU64::new(0);
+    // Window count for the per-run observer; only the per-round leader
+    // touches it, so relaxed ordering suffices.
+    let windows_seen = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for (i, ((scratch, noise), rec)) in scratches
@@ -948,7 +1022,7 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
             .zip(recs.iter_mut())
             .enumerate()
         {
-            let (barrier, mins, wend_ps, prev_m_ps, done, mailboxes, events_total) = (
+            let (barrier, mins, wend_ps, prev_m_ps, done, mailboxes, events_total, windows_seen) = (
                 &barrier,
                 &mins,
                 &wend_ps,
@@ -956,6 +1030,7 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
                 &done,
                 &mailboxes,
                 &events_total,
+                &windows_seen,
             );
             scope.spawn(move || {
                 let stats = telem.and_then(|t| t.stats.get(i));
@@ -978,6 +1053,12 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
                             let wend = (Time::from_ps(m) + lookahead).as_ps();
                             wend_ps.store(wend, Ordering::SeqCst);
                             note_window(m, prev_m_ps.swap(m, Ordering::Relaxed), wend);
+                            if let Some(o) = observer {
+                                let w = windows_seen.fetch_add(1, Ordering::Relaxed) + 1;
+                                if w.is_multiple_of(WINDOW_BATCH) {
+                                    o.on_window_batch(WINDOW_BATCH, wend);
+                                }
+                            }
                         }
                     }
                     barrier.wait();
@@ -1023,6 +1104,12 @@ fn drive_threaded<N: NoiseModel + Clone + Send, R: WindowRecorder + Send>(
             });
         }
     });
+    if let Some(o) = observer {
+        let rem = windows_seen.load(Ordering::Relaxed) % WINDOW_BATCH;
+        if rem > 0 {
+            o.on_window_batch(rem, wend_ps.load(Ordering::SeqCst));
+        }
+    }
     events_total.load(Ordering::SeqCst)
 }
 

@@ -242,6 +242,65 @@ pub fn export_chrome_trace(events: &[SimEvent], dropped: u64) -> String {
     out
 }
 
+/// Export a completed request trace ([`crate::tracectx::FinishedTrace`])
+/// as a Chrome `trace_event` document: the root span plus every
+/// buffered span as `ph: "X"` complete slices on pid 0 ("request").
+/// Spans are packed greedily into lanes (tids) so concurrent siblings
+/// — parallel sweep cells, replicas — render side by side instead of
+/// producing an invalid nesting; timestamps are the trace's nanosecond
+/// offsets rendered as fixed-point microseconds, so the export is
+/// byte-deterministic for a given trace.
+pub fn export_request_trace(t: &crate::tracectx::FinishedTrace) -> String {
+    fn ns_us(ns: u64) -> String {
+        format!("{}.{:03}", ns / 1_000, ns % 1_000)
+    }
+    // (start_ns, id, name, dur_ns, parent) — root first, then spans in
+    // start order so greedy lane assignment keeps per-track timestamps
+    // monotone.
+    let mut rows: Vec<(u64, u64, &str, u64, u64)> =
+        vec![(0, t.root.0, t.name.as_str(), t.dur_ns, 0)];
+    for s in &t.spans {
+        rows.push((s.start_ns, s.id.0, s.name.as_str(), s.dur_ns, s.parent.0));
+    }
+    rows.sort_by_key(|r| (r.0, r.1));
+    let mut lane_end: Vec<u64> = Vec::new();
+    let mut out = String::with_capacity(256 + rows.len() * 128);
+    out.push_str("{\"traceEvents\":[\n");
+    out.push_str(&format!(
+        r#"{{"name":"process_name","ph":"M","pid":0,"args":{{"name":"request {}"}}}}"#,
+        t.trace_id
+    ));
+    for (start_ns, id, name, dur_ns, parent) in rows {
+        let end = start_ns + dur_ns;
+        let lane = match lane_end.iter().position(|&e| e <= start_ns) {
+            Some(l) => {
+                lane_end[l] = end;
+                l
+            }
+            None => {
+                lane_end.push(end);
+                lane_end.len() - 1
+            }
+        };
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{}\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"span_id\":\"{:016x}\",\"parent\":\"{:016x}\"}}}}",
+            name.replace('\\', "\\\\").replace('"', "\\\""),
+            ns_us(start_ns),
+            ns_us(dur_ns),
+            lane + 1,
+            id,
+            parent,
+        );
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"generator\":\"cesim-obs\",\"trace_id\":\"{}\",\"status\":{},\"dropped_spans\":{}}}}}",
+        t.trace_id, t.status, t.dropped
+    );
+    out
+}
+
 /// Summary of a validated Chrome trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ChromeTraceStats {
@@ -363,6 +422,31 @@ mod tests {
             doc.get("otherData").unwrap().get("dropped_events").unwrap(),
             &JsonValue::Number(3.0)
         );
+    }
+
+    #[test]
+    fn request_trace_export_validates_with_overlapping_siblings() {
+        use crate::tracectx::{SpanId, SpanRec, TraceCtx};
+        let ctx = TraceCtx::new_root("POST /v1/sweep", None);
+        let mut f = ctx.finish(200, false);
+        f.dur_ns = 5_000_000;
+        let mk = |id: u64, start_ns: u64, dur_ns: u64| SpanRec {
+            id: SpanId(id),
+            parent: f.root,
+            name: format!("cell {id}"),
+            start_ns,
+            dur_ns,
+        };
+        // Two overlapping "parallel cell" siblings plus a sequential one.
+        f.spans.push(mk(f.root.0 + 1, 0, 3_000_000));
+        f.spans.push(mk(f.root.0 + 2, 1_000_000, 3_000_000));
+        f.spans.push(mk(f.root.0 + 3, 4_000_000, 500_000));
+        let doc = export_request_trace(&f);
+        let stats = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(stats.slices, 4, "{doc}");
+        // The overlapping siblings must land on distinct lanes; the
+        // sequential span reuses a freed lane.
+        assert!(stats.tracks >= 2 && stats.tracks <= 3, "{stats:?}");
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! * [`telemetry`] — runtime telemetry for the tool itself: a scoped
 //!   span profiler (phase tables, Prometheus histograms) and a
 //!   lock-free flight recorder of recent runtime events, both gated
-//!   on one process-wide atomic so the disabled path is free.
+//!   on one process-wide atomic so the disabled path is free,
+//! * [`tracectx`] — request-scoped distributed tracing: W3C
+//!   `traceparent` propagation, per-request span trees collected
+//!   across worker threads, and a tail-sampling [`TraceStore`] that
+//!   always retains errors, sheds, and the slowest cohort,
+//! * [`logging`] — leveled structured logging (logfmt | JSON) with
+//!   automatic `trace_id` stamping from the installed trace context.
 //!
 //! The event taxonomy itself ([`SimEvent`], [`Recorder`]) lives in
 //! `cesim_engine::record` so the engine carries no dependency on this
@@ -34,10 +40,12 @@
 pub mod chrome;
 pub mod critical;
 pub mod json;
+pub mod logging;
 pub mod metrics;
 pub mod provenance;
 pub mod telemetry;
 pub mod timeline;
+pub mod tracectx;
 
 pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use critical::{Attribution, CriticalPath};
@@ -48,6 +56,7 @@ pub use provenance::{
 };
 pub use telemetry::Span;
 pub use timeline::TimelineRecorder;
+pub use tracectx::{FinishedTrace, TraceCtx, TraceId, TraceStore};
 
 // Re-export the engine-side contract so downstream users need one import.
 pub use cesim_engine::record::{MsgClass, NullRecorder, Recorder, SegKind, SimEvent, VecRecorder};

@@ -79,10 +79,18 @@ struct PhaseAgg {
 
 /// A scoped profiling span: wall time between [`Span::enter`] and drop
 /// is attributed to `label`. Zero-cost when the sink is disabled.
+///
+/// When the calling thread has a [`crate::tracectx`] context installed
+/// (requests inside the serve daemon), the span additionally records
+/// itself into that request's trace tree, so one `Span::enter` in the
+/// pipeline feeds the aggregate profile *and* per-request tracing.
 #[must_use = "a span measures the time until it is dropped"]
 pub struct Span {
     label: &'static str,
     start: Option<Instant>,
+    /// Held only for its drop effect: closes the piggybacked request-
+    /// trace span when the profiler span closes.
+    _trace: Option<crate::tracectx::ActiveSpan>,
 }
 
 impl Span {
@@ -91,12 +99,17 @@ impl Span {
     #[inline]
     pub fn enter(label: &'static str) -> Span {
         if !enabled() {
-            return Span { label, start: None };
+            return Span {
+                label,
+                start: None,
+                _trace: None,
+            };
         }
         flight_record(FlightKind::SpanBegin, label, 0, 0);
         Span {
             label,
             start: Some(Instant::now()),
+            _trace: crate::tracectx::begin(label),
         }
     }
 }
@@ -299,6 +312,8 @@ struct Slot {
     t_ns: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
+    trace_hi: AtomicU64,
+    trace_lo: AtomicU64,
 }
 
 static RING: OnceLock<Vec<Slot>> = OnceLock::new();
@@ -321,13 +336,17 @@ fn label_id(label: &'static str) -> u64 {
 }
 
 /// Record one flight event. A near-no-op when telemetry is disabled;
-/// otherwise lock-free (one `fetch_add` plus relaxed stores).
+/// otherwise lock-free (one `fetch_add` plus relaxed stores). Events
+/// recorded on a thread with a [`crate::tracectx`] context installed
+/// are stamped with its trace id, so flightrec dumps cross-correlate
+/// with access logs and stored traces.
 pub fn flight_record(kind: FlightKind, label: &'static str, a: u64, b: u64) {
     if !enabled() {
         return;
     }
     let t = mono_ns();
     let id = label_id(label);
+    let trace = crate::tracectx::current_trace_id().map_or(0u128, |t| t.0);
     let ring = ring();
     let ticket = TICKET.fetch_add(1, Ordering::Relaxed) + 1;
     let slot = &ring[(ticket - 1) as usize % FLIGHT_CAPACITY];
@@ -338,6 +357,8 @@ pub fn flight_record(kind: FlightKind, label: &'static str, a: u64, b: u64) {
     slot.t_ns.store(t, Ordering::Relaxed);
     slot.a.store(a, Ordering::Relaxed);
     slot.b.store(b, Ordering::Relaxed);
+    slot.trace_hi.store((trace >> 64) as u64, Ordering::Relaxed);
+    slot.trace_lo.store(trace as u64, Ordering::Relaxed);
     slot.seq.store(ticket, Ordering::Release);
 }
 
@@ -362,6 +383,9 @@ pub struct FlightEvent {
     pub a: u64,
     /// Kind-specific payload.
     pub b: u64,
+    /// Trace id of the request the event belongs to (0 when the event
+    /// was recorded outside any request context).
+    pub trace: u128,
 }
 
 /// Snapshot the ring, oldest first. Records being overwritten while we
@@ -382,6 +406,8 @@ pub fn flight_snapshot() -> Vec<FlightEvent> {
         let t_ns = slot.t_ns.load(Ordering::Relaxed);
         let a = slot.a.load(Ordering::Relaxed);
         let b = slot.b.load(Ordering::Relaxed);
+        let trace = ((slot.trace_hi.load(Ordering::Relaxed) as u128) << 64)
+            | slot.trace_lo.load(Ordering::Relaxed) as u128;
         if slot.seq.load(Ordering::Acquire) != s1 {
             continue;
         }
@@ -398,6 +424,7 @@ pub fn flight_snapshot() -> Vec<FlightEvent> {
             label,
             a,
             b,
+            trace,
         });
     }
     out.sort_unstable_by_key(|e| e.seq);
@@ -419,7 +446,7 @@ pub fn flight_dump_json() -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"seq\":{},\"t_us\":{},\"kind\":\"{}\",\"label\":\"{}\",\"a\":{},\"b\":{}}}",
+            "{{\"seq\":{},\"t_us\":{},\"kind\":\"{}\",\"label\":\"{}\",\"a\":{},\"b\":{}",
             e.seq,
             e.t_ns / 1_000,
             e.kind.name(),
@@ -427,6 +454,10 @@ pub fn flight_dump_json() -> String {
             e.a,
             e.b
         ));
+        if e.trace != 0 {
+            out.push_str(&format!(",\"trace_id\":\"{:032x}\"", e.trace));
+        }
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -593,6 +624,26 @@ mod tests {
             assert!(out.contains("# TYPE cesim_phase_seconds histogram"));
             assert!(out.contains("cesim_phase_seconds_bucket{phase=\"render_me\",le=\"+Inf\"} 1"));
             assert!(out.contains("cesim_phase_seconds_count{phase=\"render_me\"} 1"));
+        });
+    }
+
+    #[test]
+    fn spans_and_flight_events_carry_the_installed_trace() {
+        with_sink(|| {
+            let ctx = crate::tracectx::TraceCtx::new_root("GET /t", None);
+            {
+                let _g = ctx.install();
+                let _s = Span::enter("traced_phase");
+            }
+            let fin = ctx.finish(200, false);
+            assert!(
+                fin.spans.iter().any(|s| s.name == "traced_phase"),
+                "profiler span must piggyback into the trace tree"
+            );
+            let stamped = flight_snapshot().iter().any(|e| e.trace == fin.trace_id.0);
+            assert!(stamped, "flight events under the context carry its id");
+            let dump = flight_dump_json();
+            assert!(dump.contains(&fin.trace_id.to_string()), "{dump}");
         });
     }
 

@@ -40,14 +40,32 @@ pub fn request(
     body: Option<&str>,
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, path, body, timeout, &[])
+}
+
+/// [`request`] with extra request headers (e.g. a `traceparent` to join
+/// an existing distributed trace).
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    headers: &[(&str, &str)],
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let body = body.unwrap_or("");
-    let req = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
     stream.write_all(req.as_bytes())?;
     stream.flush()?;
 

@@ -23,6 +23,10 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Raw W3C `traceparent` header value, if the client sent one.
+    /// Validation happens at trace creation — a malformed value falls
+    /// back to fresh ids, never to a 4xx.
+    pub traceparent: Option<String>,
 }
 
 /// Why a request could not be read. Each variant maps onto one HTTP
@@ -84,6 +88,7 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
     }
 
     let mut content_length = 0usize;
+    let mut traceparent = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -96,6 +101,8 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        } else if name.trim().eq_ignore_ascii_case("traceparent") {
+            traceparent = Some(value.trim().to_string());
         }
     }
     if content_length > max_body_bytes {
@@ -121,7 +128,12 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
             Err(e) => return Err(HttpError::Io(e.kind())),
         }
     }
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        traceparent,
+    })
 }
 
 /// Read up to the end of the header block (`\r\n\r\n`), returning the
@@ -289,6 +301,24 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+        assert_eq!(req.traceparent, None);
+    }
+
+    #[test]
+    fn captures_traceparent_header_case_insensitively() {
+        let req = parse_bytes(
+            b"GET /healthz HTTP/1.1\r\nTraceParent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(
+            req.traceparent.as_deref(),
+            Some("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+        );
+        // Garbage values are captured verbatim — rejection happens at
+        // trace creation, where they fall back to fresh ids.
+        let junk = parse_bytes(b"GET / HTTP/1.1\r\ntraceparent: nope\r\n\r\n", 1024).unwrap();
+        assert_eq!(junk.traceparent.as_deref(), Some("nope"));
     }
 
     #[test]

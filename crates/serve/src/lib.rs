@@ -24,6 +24,14 @@
 //!   recorder (recent spans, window advances, sheds, panics, cache
 //!   evictions). The same dump goes to stderr on `SIGUSR1` and on a
 //!   worker panic.
+//! * `GET /v1/debug/traces` — summaries of the tail-sampled request
+//!   traces, and `GET /v1/debug/traces/:id` the full span tree of one
+//!   trace (`/:id/chrome` renders it as a Chrome `trace_event` file).
+//!   Every request gets a trace id — fresh, or adopted from an incoming
+//!   W3C `traceparent` header — echoed back as a `traceparent` response
+//!   header, stamped into access-log lines and flight-recorder events,
+//!   and attached to `/metrics` latency buckets as OpenMetrics
+//!   exemplars. See `cesim_core::obs::tracectx`.
 //!
 //! ## Operational properties
 //!
@@ -51,6 +59,7 @@ pub mod promcheck;
 pub mod signal;
 
 use cesim_core::obs::telemetry::{self, FlightKind};
+use cesim_core::obs::{chrome, logging, tracectx};
 use cesim_core::service::{
     handle_simulate, handle_sweep, ServiceError, ServiceState, SimulateRequest, SweepRequest,
 };
@@ -116,6 +125,7 @@ struct Shared {
     cfg: ServeConfig,
     state: ServiceState,
     metrics: Metrics,
+    traces: tracectx::TraceStore,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -143,6 +153,7 @@ impl Server {
         let shared = Arc::new(Shared {
             state: ServiceState::new(cfg.schedule_cache_entries, cfg.response_cache_entries),
             metrics: Metrics::new(),
+            traces: tracectx::TraceStore::new(),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -198,8 +209,15 @@ impl Server {
 /// shut down gracefully.
 pub fn run(cfg: ServeConfig) -> std::io::Result<()> {
     signal::install();
+    let workers = cfg.workers.max(1).to_string();
     let server = Server::bind(cfg)?;
-    eprintln!("cesim-serve: listening on {}", server.addr());
+    logging::info(
+        "serve",
+        &[
+            ("msg", &format!("listening on {}", server.addr())),
+            ("workers", &workers),
+        ],
+    );
     while !signal::triggered() {
         if signal::usr1_taken() {
             // Operator asked for a flight-recorder dump (kill -USR1).
@@ -208,7 +226,7 @@ pub fn run(cfg: ServeConfig) -> std::io::Result<()> {
         }
         thread::sleep(Duration::from_millis(100));
     }
-    eprintln!("cesim-serve: draining and shutting down");
+    logging::info("serve", &[("msg", "draining and shutting down")]);
     server.shutdown();
     Ok(())
 }
@@ -233,7 +251,13 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             .set_read_timeout(Some(shared.cfg.read_timeout))
             .and_then(|()| stream.set_write_timeout(Some(shared.cfg.write_timeout)))
         {
-            eprintln!("cesim-serve: dropping connection (cannot set socket timeouts: {e})");
+            logging::warn(
+                "serve",
+                &[(
+                    "msg",
+                    &format!("dropping connection (cannot set socket timeouts: {e})"),
+                )],
+            );
             drop(stream);
             continue;
         }
@@ -243,6 +267,9 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             drop(q);
             shared.metrics.shed();
             telemetry::flight_record(FlightKind::Shed, "queue_full", depth as u64, 0);
+            // Shed requests never reach a worker, so a minimal root-only
+            // trace keeps them visible in the tail-sampled store.
+            shared.traces.offer(tracectx::shed_trace());
             let mut resp = Response::error(429, "queue full; retry later");
             resp.extra_headers.push(("retry-after", "1".into()));
             let _ = http::write_response(&mut stream, &resp);
@@ -288,6 +315,9 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/debug/flightrec" => "/v1/debug/flightrec",
         "/v1/test/sleep" => "/v1/test/sleep",
         "/v1/test/panic" => "/v1/test/panic",
+        // One label for the whole trace-lookup family: the id segment
+        // would otherwise mint a label per trace.
+        p if p.starts_with("/v1/debug/traces") => "/v1/debug/traces",
         _ => "other",
     }
 }
@@ -300,15 +330,36 @@ thread_local! {
     static CACHE_OUTCOME: std::cell::Cell<Option<bool>> = const { std::cell::Cell::new(None) };
 }
 
-/// One structured access-log line (stable `key=value` format, greppable
-/// and field-splittable; enabled by [`ServeConfig::log_requests`]).
-fn access_log_line(method: &str, path: &str, status: u16, us: u64, cache: Option<bool>) -> String {
+/// One structured access-log line (stable logfmt/JSON via the global
+/// [`logging`] format, greppable and field-splittable; enabled by
+/// [`ServeConfig::log_requests`]). Carries the request's trace id so
+/// access lines join up with `/v1/debug/traces/:id`.
+fn access_log_line(
+    method: &str,
+    path: &str,
+    status: u16,
+    us: u64,
+    cache: Option<bool>,
+    trace_id: &str,
+) -> String {
     let cache = match cache {
         Some(true) => "hit",
         Some(false) => "miss",
         None => "-",
     };
-    format!("access method={method} path={path} status={status} us={us} cache={cache}")
+    logging::render_line(
+        logging::format(),
+        logging::Level::Info,
+        "access",
+        &[
+            ("method", method),
+            ("path", path),
+            ("status", &status.to_string()),
+            ("us", &us.to_string()),
+            ("cache", cache),
+        ],
+        Some(trace_id),
+    )
 }
 
 fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
@@ -335,9 +386,21 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     };
     let endpoint = endpoint_label(&req.path);
     CACHE_OUTCOME.with(|c| c.set(None));
+    // Every request is traced: fresh ids, or the trace adopted from a
+    // well-formed `traceparent` header (malformed values fall back to
+    // fresh ids — never an error). The context is installed for the
+    // duration of the handler so every telemetry span taken anywhere
+    // under route() lands in this request's span tree.
+    let adopted = req
+        .traceparent
+        .as_deref()
+        .and_then(tracectx::parse_traceparent);
+    let ctx = tracectx::TraceCtx::new_root(format!("{} {}", req.method, endpoint), adopted);
+    let trace_hex = ctx.trace_id().to_string();
+    let trace_guard = ctx.install();
     // Panic isolation boundary: a panicking handler (a bug, or the
     // test-only panic endpoint) becomes a 500 and the worker survives.
-    let resp = match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
+    let mut resp = match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
         Ok(resp) => resp,
         Err(_) => {
             shared.metrics.panicked();
@@ -345,6 +408,13 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
             Response::error(500, "request handler panicked")
         }
     };
+    drop(trace_guard);
+    resp.extra_headers.push(("traceparent", ctx.traceparent()));
+    // Finish before the response write so the root duration measures
+    // request handling, not the peer's read speed; the trace is
+    // retrievable at /v1/debug/traces/:id the moment the client sees
+    // the response.
+    shared.traces.offer(ctx.finish(resp.status, false));
     let _ = http::write_response(stream, &resp);
     let elapsed = start.elapsed();
     if shared.cfg.log_requests {
@@ -356,11 +426,14 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
                 endpoint,
                 resp.status,
                 elapsed.as_micros() as u64,
-                cache
+                cache,
+                &trace_hex,
             )
         );
     }
-    shared.metrics.observe(endpoint, resp.status, elapsed);
+    shared
+        .metrics
+        .observe_traced(endpoint, resp.status, elapsed, Some(&trace_hex));
 }
 
 fn route(shared: &Shared, req: &http::Request) -> Response {
@@ -368,6 +441,10 @@ fn route(shared: &Shared, req: &http::Request) -> Response {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/metrics") => Response::text(200, shared.metrics.render(&shared.state)),
         ("GET", "/v1/debug/flightrec") => Response::json(200, telemetry::flight_dump_json()),
+        ("GET", "/v1/debug/traces") => {
+            Response::json(200, tracectx::summary_json(&shared.traces.summaries()))
+        }
+        ("GET", p) if p.starts_with("/v1/debug/traces/") => trace_lookup(shared, p),
         ("POST", "/v1/simulate") => handle_api(shared, "/v1/simulate", &req.body, |v| {
             SimulateRequest::from_json(v).and_then(|r| handle_simulate(&shared.state, &r))
         }),
@@ -382,7 +459,31 @@ fn route(shared: &Shared, req: &http::Request) -> Response {
             Response::error(405, "method not allowed")
         }
         (_, "/v1/simulate" | "/v1/sweep") => Response::error(405, "method not allowed"),
+        (_, p) if p.starts_with("/v1/debug/traces") => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// `GET /v1/debug/traces/:id` and `…/:id/chrome`: look a sampled trace
+/// up by its 32-hex-digit id and render the span tree as JSON, or as a
+/// Chrome `trace_event` document (load in `chrome://tracing` /
+/// Perfetto) for the `/chrome` form.
+fn trace_lookup(shared: &Shared, path: &str) -> Response {
+    let rest = &path["/v1/debug/traces/".len()..];
+    let (id_part, as_chrome) = match rest.strip_suffix("/chrome") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Some(id) = tracectx::TraceId::parse_hex(id_part) else {
+        return Response::error(400, "trace id must be 32 hex digits");
+    };
+    let Some(trace) = shared.traces.get(id) else {
+        return Response::error(404, "no such trace (never sampled, or evicted)");
+    };
+    if as_chrome {
+        Response::json(200, chrome::export_request_trace(&trace))
+    } else {
+        Response::json(200, tracectx::trace_json(&trace))
     }
 }
 
@@ -424,7 +525,15 @@ fn handle_api(
         Err(key) => key,
     };
     CACHE_OUTCOME.with(|c| c.set(Some(false)));
-    match dispatch(&value) {
+    // The dispatch span makes the root's direct children a sequential
+    // chain (parse → cache_lookup → dispatch → serialize): compile/run
+    // and per-cell spans nest under it, and the chain covers nearly the
+    // whole request wall time in the stored trace.
+    let dispatched = {
+        let _s = telemetry::Span::enter("dispatch");
+        dispatch(&value)
+    };
+    match dispatched {
         Ok(json) => {
             let _s = telemetry::Span::enter("serialize");
             let rendered = Arc::new(json.to_json());
@@ -459,17 +568,21 @@ mod tests {
 
     #[test]
     fn access_log_line_is_stable_and_greppable() {
+        let t = "0af7651916cd43dd8448eb211c80319c";
         assert_eq!(
-            access_log_line("POST", "/v1/simulate", 200, 532, Some(true)),
-            "access method=POST path=/v1/simulate status=200 us=532 cache=hit"
+            access_log_line("POST", "/v1/simulate", 200, 532, Some(true), t),
+            "level=info event=access method=POST path=/v1/simulate status=200 us=532 \
+             cache=hit trace_id=0af7651916cd43dd8448eb211c80319c"
         );
         assert_eq!(
-            access_log_line("POST", "/v1/sweep", 200, 88_000, Some(false)),
-            "access method=POST path=/v1/sweep status=200 us=88000 cache=miss"
+            access_log_line("POST", "/v1/sweep", 200, 88_000, Some(false), t),
+            "level=info event=access method=POST path=/v1/sweep status=200 us=88000 \
+             cache=miss trace_id=0af7651916cd43dd8448eb211c80319c"
         );
         assert_eq!(
-            access_log_line("GET", "/healthz", 405, 12, None),
-            "access method=GET path=/healthz status=405 us=12 cache=-"
+            access_log_line("GET", "/healthz", 405, 12, None, t),
+            "level=info event=access method=GET path=/healthz status=405 us=12 \
+             cache=- trace_id=0af7651916cd43dd8448eb211c80319c"
         );
     }
 }

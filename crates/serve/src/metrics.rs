@@ -1,5 +1,8 @@
 //! Request counters and latency histograms, rendered in the Prometheus
-//! text exposition format on `GET /metrics`.
+//! text exposition format on `GET /metrics`. Latency buckets carry
+//! OpenMetrics exemplars — the trace id of the latest observation that
+//! landed in each bucket — so a suspicious bucket links straight to a
+//! stored trace at `/v1/debug/traces/:id`.
 //!
 //! The hot-path cost is one short mutex acquisition per completed
 //! request; the queue-depth gauge and shed/panic counters are atomics
@@ -18,9 +21,21 @@ use std::time::{Duration, Instant};
 pub const LATENCY_BUCKETS: [f64; 10] =
     [0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0, 5.0];
 
+/// An OpenMetrics exemplar: the most recent observation that landed in
+/// a bucket, tagged with its request's trace id so a spike in a latency
+/// bucket links directly to `/v1/debug/traces/:id`.
+#[derive(Clone)]
+struct Exemplar {
+    trace_id: String,
+    value_secs: f64,
+}
+
 #[derive(Default, Clone)]
 struct Hist {
     buckets: [u64; LATENCY_BUCKETS.len()],
+    /// One slot per bucket plus `+Inf`; an observation overwrites the
+    /// exemplar of the lowest bucket it lands in (its canonical bucket).
+    exemplars: [Option<Exemplar>; LATENCY_BUCKETS.len() + 1],
     count: u64,
     sum_us: u64,
 }
@@ -31,6 +46,15 @@ struct Inner {
     requests: BTreeMap<(&'static str, u16), u64>,
     /// endpoint → latency histogram.
     latency: BTreeMap<&'static str, Hist>,
+}
+
+/// OpenMetrics exemplar suffix for a bucket line: ` # {trace_id="…"} v`,
+/// or empty when the bucket has never seen a traced observation.
+fn exemplar_suffix(e: &Option<Exemplar>) -> String {
+    match e {
+        Some(e) => format!(" # {{trace_id=\"{}\"}} {}", e.trace_id, e.value_secs),
+        None => String::new(),
+    }
 }
 
 /// All daemon-level metrics; one instance shared by every thread.
@@ -66,17 +90,37 @@ impl Metrics {
 
     /// Record one completed request.
     pub fn observe(&self, endpoint: &'static str, status: u16, elapsed: Duration) {
+        self.observe_traced(endpoint, status, elapsed, None);
+    }
+
+    /// [`Metrics::observe`], additionally pinning the observation's
+    /// trace id as the exemplar of the bucket it lands in.
+    pub fn observe_traced(
+        &self,
+        endpoint: &'static str,
+        status: u16,
+        elapsed: Duration,
+        trace_id: Option<&str>,
+    ) {
         let mut inner = self.inner.lock().expect("metrics lock");
         *inner.requests.entry((endpoint, status)).or_insert(0) += 1;
         let hist = inner.latency.entry(endpoint).or_default();
         let secs = elapsed.as_secs_f64();
+        let mut slot = LATENCY_BUCKETS.len(); // +Inf unless a bound fits
         for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
             if secs <= *bound {
                 hist.buckets[i] += 1;
+                slot = slot.min(i);
             }
         }
         hist.count += 1;
         hist.sum_us += elapsed.as_micros() as u64;
+        if let Some(trace_id) = trace_id {
+            hist.exemplars[slot] = Some(Exemplar {
+                trace_id: trace_id.to_string(),
+                value_secs: secs,
+            });
+        }
     }
 
     /// Record a connection shed with 429 because the queue was full.
@@ -138,13 +182,15 @@ impl Metrics {
         for (endpoint, hist) in &inner.latency {
             for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
                 out.push_str(&format!(
-                    "cesim_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {}\n",
-                    hist.buckets[i]
+                    "cesim_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {}{}\n",
+                    hist.buckets[i],
+                    exemplar_suffix(&hist.exemplars[i])
                 ));
             }
             out.push_str(&format!(
-                "cesim_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}\n",
-                hist.count
+                "cesim_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}{}\n",
+                hist.count,
+                exemplar_suffix(&hist.exemplars[LATENCY_BUCKETS.len()])
             ));
             out.push_str(&format!(
                 "cesim_request_duration_seconds_sum{{endpoint=\"{endpoint}\"}} {}\n",
@@ -310,6 +356,44 @@ mod tests {
         assert!(text.contains("cesim_worker_panics_total 1"));
         assert!(text.contains("cesim_schedule_cache_hits_total 0"));
         assert!(text.contains("cesim_response_cache_misses_total 0"));
+    }
+
+    #[test]
+    fn traced_observations_render_bucket_exemplars() {
+        let m = Metrics::new();
+        let state = ServiceState::new(1, 1);
+        m.observe_traced(
+            "/v1/sweep",
+            200,
+            Duration::from_millis(3),
+            Some("0af7651916cd43dd8448eb211c80319c"),
+        );
+        // Beyond the last bound: the exemplar lands on +Inf.
+        m.observe_traced(
+            "/v1/sweep",
+            200,
+            Duration::from_secs(6),
+            Some("ffffffffffffffffffffffffffffffff"),
+        );
+        let text = m.render(&state);
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/sweep\",le=\"0.005\"} 1 \
+             # {trace_id=\"0af7651916cd43dd8448eb211c80319c\"} 0.003"
+        ));
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/sweep\",le=\"+Inf\"} 2 \
+             # {trace_id=\"ffffffffffffffffffffffffffffffff\"} 6"
+        ));
+        // Untraced observations must not touch exemplars: only the
+        // canonical bucket of the traced one carries a suffix.
+        m.observe("/v1/sweep", 200, Duration::from_millis(3));
+        let text = m.render(&state);
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/sweep\",le=\"0.0025\"} 0\n"
+        ));
+        assert!(text.contains(
+            "cesim_request_duration_seconds_bucket{endpoint=\"/v1/sweep\",le=\"0.005\"} 2 #"
+        ));
     }
 
     #[test]

@@ -13,11 +13,16 @@
 //! * no `(name, label-set)` appears twice;
 //! * histograms are internally consistent: `_bucket` counts are
 //!   monotonically non-decreasing in `le` order, the `+Inf` bucket
-//!   equals `_count`, and `_sum`/`_count` are present for every series.
+//!   equals `_count`, and `_sum`/`_count` are present for every series;
+//! * OpenMetrics exemplars (` # {trace_id="…"} value`) appear only on
+//!   histogram `_bucket` samples, with a well-formed non-empty label
+//!   set and exactly one float value.
 //!
 //! The checks intentionally cover only what this daemon emits (no
-//! `# EOF`/OpenMetrics, no timestamps) — a sample with a timestamp is
-//! rejected, because none of our renderers produce one.
+//! `# EOF`, no timestamps on samples or exemplars) — a sample with a
+//! timestamp is rejected, because none of our renderers produce one.
+//! Likewise ` # ` inside a label value would be misread as an exemplar
+//! separator; our label values (endpoints, versions) never contain it.
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -207,7 +212,11 @@ pub fn validate_prometheus(text: &str) -> Result<PromStats, String> {
             return Err(format!("line {line_no}: comment must start with \"# \""));
         }
 
-        // Sample line: name[{labels}] value
+        // Sample line: name[{labels}] value [ # {labels} exemplar-value]
+        let (line, exemplar) = match line.split_once(" # ") {
+            Some((main, ex)) => (main, Some(ex)),
+            None => (line, None),
+        };
         let (series, value_part) = match line.find('{') {
             Some(brace) => {
                 let close = line
@@ -245,6 +254,32 @@ pub fn validate_prometheus(text: &str) -> Result<PromStats, String> {
         }
         seen_sample_of.insert(base.to_string());
         samples += 1;
+
+        if let Some(ex) = exemplar {
+            if !(name.ends_with("_bucket") && histograms.contains(base)) {
+                return Err(format!(
+                    "line {line_no}: exemplar on non-bucket sample {name}"
+                ));
+            }
+            let ex = ex.trim();
+            let body = ex
+                .strip_prefix('{')
+                .ok_or_else(|| format!("line {line_no}: exemplar must start with a label set"))?;
+            let close = body
+                .find('}')
+                .ok_or_else(|| format!("line {line_no}: unterminated exemplar label set"))?;
+            if parse_labels(&body[..close], line_no)?.is_empty() {
+                return Err(format!("line {line_no}: exemplar label set is empty"));
+            }
+            let ex_value = body[close + 1..].trim();
+            if ex_value.split_whitespace().count() != 1 {
+                return Err(format!(
+                    "line {line_no}: exemplar must carry exactly one value \
+                     (exemplar timestamps are not emitted here)"
+                ));
+            }
+            parse_value(ex_value, line_no)?;
+        }
 
         let series_key = format!("{name}{{{}}}", {
             let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
@@ -411,6 +446,29 @@ h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
     }
 
     #[test]
+    fn validates_bucket_exemplars() {
+        let good = "\
+# HELP h H.\n# TYPE h histogram\n\
+h_bucket{le=\"0.1\"} 1 # {trace_id=\"0af765\"} 0.03\n\
+h_bucket{le=\"+Inf\"} 1\nh_sum 0.03\nh_count 1\n";
+        ok(good);
+        let on_counter = "# HELP m X.\n# TYPE m counter\nm 1 # {trace_id=\"a\"} 1\n";
+        assert!(err(on_counter).contains("non-bucket"));
+        let with_ts = "\
+# HELP h H.\n# TYPE h histogram\n\
+h_bucket{le=\"+Inf\"} 1 # {trace_id=\"a\"} 0.03 1700000000\nh_sum 0.03\nh_count 1\n";
+        assert!(err(with_ts).contains("exactly one value"));
+        let empty_labels = "\
+# HELP h H.\n# TYPE h histogram\n\
+h_bucket{le=\"+Inf\"} 1 # {} 0.03\nh_sum 0.03\nh_count 1\n";
+        assert!(err(empty_labels).contains("label set is empty"));
+        let bad_labels = "\
+# HELP h H.\n# TYPE h histogram\n\
+h_bucket{le=\"+Inf\"} 1 # {trace_id=unquoted} 0.03\nh_sum 0.03\nh_count 1\n";
+        assert!(err(bad_labels).contains("must be quoted"));
+    }
+
+    #[test]
     fn live_render_passes_validation() {
         use crate::metrics::Metrics;
         use cesim_core::service::ServiceState;
@@ -420,8 +478,19 @@ h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
         let state = ServiceState::new(2, 2);
         m.observe("/v1/simulate", 200, Duration::from_millis(3));
         m.observe("/metrics", 200, Duration::from_micros(90));
+        m.observe_traced(
+            "/v1/sweep",
+            200,
+            Duration::from_millis(40),
+            Some("0af7651916cd43dd8448eb211c80319c"),
+        );
         m.shed();
-        let stats = ok(&m.render(&state));
+        let text = m.render(&state);
+        assert!(
+            text.contains("# {trace_id="),
+            "exemplar must render: {text}"
+        );
+        let stats = ok(&text);
         assert!(
             stats.families >= 10,
             "expected a rich exposition, got {stats:?}"

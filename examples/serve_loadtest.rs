@@ -39,6 +39,19 @@ struct Phase {
     ok: usize,
     shed: usize,
     errors: usize,
+    /// Trace id of the slowest successful request — retrievable from
+    /// the daemon at `/v1/debug/traces/:id` while it is still up.
+    slowest_trace_id: Option<String>,
+}
+
+/// Deterministic per-request trace id: thread and request index, offset
+/// so the id is never zero (all-zero trace ids are invalid in W3C
+/// traceparent). The daemon adopts it and must echo it back.
+fn trace_id_for(thread: usize, request: usize) -> String {
+    format!(
+        "{:032x}",
+        ((thread as u128 + 1) << 64) | (request as u128 + 1)
+    )
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -51,7 +64,8 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// Per-thread tally of one driver thread's requests.
 #[derive(Default)]
 struct Tally {
-    lat: Vec<f64>,
+    /// `(latency_ms, trace_id)` per successful request.
+    lat: Vec<(f64, String)>,
     shed: usize,
     errors: usize,
 }
@@ -63,18 +77,36 @@ fn drive(
     addr: std::net::SocketAddr,
     requests: usize,
     concurrency: usize,
-) -> (Duration, Vec<f64>, usize, usize) {
+) -> (Duration, Vec<(f64, String)>, usize, usize) {
     let per_thread = requests.div_ceil(concurrency);
     let start = Instant::now();
     let handles: Vec<_> = (0..concurrency)
-        .map(|_| {
+        .map(|ti| {
             std::thread::spawn(move || {
                 let mut t = Tally::default();
-                for _ in 0..per_thread {
+                for ri in 0..per_thread {
+                    // Every request joins a distinct distributed trace;
+                    // the daemon must echo the same trace id back.
+                    let trace_id = trace_id_for(ti, ri);
+                    let traceparent = format!("00-{trace_id}-{:016x}-01", ti + 1);
                     let t0 = Instant::now();
-                    match client::post(addr, "/v1/simulate", BODY, TIMEOUT) {
+                    let resp = client::request_with_headers(
+                        addr,
+                        "POST",
+                        "/v1/simulate",
+                        Some(BODY),
+                        TIMEOUT,
+                        &[("traceparent", &traceparent)],
+                    );
+                    match resp {
                         Ok(resp) if (200..300).contains(&resp.status) => {
-                            t.lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                            let echoed = resp.header("traceparent").unwrap_or("");
+                            if !echoed.contains(&trace_id) {
+                                eprintln!("  trace id not echoed: sent {trace_id}, got {echoed:?}");
+                                t.errors += 1;
+                                continue;
+                            }
+                            t.lat.push((t0.elapsed().as_secs_f64() * 1e3, trace_id));
                         }
                         Ok(resp) if resp.status == 429 => t.shed += 1,
                         Ok(resp) => {
@@ -106,7 +138,7 @@ fn drive(
     let wall = start.elapsed();
     // total_cmp: a NaN latency (impossible from elapsed(), but cheap to
     // be safe about) must not panic the sort.
-    lat.sort_by(f64::total_cmp);
+    lat.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
     (wall, lat, shed, errors)
 }
 
@@ -132,13 +164,15 @@ fn run_phase(cfg: ServeConfig, requests: usize, concurrency: usize, prime: bool)
     }
     let (wall, lat, shed, errors) = drive(addr, requests, concurrency);
     server.shutdown();
+    let ms: Vec<f64> = lat.iter().map(|(ms, _)| *ms).collect();
     Phase {
         req_per_s: lat.len() as f64 / wall.as_secs_f64(),
-        p50_ms: percentile(&lat, 0.50),
-        p99_ms: percentile(&lat, 0.99),
+        p50_ms: percentile(&ms, 0.50),
+        p99_ms: percentile(&ms, 0.99),
         ok: lat.len(),
         shed,
         errors,
+        slowest_trace_id: lat.last().map(|(_, id)| id.clone()),
     }
 }
 
@@ -157,6 +191,12 @@ fn phase_json(p: &Phase) -> JsonValue {
         ("ok", JsonValue::from(p.ok as u64)),
         ("shed", JsonValue::from(p.shed as u64)),
         ("errors", JsonValue::from(p.errors as u64)),
+        (
+            "slowest_trace_id",
+            p.slowest_trace_id
+                .as_deref()
+                .map_or(JsonValue::Null, JsonValue::from),
+        ),
     ])
 }
 
