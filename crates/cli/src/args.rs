@@ -44,6 +44,10 @@ const VALUED: &[&str] = &[
     "provenance-out",
     "heatmap-out",
     "bins",
+    "policy",
+    "jobs-csv",
+    "nodes-csv",
+    "jsonl",
     "addr",
     "workers",
     "queue-depth",

@@ -46,6 +46,10 @@ COMMANDS
                     absorbed/propagated classification, amplification
                     factors, JSONL + heatmap reports (ATTRIBUTE OPTIONS)
   ablate            Compare CE sensitivity under both allreduce expansions
+  fleet SPEC.json   Fleet-scale scenario: a job mix scheduled over a
+                    heterogeneous cluster, with a mitigation policy
+                    reacting to observed CEs between epochs
+                    (FLEET OPTIONS)
   serve             Simulation-as-a-service HTTP daemon (SERVE OPTIONS)
   skeletons         Print the calibrated workload-skeleton parameters
   list              List workloads and logging modes
@@ -130,6 +134,25 @@ RUN OPTIONS (cesim run)
   --shard-health    With --shards > 1: per-shard busy/stall/barrier table
                     and imbalance report on stderr after the run
 
+FLEET OPTIONS (cesim fleet SPEC.json)
+  --policy P        Override the spec's mitigation policy: static,
+                    threshold_offline, or mode_switch (using the spec-file
+                    defaults: 1000 CEs/epoch threshold, 25% offline cap,
+                    hw switch target)
+  --threads N       Job-slice worker threads: 0 = all cores [default].
+                    Every report is byte-identical for every value — node
+                    draws and job slices derive their RNG streams from
+                    stable (node, job, attempt, slice) coordinates
+  --jobs-csv FILE   Also write the per-job slowdown CSV (the stdout
+                    stream) to FILE
+  --nodes-csv FILE  Write the per-node CSV: drawn MTBCE, hot-spot
+                    membership, mode changes, CE/offline accounting
+  --jsonl FILE      Write per-epoch JSONL (queue/run/completion counts,
+                    policy actions) with a trailing summary line
+  --profile         Span-profiler phase breakdown (fleet_place/fleet_run/
+                    fleet_policy) on stderr after the run
+  --quiet           Suppress the '#' summary trailer on stdout
+
 FIG2 OPTIONS
   --window SECONDS  Observation window [default 300]
   --period SECONDS  Injection period [default 10]
@@ -145,7 +168,8 @@ SERVE OPTIONS (cesim serve)
   --log-requests    One structured access-log line per request on stderr
                     (method, path, status, microseconds, cache hit/miss,
                     trace id)
-  Endpoints: POST /v1/simulate, POST /v1/sweep, GET /healthz, GET /metrics
+  Endpoints: POST /v1/simulate, POST /v1/sweep, POST /v1/fleet,
+  GET /healthz, GET /metrics
   (Prometheus text with trace-id exemplars), GET /v1/debug/flightrec
   (recent telemetry events as JSON; also dumped to stderr on SIGUSR1),
   GET /v1/debug/traces[/:id[/chrome]] (tail-sampled request traces; ids
@@ -201,9 +225,12 @@ fn usage_error(msg: &str) -> ExitCode {
 
 fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
     configure_logging(args)?;
-    // Only the trace tools and metrics-check take positional arguments
-    // (an input file path).
-    if !matches!(cmd, "trace" | "trace-check" | "attribute" | "metrics-check") {
+    // Only the trace tools, metrics-check, and fleet take positional
+    // arguments (an input file path).
+    if !matches!(
+        cmd,
+        "trace" | "trace-check" | "attribute" | "metrics-check" | "fleet"
+    ) {
         if let Some(p) = args.positionals.first() {
             return Err(Failure::Usage(format!("unexpected argument '{p}'")));
         }
@@ -225,6 +252,9 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
             return Err(Failure::Usage(
                 "metrics-check needs a metrics file argument".into(),
             ));
+        }
+        "fleet" if args.positionals.is_empty() => {
+            return Err(Failure::Usage("fleet needs a spec file argument".into()));
         }
         "trace"
             if args.positionals.is_empty()
@@ -266,6 +296,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), Failure> {
         "metrics-check" => Ok(cmd_metrics_check(args)?),
         "attribute" => Ok(cmd_attribute(args)?),
         "ablate" => Ok(cmd_ablate(args)?),
+        "fleet" => Ok(cmd_fleet(args)?),
         "serve" => Ok(cmd_serve(args)?),
         other => Err(Failure::Usage(format!(
             "unknown command '{other}' (try 'cesim help')"
@@ -317,6 +348,72 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     cfg.log_requests = args.has_flag("log-requests");
     cesim_serve::run(cfg).map_err(|e| format!("serve: {e}"))
+}
+
+/// `cesim fleet SPEC.json` — run a fleet scenario: a job mix scheduled
+/// over a heterogeneous cluster, with a mitigation policy reacting to
+/// observed CE counts between epochs. The per-job slowdown CSV goes to
+/// stdout (with a '#' summary trailer); every report is byte-identical
+/// across `--threads` values.
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    use cesim_core::obs::telemetry;
+    use cesim_core::ScheduleCache;
+    use cesim_fleet as fleet;
+
+    let path = args
+        .positionals
+        .first()
+        .expect("dispatch rejects a missing spec file");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut spec = fleet::FleetSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(name) = args.get("policy") {
+        spec.policy = match name {
+            "static" => fleet::PolicySpec::Static,
+            "threshold_offline" => fleet::PolicySpec::ThresholdOffline {
+                ce_per_epoch: 1000,
+                max_offline_fraction: 0.25,
+            },
+            "mode_switch" => fleet::PolicySpec::ModeSwitch {
+                ce_per_epoch: 1000,
+                to: LoggingMode::HardwareOnly,
+            },
+            other => {
+                let choices = "static, threshold_offline, or mode_switch";
+                return Err(format!("invalid --policy '{other}' (expected {choices})"));
+            }
+        };
+    }
+    let threads: usize = args.get_parsed("threads", 0)?;
+    let profile = args.has_flag("profile");
+    if profile {
+        telemetry::set_enabled(true);
+    }
+    let start = std::time::Instant::now();
+    let cache = ScheduleCache::new(64);
+    let out = figures::with_threads(threads, || fleet::run_fleet(&spec, &cache))?;
+    let wall = start.elapsed();
+
+    print!("{}", cesim_fleet::jobs_csv(&out));
+    if !args.has_flag("quiet") {
+        print!("{}", cesim_fleet::summary_text(&out));
+    }
+    if let Some(f) = args.get("jobs-csv") {
+        std::fs::write(f, cesim_fleet::jobs_csv(&out)).map_err(|e| format!("writing {f}: {e}"))?;
+        eprintln!("wrote {f}");
+    }
+    if let Some(f) = args.get("nodes-csv") {
+        std::fs::write(f, cesim_fleet::nodes_csv(&out)).map_err(|e| format!("writing {f}: {e}"))?;
+        eprintln!("wrote {f}");
+    }
+    if let Some(f) = args.get("jsonl") {
+        std::fs::write(f, cesim_fleet::epochs_jsonl(&out))
+            .map_err(|e| format!("writing {f}: {e}"))?;
+        eprintln!("wrote {f}");
+    }
+    if profile {
+        eprint!("{}", telemetry::profile_table(wall));
+    }
+    Ok(())
 }
 
 /// `cesim metrics-check FILE` — validate a saved Prometheus scrape body

@@ -133,6 +133,7 @@ const ALL_COMMANDS: &[&str] = &[
     "trace-check",
     "attribute",
     "ablate",
+    "fleet",
     "serve",
 ];
 
@@ -182,6 +183,7 @@ fn missing_required_argument_exits_two() {
     assert_usage_error(&["trace"]);
     assert_usage_error(&["trace-check"]);
     assert_usage_error(&["attribute"]);
+    assert_usage_error(&["fleet"]);
 }
 
 #[test]
@@ -205,6 +207,75 @@ fn runtime_errors_exit_one() {
     // Semantically invalid option values are runtime errors too.
     let (code, _) = run_cli(&["serve", "--workers", "0"]);
     assert_eq!(code, 1);
+}
+
+#[test]
+fn fleet_on_valid_spec_exits_zero() {
+    let out = cesim()
+        .arg("fleet")
+        .arg(example("fleet_small.json"))
+        .output()
+        .expect("spawn cesim");
+    assert!(
+        out.status.success(),
+        "expected success, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("job,app,nodes,policy"),
+        "CSV header missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("# slowdown_pct"),
+        "trailer missing: {stdout}"
+    );
+}
+
+#[test]
+fn fleet_runtime_failures_exit_one_with_pointful_stderr() {
+    // Missing spec file: runtime failure naming the path.
+    let missing = scratch("no-such-fleet.json");
+    let (code, stderr) = run_cli(&["fleet", missing.to_str().unwrap()]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(
+        stderr.contains("no-such-fleet.json"),
+        "error must name the file: {stderr}"
+    );
+    assert!(!stderr.contains("usage:"), "runtime errors skip usage");
+
+    // Truncated JSON: parse failure is a runtime error naming the file.
+    let full = std::fs::read_to_string(example("fleet_small.json")).unwrap();
+    let broken = scratch("fleet-truncated.json");
+    std::fs::write(&broken, &full[..full.len() / 2]).unwrap();
+    let (code, stderr) = run_cli(&["fleet", broken.to_str().unwrap()]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(
+        stderr.contains("fleet-truncated.json"),
+        "error must name the file: {stderr}"
+    );
+
+    // Well-formed JSON violating the spec grammar: the error names the
+    // offending field.
+    let bad_field = scratch("fleet-bad-field.json");
+    std::fs::write(
+        &bad_field,
+        r#"{"cluster": {"nodes": 0, "mtbce": {"dist": "uniform", "min": "1s", "max": "2s"}},
+            "jobs": [{"app": "HPCG", "nodes": 2}]}"#,
+    )
+    .unwrap();
+    let (code, stderr) = run_cli(&["fleet", bad_field.to_str().unwrap()]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(
+        stderr.contains("cluster.nodes"),
+        "error must name the field: {stderr}"
+    );
+
+    // An unknown --policy value is a runtime error listing the choices.
+    let spec = example("fleet_small.json");
+    let (code, stderr) = run_cli(&["fleet", spec.to_str().unwrap(), "--policy", "bogus"]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("threshold_offline"), "stderr: {stderr}");
 }
 
 #[test]

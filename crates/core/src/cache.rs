@@ -355,6 +355,55 @@ mod tests {
     }
 
     #[test]
+    fn schedule_cache_key_excludes_logging_mode_noise() {
+        // The cache key is (app, ranks, workload, params); the logging
+        // mode lives in the *noise model*, never in the schedule. Fleet
+        // nodes running different logging modes must therefore share
+        // one compiled entry — and running mode-specific noise against
+        // the shared schedule must match a fresh compile per mode, so
+        // the sharing loses nothing.
+        use cesim_model::{LoggingMode, Span};
+        use cesim_noise::{CeNoise, Scope};
+
+        let wl = WorkloadConfig::default().with_steps(2);
+        let params = LogGopsParams::xc40();
+        let finish = |entry: &Arc<CompiledEntry>, mode: LoggingMode| {
+            // MTBCE 500ms keeps even firmware's 133ms detour convergent
+            // (utilization ~0.27 < 1), so the stretch loop terminates.
+            let mut noise = CeNoise::new(
+                entry.ranks,
+                Span::from_ms(500),
+                mode.per_event_cost(),
+                Scope::AllRanks,
+                11,
+            );
+            simulate_compiled(&entry.schedule, &params, &mut noise)
+                .unwrap()
+                .finish
+        };
+
+        let cache = ScheduleCache::new(4);
+        let entry = cache
+            .get_or_compile(AppId::MiniFe, 8, &wl, &params)
+            .unwrap();
+        let sw = finish(&entry, LoggingMode::Software);
+        let fw = finish(&entry, LoggingMode::Firmware);
+        assert!(fw > sw, "firmware detours cost more: {fw:?} vs {sw:?}");
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.len()),
+            (0, 1, 1),
+            "one compiled entry serves every logging mode"
+        );
+
+        let fresh = ScheduleCache::new(4);
+        let e2 = fresh
+            .get_or_compile(AppId::MiniFe, 8, &wl, &params)
+            .unwrap();
+        assert_eq!(sw, finish(&e2, LoggingMode::Software));
+        assert_eq!(fw, finish(&e2, LoggingMode::Firmware));
+    }
+
+    #[test]
     fn response_cache_counts_hits_and_misses() {
         let cache = ResponseCache::new(2);
         assert!(cache.get("k1").is_none());

@@ -1,0 +1,41 @@
+//! # cesim-fleet
+//!
+//! A fleet-scale scenario engine over the per-job simulator: N jobs
+//! scheduled across a cluster of *heterogeneous* nodes, with mitigation
+//! policies reacting to observed CE streams between epochs.
+//!
+//! The paper models one application on a cluster with a uniform per-node
+//! CE rate. Field studies show reality is skewed — per-DIMM rates are
+//! heavy-tailed with faulty-DIMM hot spots (arXiv 2408.15302), and
+//! operators *act* on the observed CE stream (arXiv 2407.16377) by
+//! offlining nodes or changing logging verbosity. This crate turns the
+//! per-job simulator into that datacenter-scale what-if tool:
+//!
+//! * [`spec`] — the `FleetSpec` JSON grammar: cluster (MTBCE field
+//!   distributions + hot spots), job mix, placement, policy;
+//! * [`cluster`] — deterministic per-node draws from stable seed
+//!   coordinates (byte-identical across `--threads N`);
+//! * [`policy`] — the [`MitigationPolicy`](policy::MitigationPolicy)
+//!   trait and its `static` / `threshold_offline` / `mode_switch`
+//!   implementations;
+//! * [`engine`] — the epoch loop: place → run (compile-once engine,
+//!   per-rank heterogeneous noise) → observe → react;
+//! * [`report`] — job/node CSVs, epoch JSONL, and the daemon response;
+//! * [`service`] — `POST /v1/fleet` request validation and dispatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod engine;
+pub mod policy;
+pub mod report;
+pub mod service;
+pub mod spec;
+
+pub use cluster::{build_cluster, Node};
+pub use engine::{run_fleet, EpochRecord, FleetOutcome, JobOutcome};
+pub use policy::{Action, LoggingModeSwitch, MitigationPolicy, Static, ThresholdOffline};
+pub use report::{epochs_jsonl, jobs_csv, nodes_csv, response_json, summary_json, summary_text};
+pub use service::{handle_fleet, FleetRequest};
+pub use spec::{ClusterSpec, FleetSpec, JobSpec, MtbceDist, Placement, PolicySpec};

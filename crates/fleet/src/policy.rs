@@ -1,0 +1,260 @@
+//! CE-mitigation policies.
+//!
+//! The BSC field study (arXiv 2407.16377) shows operators *act* on
+//! observed CE streams rather than running a fixed configuration: pages
+//! are offlined, logging verbosity is changed, noisy DIMMs are drained.
+//! A [`MitigationPolicy`] models that feedback loop at node granularity:
+//! between fleet epochs it sees every node's observed CE counts and may
+//! offline nodes or switch their logging modes. The fleet engine applies
+//! the returned actions, re-queuing any jobs displaced from offlined
+//! nodes.
+//!
+//! Policies only see *observations* (CE counts the simulated runs
+//! produced), never the ground-truth MTBCE a node drew — the same
+//! information barrier a real operator faces.
+
+use crate::cluster::Node;
+use crate::spec::PolicySpec;
+use cesim_model::LoggingMode;
+
+/// One mitigation action, applied between epochs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Take a node out of service; jobs running on it are re-queued.
+    Offline {
+        /// Node to remove.
+        node: usize,
+    },
+    /// Switch a node's logging mode for all subsequent epochs.
+    SetMode {
+        /// Node to reconfigure.
+        node: usize,
+        /// New logging mode.
+        mode: LoggingMode,
+    },
+}
+
+/// A mitigation policy: reacts to per-node CE observations between
+/// epochs.
+pub trait MitigationPolicy {
+    /// Stable policy name (appears in reports and CSV columns).
+    fn name(&self) -> &'static str;
+
+    /// Decide actions after `epoch` finished. `nodes` carries per-node
+    /// observations (`ce_last_epoch`, `ce_total`, current mode/offline
+    /// state). Must be deterministic: same observations → same actions.
+    fn react(&mut self, epoch: u32, nodes: &[Node]) -> Vec<Action>;
+}
+
+/// Never reacts — the paper's fixed-configuration setting.
+pub struct Static;
+
+impl MitigationPolicy for Static {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn react(&mut self, _epoch: u32, _nodes: &[Node]) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+/// Offlines nodes whose per-epoch CE count crosses a threshold, up to a
+/// capacity cap.
+pub struct ThresholdOffline {
+    threshold: u64,
+    /// Most nodes the policy may ever offline (capacity cost cap).
+    max_offline: usize,
+}
+
+impl ThresholdOffline {
+    /// A policy offlining nodes at `threshold` CEs/epoch, never removing
+    /// more than `max_offline_fraction` of the `cluster_nodes`.
+    pub fn new(threshold: u64, max_offline_fraction: f64, cluster_nodes: usize) -> Self {
+        ThresholdOffline {
+            threshold,
+            max_offline: (cluster_nodes as f64 * max_offline_fraction).floor() as usize,
+        }
+    }
+}
+
+impl MitigationPolicy for ThresholdOffline {
+    fn name(&self) -> &'static str {
+        "threshold_offline"
+    }
+
+    fn react(&mut self, _epoch: u32, nodes: &[Node]) -> Vec<Action> {
+        let already_off = nodes.iter().filter(|n| n.offline).count();
+        let mut budget = self.max_offline.saturating_sub(already_off);
+        // Worst offenders first; ties broken by node id so the action
+        // list is a pure function of the observations.
+        let mut candidates: Vec<&Node> = nodes
+            .iter()
+            .filter(|n| !n.offline && n.ce_last_epoch >= self.threshold)
+            .collect();
+        candidates.sort_by_key(|n| (std::cmp::Reverse(n.ce_last_epoch), n.id));
+        let mut actions = Vec::new();
+        for n in candidates {
+            if budget == 0 {
+                break;
+            }
+            actions.push(Action::Offline { node: n.id });
+            budget -= 1;
+        }
+        actions
+    }
+}
+
+/// Switches a node's logging mode once its per-epoch CE count crosses a
+/// threshold — trading log fidelity for retained capacity instead of
+/// draining the node.
+pub struct LoggingModeSwitch {
+    threshold: u64,
+    to: LoggingMode,
+}
+
+impl LoggingModeSwitch {
+    /// A policy switching nodes to `to` at `threshold` CEs/epoch.
+    pub fn new(threshold: u64, to: LoggingMode) -> Self {
+        LoggingModeSwitch { threshold, to }
+    }
+}
+
+impl MitigationPolicy for LoggingModeSwitch {
+    fn name(&self) -> &'static str {
+        "mode_switch"
+    }
+
+    fn react(&mut self, _epoch: u32, nodes: &[Node]) -> Vec<Action> {
+        nodes
+            .iter()
+            .filter(|n| !n.offline && n.mode != self.to && n.ce_last_epoch >= self.threshold)
+            .map(|n| Action::SetMode {
+                node: n.id,
+                mode: self.to,
+            })
+            .collect()
+    }
+}
+
+/// Instantiate the policy a spec asks for.
+pub fn build_policy(spec: &PolicySpec, cluster_nodes: usize) -> Box<dyn MitigationPolicy> {
+    match spec {
+        PolicySpec::Static => Box::new(Static),
+        PolicySpec::ThresholdOffline {
+            ce_per_epoch,
+            max_offline_fraction,
+        } => Box::new(ThresholdOffline::new(
+            *ce_per_epoch,
+            *max_offline_fraction,
+            cluster_nodes,
+        )),
+        PolicySpec::ModeSwitch { ce_per_epoch, to } => {
+            Box::new(LoggingModeSwitch::new(*ce_per_epoch, *to))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesim_model::Span;
+
+    fn node(id: usize, ce_last: u64) -> Node {
+        Node {
+            id,
+            mtbce: Span::from_ms(10),
+            mode: LoggingMode::Software,
+            initial_mode: LoggingMode::Software,
+            hot: false,
+            offline: false,
+            offline_epoch: None,
+            ce_total: ce_last,
+            ce_last_epoch: ce_last,
+            busy_epochs: 0,
+        }
+    }
+
+    #[test]
+    fn static_never_acts() {
+        let nodes = vec![node(0, u64::MAX)];
+        assert!(Static.react(0, &nodes).is_empty());
+    }
+
+    #[test]
+    fn threshold_offline_picks_worst_first_and_respects_cap() {
+        // Cap: 25% of 8 nodes = 2 offlines, ever.
+        let mut p = ThresholdOffline::new(100, 0.25, 8);
+        let mut nodes: Vec<Node> = (0..8).map(|i| node(i, 0)).collect();
+        nodes[3].ce_last_epoch = 500;
+        nodes[5].ce_last_epoch = 900;
+        nodes[6].ce_last_epoch = 120;
+        let actions = p.react(0, &nodes);
+        assert_eq!(
+            actions,
+            vec![Action::Offline { node: 5 }, Action::Offline { node: 3 }],
+            "worst offender first, capped at 2"
+        );
+        // With both slots used, later epochs cannot offline more.
+        nodes[5].offline = true;
+        nodes[3].offline = true;
+        let actions = p.react(1, &nodes);
+        assert!(actions.is_empty(), "budget exhausted: {actions:?}");
+    }
+
+    #[test]
+    fn threshold_offline_tie_breaks_by_node_id() {
+        let mut p = ThresholdOffline::new(100, 1.0, 4);
+        let mut nodes: Vec<Node> = (0..4).map(|i| node(i, 0)).collect();
+        nodes[2].ce_last_epoch = 300;
+        nodes[1].ce_last_epoch = 300;
+        let actions = p.react(0, &nodes);
+        assert_eq!(
+            actions,
+            vec![Action::Offline { node: 1 }, Action::Offline { node: 2 }]
+        );
+    }
+
+    #[test]
+    fn mode_switch_skips_already_switched_nodes() {
+        let mut p = LoggingModeSwitch::new(100, LoggingMode::HardwareOnly);
+        let mut nodes: Vec<Node> = (0..3).map(|i| node(i, 200)).collect();
+        nodes[1].mode = LoggingMode::HardwareOnly;
+        nodes[2].ce_last_epoch = 50;
+        let actions = p.react(0, &nodes);
+        assert_eq!(
+            actions,
+            vec![Action::SetMode {
+                node: 0,
+                mode: LoggingMode::HardwareOnly
+            }]
+        );
+    }
+
+    #[test]
+    fn build_policy_maps_spec_kinds() {
+        assert_eq!(build_policy(&PolicySpec::Static, 4).name(), "static");
+        assert_eq!(
+            build_policy(
+                &PolicySpec::ThresholdOffline {
+                    ce_per_epoch: 10,
+                    max_offline_fraction: 0.5
+                },
+                4
+            )
+            .name(),
+            "threshold_offline"
+        );
+        assert_eq!(
+            build_policy(
+                &PolicySpec::ModeSwitch {
+                    ce_per_epoch: 10,
+                    to: LoggingMode::Firmware
+                },
+                4
+            )
+            .name(),
+            "mode_switch"
+        );
+    }
+}

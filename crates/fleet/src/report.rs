@@ -1,0 +1,284 @@
+//! Fleet reports: per-job CSV (the slowdown distribution), per-node
+//! CSV, per-epoch JSONL, and the summary JSON the daemon returns.
+//!
+//! Every rendering here is a pure function of a [`FleetOutcome`], which
+//! is itself a pure function of the spec — so all of these artifacts
+//! are byte-identical across `--threads N` (CI diffs them).
+
+use crate::engine::{EpochRecord, FleetOutcome, JobOutcome};
+use cesim_json::JsonValue;
+use std::fmt::Write as _;
+
+fn opt_u32(v: Option<u32>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| x.to_string())
+}
+
+fn opt_pct(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"))
+}
+
+/// The per-job slowdown-distribution CSV (one row per job, ascending
+/// id). This is the artifact the acceptance criteria diff across thread
+/// counts.
+pub fn jobs_csv(out: &FleetOutcome) -> String {
+    let mut s = String::from(
+        "job,app,nodes,policy,placement,start_epoch,end_epoch,displaced,completed,diverged,ce_events,baseline_s,finish_s,slowdown_pct\n",
+    );
+    for j in &out.jobs {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{}",
+            j.id,
+            j.app.name(),
+            j.nodes,
+            out.policy,
+            out.placement,
+            opt_u32(j.start_epoch),
+            opt_u32(j.end_epoch),
+            j.displaced,
+            j.completed,
+            j.diverged,
+            j.ce_events,
+            j.baseline.as_secs_f64(),
+            j.finish.as_secs_f64(),
+            opt_pct(j.slowdown_pct),
+        );
+    }
+    s
+}
+
+/// The per-node CSV: drawn rates, hot-spot membership, mode changes,
+/// CE/offline accounting.
+pub fn nodes_csv(out: &FleetOutcome) -> String {
+    let mut s = String::from(
+        "node,mtbce_s,hot,initial_mode,final_mode,offline_epoch,busy_epochs,ce_total\n",
+    );
+    for n in &out.nodes {
+        let _ = writeln!(
+            s,
+            "{},{:.6},{},{},{},{},{},{}",
+            n.id,
+            n.mtbce.as_secs_f64(),
+            n.hot,
+            n.initial_mode.short_label(),
+            n.mode.short_label(),
+            opt_u32(n.offline_epoch),
+            n.busy_epochs,
+            n.ce_total,
+        );
+    }
+    s
+}
+
+fn epoch_json(e: &EpochRecord) -> JsonValue {
+    JsonValue::object([
+        ("epoch", e.epoch.into()),
+        ("queued", e.queued.into()),
+        ("running", e.running.into()),
+        ("completed", e.completed.into()),
+        ("displaced_total", e.displaced_total.into()),
+        ("offline_nodes", e.offline_nodes.into()),
+        ("ce_events", e.ce_events.into()),
+        (
+            "actions",
+            JsonValue::Array(e.actions.iter().map(|a| a.as_str().into()).collect()),
+        ),
+    ])
+}
+
+/// Fleet-level summary (percentiles, policy cost, totals) — the core of
+/// the `/v1/fleet` response and the JSONL trailer.
+pub fn summary_json(out: &FleetOutcome) -> JsonValue {
+    let pct = |q: f64| {
+        out.slowdown_percentile(q)
+            .map_or(JsonValue::Null, Into::into)
+    };
+    JsonValue::object([
+        ("policy", out.policy.as_str().into()),
+        ("placement", out.placement.as_str().into()),
+        ("seed", out.seed.into()),
+        ("jobs", out.jobs.len().into()),
+        ("completed", out.completed_jobs().into()),
+        ("displaced", out.displaced_total().into()),
+        (
+            "diverged",
+            out.jobs.iter().filter(|j| j.diverged).count().into(),
+        ),
+        ("epochs", out.epochs.len().into()),
+        ("nodes", out.nodes.len().into()),
+        (
+            "offline_nodes",
+            out.nodes.iter().filter(|n| n.offline).count().into(),
+        ),
+        ("offline_node_epochs", out.offline_node_epochs.into()),
+        ("ce_events", out.total_ce_events().into()),
+        ("slowdown_p50_pct", pct(50.0)),
+        ("slowdown_p90_pct", pct(90.0)),
+        ("slowdown_p99_pct", pct(99.0)),
+        ("truncated", out.truncated.into()),
+    ])
+}
+
+fn job_json(j: &JobOutcome) -> JsonValue {
+    JsonValue::object([
+        ("job", j.id.into()),
+        ("app", j.app.name().into()),
+        ("nodes", j.nodes.into()),
+        (
+            "start_epoch",
+            j.start_epoch.map_or(JsonValue::Null, Into::into),
+        ),
+        ("end_epoch", j.end_epoch.map_or(JsonValue::Null, Into::into)),
+        ("displaced", j.displaced.into()),
+        ("completed", j.completed.into()),
+        ("diverged", j.diverged.into()),
+        ("ce_events", j.ce_events.into()),
+        ("baseline_s", j.baseline.as_secs_f64().into()),
+        ("finish_s", j.finish.as_secs_f64().into()),
+        (
+            "slowdown_pct",
+            j.slowdown_pct.map_or(JsonValue::Null, Into::into),
+        ),
+    ])
+}
+
+/// Full response body for `POST /v1/fleet`: the summary plus per-job
+/// rows.
+pub fn response_json(out: &FleetOutcome) -> JsonValue {
+    JsonValue::object([
+        ("summary", summary_json(out)),
+        (
+            "jobs",
+            JsonValue::Array(out.jobs.iter().map(job_json).collect()),
+        ),
+    ])
+}
+
+/// Per-epoch JSONL stream: one line per epoch, then a `summary` line.
+pub fn epochs_jsonl(out: &FleetOutcome) -> String {
+    let mut s = String::new();
+    for e in &out.epochs {
+        s.push_str(&epoch_json(e).to_json());
+        s.push('\n');
+    }
+    s.push_str(&JsonValue::object([("summary", summary_json(out))]).to_json());
+    s.push('\n');
+    s
+}
+
+/// Human-readable summary table (stdout trailer of `cesim fleet`,
+/// `#`-prefixed so the CSV stream stays machine-parseable).
+pub fn summary_text(out: &FleetOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# fleet: policy={} placement={} seed={}",
+        out.policy, out.placement, out.seed
+    );
+    let _ = writeln!(
+        s,
+        "# jobs={} completed={} displaced={} diverged={} epochs={} truncated={}",
+        out.jobs.len(),
+        out.completed_jobs(),
+        out.displaced_total(),
+        out.jobs.iter().filter(|j| j.diverged).count(),
+        out.epochs.len(),
+        out.truncated,
+    );
+    let _ = writeln!(
+        s,
+        "# nodes={} offline={} offline_node_epochs={} ce_events={}",
+        out.nodes.len(),
+        out.nodes.iter().filter(|n| n.offline).count(),
+        out.offline_node_epochs,
+        out.total_ce_events(),
+    );
+    let _ = writeln!(
+        s,
+        "# slowdown_pct p50={} p90={} p99={}",
+        opt_pct(out.slowdown_percentile(50.0)),
+        opt_pct(out.slowdown_percentile(90.0)),
+        opt_pct(out.slowdown_percentile(99.0)),
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_fleet;
+    use crate::spec::FleetSpec;
+    use cesim_core::ScheduleCache;
+
+    fn outcome() -> FleetOutcome {
+        let spec = FleetSpec::parse(
+            r#"{
+            "seed": 1, "epochs": 6,
+            "cluster": {"nodes": 6, "mode": "sw",
+                        "mtbce": {"dist": "uniform", "min": "8ms", "max": "15ms"}},
+            "jobs": [{"app": "miniFE", "nodes": 3, "count": 2, "steps": 2}]
+        }"#,
+        )
+        .unwrap();
+        run_fleet(&spec, &ScheduleCache::new(4)).unwrap()
+    }
+
+    #[test]
+    fn jobs_csv_has_one_row_per_job() {
+        let out = outcome();
+        let csv = jobs_csv(&out);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + out.jobs.len());
+        assert!(lines[0].starts_with("job,app,nodes,policy"));
+        assert!(lines[1].starts_with("0,miniFE,3,static,packed,"));
+        // Every data row parses back to the right column count.
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "row {l:?}");
+        }
+    }
+
+    #[test]
+    fn nodes_csv_covers_the_cluster() {
+        let out = outcome();
+        let csv = nodes_csv(&out);
+        assert_eq!(csv.lines().count(), 1 + out.nodes.len());
+        assert!(csv.contains(",sw,sw,"), "modes rendered as short labels");
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_end_with_summary() {
+        let out = outcome();
+        let jsonl = epochs_jsonl(&out);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), out.epochs.len() + 1);
+        for l in &lines {
+            cesim_json::JsonValue::parse(l).expect("every JSONL line parses");
+        }
+        let last = cesim_json::JsonValue::parse(lines[lines.len() - 1]).unwrap();
+        assert!(last.get("summary").is_some());
+    }
+
+    #[test]
+    fn summary_json_reports_percentiles() {
+        let out = outcome();
+        let s = summary_json(&out);
+        assert_eq!(s.get("jobs").unwrap().as_u64(), Some(2));
+        assert_eq!(s.get("completed").unwrap().as_u64(), Some(2));
+        assert!(s.get("slowdown_p50_pct").unwrap().as_f64().is_some());
+        assert!(s.get("slowdown_p99_pct").unwrap().as_f64().is_some());
+        let resp = response_json(&out);
+        assert_eq!(
+            resp.get("jobs").unwrap().as_array().unwrap().len(),
+            out.jobs.len()
+        );
+    }
+
+    #[test]
+    fn summary_text_is_hash_prefixed() {
+        let out = outcome();
+        for line in summary_text(&out).lines() {
+            assert!(line.starts_with('#'), "summary line {line:?}");
+        }
+    }
+}

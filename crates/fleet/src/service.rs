@@ -1,0 +1,124 @@
+//! `POST /v1/fleet` request mapping.
+//!
+//! Lives here (not in `cesim_core::service`) because the fleet engine
+//! depends on core; the daemon composes both. Follows the same
+//! contract as the other endpoints: a response is a pure function of
+//! the request (so the daemon's response cache is sound), bad requests
+//! name the offending field, and phase spans (`fleet_place` /
+//! `fleet_run` / `fleet_policy`) land in the process-wide telemetry
+//! registry → `cesim_phase_seconds` on `/metrics`.
+
+use crate::engine::run_fleet;
+use crate::report::response_json;
+use crate::spec::FleetSpec;
+use cesim_core::{ServiceError, ServiceState};
+use cesim_json::JsonValue;
+
+/// Upper bound on cluster nodes per request — a fleet request fans out
+/// one engine run per job slice, so these caps keep one request from
+/// monopolizing the daemon.
+pub const MAX_FLEET_NODES: usize = 1024;
+/// Upper bound on total jobs per request.
+pub const MAX_FLEET_JOBS: usize = 512;
+/// Upper bound on epochs per request.
+pub const MAX_FLEET_EPOCHS: u32 = 256;
+
+/// A validated `POST /v1/fleet` body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetRequest {
+    /// The validated scenario.
+    pub spec: FleetSpec,
+}
+
+impl FleetRequest {
+    /// Validate a parsed `POST /v1/fleet` body: the spec grammar plus
+    /// serving-side resource caps.
+    pub fn from_json(v: &JsonValue) -> Result<Self, ServiceError> {
+        let spec = FleetSpec::from_json(v).map_err(ServiceError::BadRequest)?;
+        if spec.cluster.nodes > MAX_FLEET_NODES {
+            return Err(ServiceError::BadRequest(format!(
+                "cluster.nodes must be at most {MAX_FLEET_NODES} per request"
+            )));
+        }
+        if spec.total_jobs() > MAX_FLEET_JOBS {
+            return Err(ServiceError::BadRequest(format!(
+                "job mix expands to {} jobs; at most {MAX_FLEET_JOBS} per request",
+                spec.total_jobs()
+            )));
+        }
+        if spec.max_epochs > MAX_FLEET_EPOCHS {
+            return Err(ServiceError::BadRequest(format!(
+                "epochs must be at most {MAX_FLEET_EPOCHS} per request"
+            )));
+        }
+        Ok(FleetRequest { spec })
+    }
+}
+
+/// Run one fleet request against the daemon's shared schedule cache and
+/// render the response body.
+pub fn handle_fleet(state: &ServiceState, req: &FleetRequest) -> Result<JsonValue, ServiceError> {
+    let out = run_fleet(&req.spec, &state.schedules).map_err(ServiceError::Internal)?;
+    Ok(response_json(&out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> JsonValue {
+        JsonValue::parse(text).expect("test JSON is well-formed")
+    }
+
+    const SMALL: &str = r#"{
+        "seed": 3, "epochs": 4,
+        "cluster": {"nodes": 6, "mode": "sw",
+                    "mtbce": {"dist": "uniform", "min": "8ms", "max": "15ms"}},
+        "jobs": [{"app": "miniFE", "nodes": 3, "count": 2, "steps": 2}]
+    }"#;
+
+    #[test]
+    fn caps_are_enforced() {
+        let too_many_nodes = r#"{
+            "cluster": {"nodes": 2048, "mtbce": {"dist": "uniform", "min": "1s", "max": "2s"}},
+            "jobs": [{"app": "HPCG", "nodes": 2}]
+        }"#;
+        let err = FleetRequest::from_json(&parse(too_many_nodes)).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(ref m) if m.contains("1024")));
+
+        let too_many_jobs = r#"{
+            "cluster": {"nodes": 8, "mtbce": {"dist": "uniform", "min": "1s", "max": "2s"}},
+            "jobs": [{"app": "HPCG", "nodes": 2, "count": 1000}]
+        }"#;
+        let err = FleetRequest::from_json(&parse(too_many_jobs)).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(ref m) if m.contains("512")));
+
+        let too_many_epochs = r#"{
+            "epochs": 10000,
+            "cluster": {"nodes": 8, "mtbce": {"dist": "uniform", "min": "1s", "max": "2s"}},
+            "jobs": [{"app": "HPCG", "nodes": 2}]
+        }"#;
+        let err = FleetRequest::from_json(&parse(too_many_epochs)).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(ref m) if m.contains("256")));
+    }
+
+    #[test]
+    fn spec_errors_surface_as_bad_requests() {
+        let err = FleetRequest::from_json(&parse(r#"{"jobs": []}"#)).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(_)));
+    }
+
+    #[test]
+    fn handle_fleet_is_deterministic_and_shares_the_cache() {
+        let state = ServiceState::new(8, 8);
+        let req = FleetRequest::from_json(&parse(SMALL)).unwrap();
+        let a = handle_fleet(&state, &req).unwrap().to_json();
+        let b = handle_fleet(&state, &req).unwrap().to_json();
+        assert_eq!(a, b, "same request → byte-identical body");
+        assert!(a.contains("\"slowdown_p99_pct\""));
+        assert!(a.contains("\"jobs\""));
+        // Second run compiled nothing new.
+        assert_eq!(state.schedules.misses(), 1);
+        assert!(state.schedules.hits() > 0);
+    }
+}

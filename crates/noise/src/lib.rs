@@ -22,6 +22,9 @@
 //!   signature) as simulation noise, closing the measure→inject loop.
 //! * [`bursty`] — a two-state Markov-modulated extension of the CE
 //!   process (CE "avalanches"), plus noise-model composition.
+//! * [`hetero`] — per-rank heterogeneous CE rates and detour costs, the
+//!   substrate of the fleet engine (`cesim-fleet`): each rank carries the
+//!   MTBCE and logging-mode cost of the cluster node it was placed on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +32,14 @@
 pub mod bursty;
 pub mod ce;
 pub mod einj;
+pub mod hetero;
 pub mod selfish;
 pub mod signature;
 pub mod trace;
 
 pub use bursty::{BurstSpec, BurstyCeNoise, ComposedNoise};
 pub use ce::{CeNoise, Scope};
+pub use hetero::{HeteroCeNoise, RankCeParams};
 pub use selfish::{Detour, DetourTrace};
 pub use signature::SignatureKind;
 pub use trace::TraceNoise;

@@ -14,6 +14,9 @@
 //! * `POST /v1/sweep` — a figure-style grid ("fig3" … "fig7") run on
 //!   the ambient rayon pool; body mapped by
 //!   [`cesim_core::service::SweepRequest`].
+//! * `POST /v1/fleet` — a fleet scenario (heterogeneous cluster, job
+//!   mix, mitigation policy) run against the daemon's shared schedule
+//!   cache; body mapped by [`cesim_fleet::FleetRequest`].
 //! * `GET /healthz` — liveness.
 //! * `GET /metrics` — Prometheus text: per-endpoint request counters
 //!   and latency histograms, queue depth, shed/panic counters, the
@@ -63,6 +66,7 @@ use cesim_core::obs::{chrome, logging, tracectx};
 use cesim_core::service::{
     handle_simulate, handle_sweep, ServiceError, ServiceState, SimulateRequest, SweepRequest,
 };
+use cesim_fleet::{handle_fleet, FleetRequest};
 use cesim_json::JsonValue;
 use http::{HttpError, Response};
 use metrics::Metrics;
@@ -312,6 +316,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/v1/simulate" => "/v1/simulate",
         "/v1/sweep" => "/v1/sweep",
+        "/v1/fleet" => "/v1/fleet",
         "/v1/debug/flightrec" => "/v1/debug/flightrec",
         "/v1/test/sleep" => "/v1/test/sleep",
         "/v1/test/panic" => "/v1/test/panic",
@@ -451,6 +456,9 @@ fn route(shared: &Shared, req: &http::Request) -> Response {
         ("POST", "/v1/sweep") => handle_api(shared, "/v1/sweep", &req.body, |v| {
             SweepRequest::from_json(v).and_then(|r| handle_sweep(&r))
         }),
+        ("POST", "/v1/fleet") => handle_api(shared, "/v1/fleet", &req.body, |v| {
+            FleetRequest::from_json(v).and_then(|r| handle_fleet(&shared.state, &r))
+        }),
         ("POST", "/v1/test/sleep") if shared.cfg.enable_test_endpoints => test_sleep(&req.body),
         ("POST", "/v1/test/panic") if shared.cfg.enable_test_endpoints => {
             panic!("test endpoint requested a panic")
@@ -458,7 +466,9 @@ fn route(shared: &Shared, req: &http::Request) -> Response {
         (_, "/healthz" | "/metrics" | "/v1/debug/flightrec") => {
             Response::error(405, "method not allowed")
         }
-        (_, "/v1/simulate" | "/v1/sweep") => Response::error(405, "method not allowed"),
+        (_, "/v1/simulate" | "/v1/sweep" | "/v1/fleet") => {
+            Response::error(405, "method not allowed")
+        }
         (_, p) if p.starts_with("/v1/debug/traces") => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }

@@ -1,0 +1,117 @@
+//! Fleet-engine throughput benchmark: 32 jobs over a 64-node cluster.
+//!
+//! Runs one fleet scenario end to end (place → simulate job slices on
+//! the ambient rayon pool → policy reactions) and reports jobs per
+//! second of wall time, plus the slice count actually simulated. The
+//! number merges into `BENCH_serve.json` under a `fleet_bench` key —
+//! run `serve_loadtest` first; this harness preserves whatever keys the
+//! file already holds rather than clobbering them.
+//!
+//! ```sh
+//! cargo run --release --example serve_loadtest [BENCH_serve.json]
+//! cargo run --release --example fleet_bench   [BENCH_serve.json]
+//! ```
+//!
+//! The run must complete every job (no truncation) or the process exits
+//! nonzero, so CI catches a scheduler regression that strands jobs.
+
+use std::time::Instant;
+
+use cesim_core::ScheduleCache;
+use cesim_fleet::run_fleet;
+use cesim_fleet::spec::{ClusterSpec, FleetSpec, JobSpec, MtbceDist, Placement, PolicySpec};
+use cesim_json::JsonValue;
+use cesim_model::{LoggingMode, Span};
+use cesim_workloads::AppId;
+
+const NODES: usize = 64;
+const JOBS_PER_APP: u32 = 16; // two app groups -> 32 jobs
+
+fn bench_spec() -> FleetSpec {
+    FleetSpec {
+        seed: 2021,
+        max_epochs: 24,
+        cluster: ClusterSpec {
+            nodes: NODES,
+            mode: LoggingMode::Software,
+            mtbce: MtbceDist::Uniform {
+                min: Span::from_ms(8),
+                max: Span::from_ms(15),
+            },
+            hot_fraction: 0.15,
+            hot_scale: 0.12,
+        },
+        jobs: vec![
+            JobSpec {
+                app: AppId::MiniFe,
+                nodes: 4,
+                count: JOBS_PER_APP,
+                steps: Some(2),
+                epochs: 2,
+            },
+            JobSpec {
+                app: AppId::Hpcg,
+                nodes: 4,
+                count: JOBS_PER_APP,
+                steps: Some(2),
+                epochs: 2,
+            },
+        ],
+        placement: Placement::Spread,
+        policy: PolicySpec::ThresholdOffline {
+            ce_per_epoch: 2000,
+            max_offline_fraction: 0.25,
+        },
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let spec = bench_spec();
+    let cache = ScheduleCache::new(64);
+    // Warm-up pass compiles the two schedules so the measured pass
+    // benches the engine, not the compiler (the serving daemon is in
+    // the same steady state after its first fleet request).
+    run_fleet(&spec, &cache).expect("warm-up fleet run");
+
+    let start = Instant::now();
+    let out = run_fleet(&spec, &cache).expect("measured fleet run");
+    let wall = start.elapsed();
+
+    if out.truncated {
+        eprintln!("FAIL: fleet run truncated — jobs stranded in the queue");
+        std::process::exit(1);
+    }
+    let jobs = out.jobs.len();
+    let jobs_per_s = jobs as f64 / wall.as_secs_f64();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+
+    let entry = JsonValue::object([
+        ("nodes", JsonValue::from(NODES as u64)),
+        ("jobs", JsonValue::from(jobs as u64)),
+        ("epochs", JsonValue::from(out.epochs.len() as u64)),
+        ("wall_ms", JsonValue::from(round2(wall.as_secs_f64() * 1e3))),
+        ("jobs_per_s", JsonValue::from(round2(jobs_per_s))),
+        ("ce_events", JsonValue::from(out.total_ce_events())),
+    ]);
+
+    // Merge (not clobber): serve_loadtest owns the file's other keys.
+    let mut report = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| JsonValue::parse(&t).ok())
+        .and_then(|v| v.as_object().cloned())
+        .unwrap_or_default();
+    report.insert("fleet_bench".into(), entry);
+    let body = format!("{}\n", JsonValue::Object(report).to_json());
+    if let Err(e) = std::fs::write(&out_path, body) {
+        eprintln!("FAIL: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {out_path}: fleet_bench {jobs} jobs / {:.1} ms = {jobs_per_s:.0} jobs/s",
+        wall.as_secs_f64() * 1e3
+    );
+}

@@ -29,3 +29,8 @@ pub use cesim_core::*;
 /// Re-export: MPI trace format, parser, conversion and k·p extrapolation
 /// (the LogGOPSim tool-chain substrate).
 pub use cesim_trace as trace;
+
+/// Re-export: the fleet-scale scenario engine — job mixes over
+/// heterogeneous clusters with CE-mitigation policies reacting between
+/// epochs (`cesim fleet`, `POST /v1/fleet`).
+pub use cesim_fleet as fleet;

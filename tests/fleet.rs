@@ -1,0 +1,171 @@
+//! Fleet-engine invariants, property-based and exact:
+//!
+//! * **Job conservation** — at every epoch, queued + running + completed
+//!   equals the job-mix total; no job is lost or duplicated when a
+//!   policy displaces it off an offlined node.
+//! * **Thread-count transparency** — node MTBCE draws and every rendered
+//!   report (jobs CSV, nodes CSV, epoch JSONL) are byte-identical across
+//!   `--threads` values, because all randomness derives from stable
+//!   (node, job, attempt, slice) coordinates, never execution order.
+
+use dram_ce_sim::figures::with_threads;
+use dram_ce_sim::fleet::spec::{ClusterSpec, FleetSpec, JobSpec, MtbceDist, Placement, PolicySpec};
+use dram_ce_sim::fleet::{build_cluster, epochs_jsonl, jobs_csv, nodes_csv, run_fleet};
+use dram_ce_sim::model::{LoggingMode, Span};
+use dram_ce_sim::workloads::AppId;
+use dram_ce_sim::ScheduleCache;
+use proptest::prelude::*;
+
+/// A small, fast fleet scenario. MTBCE stays in the convergent regime
+/// for software logging (775 µs per event against ≥ 5 ms between
+/// events); the engine's divergence guard covers anything a hot-spot
+/// scale pushes past it.
+fn spec(
+    seed: u64,
+    nodes: usize,
+    hot_fraction: f64,
+    jobs: Vec<JobSpec>,
+    placement: Placement,
+    policy: PolicySpec,
+) -> FleetSpec {
+    FleetSpec {
+        seed,
+        max_epochs: 10,
+        cluster: ClusterSpec {
+            nodes,
+            mode: LoggingMode::Software,
+            mtbce: MtbceDist::Uniform {
+                min: Span::from_ms(5),
+                max: Span::from_ms(15),
+            },
+            hot_fraction,
+            hot_scale: 0.12,
+        },
+        jobs,
+        placement,
+        policy,
+    }
+}
+
+fn job(app: AppId, nodes: usize, count: u32) -> JobSpec {
+    JobSpec {
+        app,
+        nodes,
+        count,
+        steps: Some(2),
+        epochs: 1,
+    }
+}
+
+fn arb_placement() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::Packed),
+        Just(Placement::Spread),
+        Just(Placement::Random),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicySpec> {
+    // The stub proptest has no float strategies; draw percents and scale.
+    prop_oneof![
+        Just(PolicySpec::Static),
+        // Low thresholds so the policies actually fire at this scale.
+        (1u64..200, 10u32..60).prop_map(|(ce, pct)| PolicySpec::ThresholdOffline {
+            ce_per_epoch: ce,
+            max_offline_fraction: f64::from(pct) / 100.0,
+        }),
+        (1u64..200).prop_map(|ce| PolicySpec::ModeSwitch {
+            ce_per_epoch: ce,
+            to: LoggingMode::HardwareOnly,
+        }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = FleetSpec> {
+    (
+        (0u64..1_000, 4usize..10, 0u32..50),
+        (1u32..4, 1u32..4, arb_placement(), arb_policy()),
+    )
+        .prop_map(|((seed, nodes, hot_pct), (c1, c2, placement, policy))| {
+            let jobs = vec![
+                job(AppId::MiniFe, 2, c1),
+                job(AppId::Hpcg, nodes.min(4), c2),
+            ];
+            spec(
+                seed,
+                nodes,
+                f64::from(hot_pct) / 100.0,
+                jobs,
+                placement,
+                policy,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn jobs_are_conserved_at_every_epoch(s in arb_spec()) {
+        let total = s.total_jobs();
+        let out = run_fleet(&s, &ScheduleCache::new(16)).unwrap();
+        prop_assert!(!out.epochs.is_empty());
+        let mut prev_displaced = 0u64;
+        let mut prev_completed = 0usize;
+        for e in &out.epochs {
+            prop_assert_eq!(
+                e.queued + e.running + e.completed,
+                total,
+                "epoch {}: {} queued + {} running + {} completed != {total}",
+                e.epoch, e.queued, e.running, e.completed
+            );
+            prop_assert!(e.displaced_total >= prev_displaced, "displacements are monotone");
+            prop_assert!(e.completed >= prev_completed, "completions are monotone");
+            prev_displaced = e.displaced_total;
+            prev_completed = e.completed;
+        }
+        // The outcome list always covers the whole mix, completed or not.
+        prop_assert_eq!(out.jobs.len(), total);
+        let completed = out.jobs.iter().filter(|j| j.completed).count();
+        prop_assert_eq!(completed, out.epochs.last().unwrap().completed);
+        prop_assert!(out.truncated || completed == total);
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts(s in arb_spec()) {
+        let render = |threads: usize| {
+            let out = with_threads(threads, || run_fleet(&s, &ScheduleCache::new(16))).unwrap();
+            (jobs_csv(&out), nodes_csv(&out), epochs_jsonl(&out))
+        };
+        let serial = render(1);
+        let parallel = render(8);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn node_draws_are_independent_of_thread_count_and_cluster_size() {
+    let s8 = spec(
+        77,
+        8,
+        0.3,
+        vec![job(AppId::MiniFe, 2, 1)],
+        Placement::Packed,
+        PolicySpec::Static,
+    );
+    let mut s16 = s8.clone();
+    s16.cluster.nodes = 16;
+
+    let a = with_threads(1, || build_cluster(&s8.cluster, s8.seed));
+    let b = with_threads(8, || build_cluster(&s8.cluster, s8.seed));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!((x.mtbce, x.hot), (y.mtbce, y.hot), "node {}", x.id);
+    }
+
+    // Growing the cluster never perturbs existing nodes' draws: each
+    // node seeds from its own (domain, id) coordinate.
+    let big = build_cluster(&s16.cluster, s16.seed);
+    for (x, y) in a.iter().zip(&big) {
+        assert_eq!((x.mtbce, x.hot), (y.mtbce, y.hot), "node {}", x.id);
+    }
+}
